@@ -1,0 +1,78 @@
+// ablation_quarantine.cpp — ablation of the 30 s VNI quarantine window
+// (Section III-C1 design choice).
+//
+// The quarantine trades soundness against pool pressure:
+//   * too short, and a straggling pod (up to 30 s of termination grace)
+//     can still hold CXI services for a VNI that has already been handed
+//     to an unrelated tenant — an isolation violation;
+//   * too long, and a small VNI pool exhausts under churn.
+//
+// This bench sweeps the window and reports, for a fixed churn workload:
+// the number of unsound reuse events (VNI re-granted while a straggler
+// could still hold it) and the number of acquisition failures from pool
+// exhaustion.
+//
+//   usage: ablation_quarantine [churn_jobs=400]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/vni_registry.hpp"
+#include "util/rng.hpp"
+
+using namespace shs;
+
+int main(int argc, char** argv) {
+  const int churn = argc > 1 ? std::atoi(argv[1]) : 400;
+  std::printf("# ablation: VNI quarantine window vs soundness and pool "
+              "pressure\n");
+  std::printf("# straggler model: terminated pods may hold their VNI's CXI "
+              "service for up to the 30 s grace period after release\n");
+  std::printf("ablation_quarantine,window_s,unsound_reuses,"
+              "exhaustion_failures,peak_quarantined\n");
+
+  constexpr SimDuration kGrace = 30 * kSecond;
+  for (const double window_s : {0.0, 5.0, 15.0, 30.0, 60.0}) {
+    db::Database database;
+    core::VniRegistry registry(
+        database, {.vni_min = 1, .vni_max = 64,
+                   .quarantine = from_seconds(window_s)});
+    Rng rng(0xAB1A + static_cast<std::uint64_t>(window_s));
+
+    // Model: jobs acquire, run a short while, release.  After release, a
+    // straggler pod may still hold the VNI for Uniform(0, grace).
+    std::map<hsn::Vni, SimTime> straggler_until;  // vni -> hold deadline
+    int unsound = 0;
+    int exhausted = 0;
+    std::size_t peak_quarantine = 0;
+    SimTime now = 0;
+    for (int i = 0; i < churn; ++i) {
+      now += static_cast<SimTime>(rng.uniform_u64(kSecond));
+      const std::string owner = "job/" + std::to_string(i);
+      auto vni = registry.acquire(owner, now);
+      if (!vni.is_ok()) {
+        ++exhausted;
+        now += 2 * kSecond;  // back off and keep churning
+        continue;
+      }
+      // Unsound if a straggler from a previous tenant still holds it.
+      const auto it = straggler_until.find(vni.value());
+      if (it != straggler_until.end() && it->second > now) ++unsound;
+
+      // The job runs 1-5 s, then releases.
+      now += kSecond + static_cast<SimTime>(rng.uniform_u64(4 * kSecond));
+      (void)registry.release(owner, now);
+      straggler_until[vni.value()] =
+          now + static_cast<SimTime>(rng.uniform_u64(kGrace));
+      peak_quarantine =
+          std::max(peak_quarantine, registry.quarantined_count(now));
+    }
+    std::printf("ablation_quarantine,%.0f,%d,%d,%zu\n", window_s, unsound,
+                exhausted, peak_quarantine);
+  }
+  std::printf("\n# expectation: windows < 30 s admit unsound reuses; the "
+              "paper's 30 s window eliminates them (grace <= 30 s is "
+              "enforced by the CNI); larger windows only add pool "
+              "pressure\n");
+  return 0;
+}

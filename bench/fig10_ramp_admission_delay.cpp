@@ -1,0 +1,52 @@
+// fig10_ramp_admission_delay.cpp — Figure 10: "Job Admission Delay per
+// Batch" — mean admission delay (submission -> first pod Running) of the
+// jobs in each ramp batch, p10/p90 bands across jobs and runs.
+//
+//   usage: fig10_ramp_admission_delay [runs=5]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.hpp"
+
+using namespace shs;
+
+int main(int argc, char** argv) {
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 5;
+  bench::print_header("Figure 10", "admission delay per ramp batch (s)");
+
+  const auto batches = bench::ramp_batches();
+  std::printf("fig10,series,batch_id,submitted_in_batch,delay_s_mean,"
+              "delay_s_p10,delay_s_p90\n");
+
+  for (const bool vni : {true, false}) {
+    std::map<int, SampleSet> by_batch;
+    int unstarted = 0;
+    for (int run = 0; run < runs; ++run) {
+      const auto result = bench::run_admission(
+          batches, vni, 0xF16'0010ULL + static_cast<std::uint64_t>(run) * 13);
+      for (const auto& job : result.jobs) {
+        if (job.started()) {
+          by_batch[job.batch].add(job.delay_s());
+        } else {
+          ++unstarted;
+        }
+      }
+    }
+    for (const auto& [batch, samples] : by_batch) {
+      const auto band = bench::band_of(samples);
+      std::printf("fig10,%s,%d,%d,%.2f,%.2f,%.2f\n",
+                  vni ? "vni:true" : "vni:false", batch,
+                  batches[static_cast<std::size_t>(batch)], band.mean,
+                  band.p10, band.p90);
+    }
+    if (unstarted > 0) {
+      std::printf("# WARNING: %d jobs never started (%s)\n", unstarted,
+                  vni ? "vni:true" : "vni:false");
+    }
+  }
+
+  std::printf("\n# shape check: delay starts rising around batch 7 and "
+              "grows through the sustain phase; vni:true sits marginally "
+              "above vni:false (within jitter)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// fig7_osu_latency.cpp — Figure 7: "Average Latency via osu_latency" —
+// one-way latency (us) over the 1 B .. 1 MB sweep for the three series.
+//
+//   usage: fig7_osu_latency [runs=10] [iters=500]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.hpp"
+
+using namespace shs;
+
+int main(int argc, char** argv) {
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 500;
+
+  bench::print_header("Figure 7",
+                      "average one-way latency via osu_latency (us)");
+  std::printf("fig7,series,size_bytes,size_label,latency_us_mean,"
+              "latency_us_p10,latency_us_p90\n");
+
+  osu::LatencyOptions opts;
+  opts.iterations = iters;
+
+  for (const auto series : {bench::Series::kVniTrue, bench::Series::kVniFalse,
+                            bench::Series::kHost}) {
+    std::map<std::uint64_t, SampleSet> by_size;
+    for (int run = 0; run < runs; ++run) {
+      auto setup = bench::make_osu_setup(
+          series, 0xF16'0007ULL + static_cast<std::uint64_t>(run) * 613 +
+                      static_cast<std::uint64_t>(series) * 101);
+      for (const std::uint64_t size : bench::size_sweep()) {
+        auto lat = osu::run_osu_latency(*setup.comm, size, opts);
+        if (lat.is_ok()) by_size[size].add(lat.value());
+      }
+    }
+    for (const auto& [size, samples] : by_size) {
+      const auto band = bench::band_of(samples);
+      std::printf("fig7,%s,%llu,%s,%.3f,%.3f,%.3f\n",
+                  bench::series_name(series),
+                  static_cast<unsigned long long>(size),
+                  format_size(size).c_str(), band.mean, band.p10, band.p90);
+    }
+  }
+
+  std::printf("\n# shape check: ~2 us flat for small messages, rising to "
+              "~44 us at 1 MB (serialization-dominated); all series "
+              "overlap\n");
+  return 0;
+}

@@ -1,0 +1,238 @@
+// harness.hpp — shared machinery for the figure-reproduction benches.
+//
+// Two kinds of experiment:
+//   * OSU communication overhead (Figs 5-8): three series — `host`
+//     (bare-metal processes, no Kubernetes), `vni:false` (pods using the
+//     globally accessible default VNI, i.e. without the paper's
+//     integration), and `vni:true` (pods with per-job VNIs through the
+//     full stack).  Each series runs osu_bw / osu_latency across the
+//     1 B..1 MB sweep, multiple runs with distinct seeds.
+//   * Job admission overhead (Figs 9-12): ramp and spike load patterns
+//     against the simulated control plane, with and without the `vni`
+//     annotation, several runs each.
+//
+// Output convention: every bench prints CSV rows
+//     <figure>,<series>,<x>,<y...>
+// plus a human-readable summary, so the figures can be re-plotted
+// directly from the captured stdout.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stack.hpp"
+#include "mpi/comm.hpp"
+#include "osu/osu.hpp"
+#include "util/stats.hpp"
+
+namespace shs::bench {
+
+// ---------------------------------------------------------------------------
+// OSU series (Figs 5-8)
+
+enum class Series { kHost = 0, kVniFalse, kVniTrue };
+
+inline const char* series_name(Series s) {
+  switch (s) {
+    case Series::kHost: return "host";
+    case Series::kVniFalse: return "vni:false";
+    case Series::kVniTrue: return "vni:true";
+  }
+  return "?";
+}
+
+/// Keeps the whole stack (and both endpoints) alive for one OSU run.
+struct OsuSetup {
+  std::unique_ptr<core::SlingshotStack> stack;
+  std::vector<std::unique_ptr<ofi::Endpoint>> endpoints;
+  std::unique_ptr<mpi::Communicator> comm;
+};
+
+/// Builds the communication setup for `series` with a fresh stack.
+inline OsuSetup make_osu_setup(Series series, std::uint64_t seed) {
+  OsuSetup setup;
+  core::StackConfig cfg;
+  cfg.seed = seed;
+  setup.stack = std::make_unique<core::SlingshotStack>(cfg);
+  auto& stack = *setup.stack;
+
+  if (series == Series::kHost) {
+    // Baseline: two host processes, no Kubernetes anywhere near the path.
+    for (std::size_t n = 0; n < 2; ++n) {
+      auto& node = stack.node(n);
+      const auto pid = node.kernel->spawn({})->pid();
+      ofi::Domain dom(*node.driver, stack.fabric().nic(node.nic),
+                      stack.fabric().timing(), pid);
+      auto ep = dom.open_endpoint(cxi::kDefaultVni);
+      if (!ep.is_ok()) std::abort();
+      setup.endpoints.push_back(std::move(ep).value());
+    }
+  } else {
+    const bool vni = series == Series::kVniTrue;
+    auto job = stack.submit_job({.name = "osu",
+                                 .vni_annotation = vni ? "true" : "",
+                                 .pods = 2,
+                                 .run_duration = 3600 * kSecond,
+                                 .spread_key = "osu"});
+    if (!job.is_ok() || !stack.wait_job_start(job.value())) std::abort();
+    // Both pods running (wait_job_start returns on the first).
+    if (!stack.run_until(
+            [&] {
+              int running = 0;
+              for (const auto& p : stack.pods_of_job(job.value())) {
+                if (p.status.phase == k8s::PodPhase::kRunning) ++running;
+              }
+              return running == 2;
+            },
+            60 * kSecond)) {
+      std::abort();
+    }
+    for (const auto& pod : stack.pods_of_job(job.value())) {
+      auto handle = stack.exec_in_pod(pod.meta.uid);
+      auto dom = stack.domain_for(handle.value());
+      // vni:false measurements "utilize a globally accessible VNI, which
+      // does not provide application-granular network isolation".
+      const hsn::Vni use_vni = vni ? pod.status.vni : cxi::kDefaultVni;
+      auto ep = dom.value().open_endpoint(use_vni);
+      if (!ep.is_ok()) std::abort();
+      setup.endpoints.push_back(std::move(ep).value());
+    }
+  }
+  setup.comm = mpi::Communicator::create(
+      {setup.endpoints[0].get(), setup.endpoints[1].get()});
+  return setup;
+}
+
+/// The 1 B .. 1 MB sweep of the figures.
+inline std::vector<std::uint64_t> size_sweep() {
+  return osu::default_size_sweep();
+}
+
+// ---------------------------------------------------------------------------
+// Admission experiments (Figs 9-12)
+
+struct JobRecord {
+  int batch = 0;
+  double submit_s = 0;
+  double start_s = -1;  ///< -1 until admitted
+  [[nodiscard]] bool started() const { return start_s >= 0; }
+  [[nodiscard]] double delay_s() const { return start_s - submit_s; }
+};
+
+struct AdmissionResult {
+  std::vector<JobRecord> jobs;
+  /// Per-second samples of "running jobs" (admitted, not yet removed).
+  std::vector<std::pair<double, int>> running;
+  std::vector<int> batch_sizes;
+  double wallclock_virtual_s = 0;
+};
+
+/// Ramp schedule of Section IV-B1: 1..10, 10 x10, 9..1 jobs per second.
+inline std::vector<int> ramp_batches() {
+  std::vector<int> batches;
+  for (int n = 1; n <= 10; ++n) batches.push_back(n);   // ramp-up
+  for (int i = 0; i < 10; ++i) batches.push_back(10);   // sustain
+  for (int n = 9; n >= 1; --n) batches.push_back(n);    // ramp-down
+  return batches;
+}
+
+/// Runs one admission experiment: submits `batches[i]` jobs at t = i
+/// seconds, tracks per-job admission and the running-job time series
+/// until all jobs are gone.
+inline AdmissionResult run_admission(const std::vector<int>& batches,
+                                     bool vni, std::uint64_t seed,
+                                     SimDuration max_virtual =
+                                         15 * 60 * kSecond) {
+  core::StackConfig cfg;
+  cfg.seed = seed;
+  core::SlingshotStack stack(cfg);
+  AdmissionResult result;
+  result.batch_sizes = batches;
+
+  // Watch job starts (jobs delete themselves via ttl=0, so record early).
+  std::map<k8s::Uid, std::size_t> index_of;
+  stack.api().watch_jobs([&](const k8s::WatchEvent<k8s::Job>& ev) {
+    const auto it = index_of.find(ev.object.meta.uid);
+    if (it == index_of.end()) return;
+    JobRecord& rec = result.jobs[it->second];
+    if (!rec.started() && ev.object.status.start_vt > 0) {
+      rec.start_s = to_seconds(ev.object.status.start_vt);
+    }
+  });
+
+  // Schedule the submissions: batch `b` lands at t = b seconds.
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const int n = batches[b];
+    stack.loop().schedule_at(
+        static_cast<SimTime>(b) * kSecond,
+        [&stack, &result, &index_of, vni, b, n] {
+          for (int i = 0; i < n; ++i) {
+            core::JobOptions options;
+            options.name =
+                "adm-" + std::to_string(b) + "-" + std::to_string(i);
+            options.vni_annotation = vni ? "true" : "";
+            options.pods = 1;
+            options.run_duration = from_millis(100);  // echo + alpine
+            options.grace_s = 5;
+            options.ttl_after_finished_s = 0;  // delete on completion
+            auto uid = stack.submit_job(options);
+            if (uid.is_ok()) {
+              index_of[uid.value()] = result.jobs.size();
+              result.jobs.push_back(
+                  {static_cast<int>(b),
+                   to_seconds(stack.loop().now()), -1});
+            }
+          }
+        });
+  }
+
+  // Per-second running-jobs sampler.
+  stack.loop().schedule_periodic(kSecond, [&stack, &result] {
+    int running = 0;
+    stack.api().visit_jobs([&](const k8s::Job& j) {
+      if (j.status.start_vt > 0) ++running;
+    });
+    result.running.emplace_back(to_seconds(stack.loop().now()), running);
+  });
+
+  // Drive until every job is gone (submitted and deleted) or timeout.
+  const std::size_t expected = [&] {
+    std::size_t n = 0;
+    for (const int b : batches) n += static_cast<std::size_t>(b);
+    return n;
+  }();
+  stack.run_until(
+      [&] {
+        if (result.jobs.size() < expected) return false;
+        std::size_t alive = 0;
+        stack.api().visit_jobs([&](const k8s::Job&) { ++alive; });
+        return alive == 0;
+      },
+      max_virtual, from_millis(250));
+  result.wallclock_virtual_s = to_seconds(stack.loop().now());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Small CSV/stat helpers
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+}
+
+/// Mean + percentile band over per-run samples.
+struct Band {
+  double mean = 0;
+  double p10 = 0;
+  double p90 = 0;
+};
+
+inline Band band_of(const SampleSet& samples) {
+  return {samples.mean(), samples.percentile(10), samples.percentile(90)};
+}
+
+}  // namespace shs::bench

@@ -1,0 +1,128 @@
+// micro_benchmarks.cpp — google-benchmark microbenchmarks of the hot
+// paths behind the figures: packet routing, endpoint authentication, VNI
+// acquisition, and DB transactions.  These quantify the real (host) cost
+// of the simulation substrate itself, and double as regression guards
+// for the code paths the figure benches exercise millions of times.
+#include <benchmark/benchmark.h>
+
+#include "core/vni_registry.hpp"
+#include "cxi/driver.hpp"
+#include "db/database.hpp"
+#include "hsn/fabric.hpp"
+
+namespace {
+
+using namespace shs;
+
+void BM_SwitchRoute(benchmark::State& state) {
+  auto fabric = hsn::Fabric::create(2);
+  (void)fabric->fabric_switch().authorize_vni(0, 7);
+  (void)fabric->fabric_switch().authorize_vni(1, 7);
+  auto ep0 = fabric->nic(0).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
+  auto ep1 = fabric->nic(1).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
+  SimTime vt = 0;
+  for (auto _ : state) {
+    auto r = fabric->nic(0).post_send(ep0.value(), 1, ep1.value(), 1,
+                                      state.range(0), {}, vt);
+    vt = r.value();
+    // Drain so queues stay bounded.
+    (void)fabric->nic(1).poll_rx(ep1.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchRoute)->Arg(8)->Arg(4096)->Arg(1 << 20);
+
+void BM_EndpointAuthNetns(benchmark::State& state) {
+  linuxsim::Kernel kernel;
+  auto fabric = hsn::Fabric::create(1);
+  cxi::CxiDriver driver(kernel, fabric->nic(0), fabric->switch_ptr(),
+                        cxi::AuthMode::kNetnsExtended);
+  auto root = kernel.spawn({});
+  auto netns = kernel.create_net_namespace("bench");
+  auto proc = kernel.spawn({.creds = {}, .net_ns = netns});
+  cxi::CxiServiceDesc desc;
+  desc.members = {{cxi::MemberType::kNetNs, netns->inode()}};
+  desc.vnis = {77};
+  const auto svc = driver.svc_alloc(root->pid(), desc).value();
+  for (auto _ : state) {
+    auto ep = driver.ep_alloc(proc->pid(), svc, 77,
+                              hsn::TrafficClass::kBestEffort);
+    benchmark::DoNotOptimize(ep);
+    (void)driver.ep_free(proc->pid(), ep.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndpointAuthNetns);
+
+void BM_EndpointAuthDenied(benchmark::State& state) {
+  // The denial path (wrong netns) — the attack's cost profile.
+  linuxsim::Kernel kernel;
+  auto fabric = hsn::Fabric::create(1);
+  cxi::CxiDriver driver(kernel, fabric->nic(0), fabric->switch_ptr(),
+                        cxi::AuthMode::kNetnsExtended);
+  auto root = kernel.spawn({});
+  auto netns = kernel.create_net_namespace("bench");
+  auto outsider = kernel.spawn({});
+  cxi::CxiServiceDesc desc;
+  desc.members = {{cxi::MemberType::kNetNs, netns->inode()}};
+  desc.vnis = {77};
+  const auto svc = driver.svc_alloc(root->pid(), desc).value();
+  for (auto _ : state) {
+    auto ep = driver.ep_alloc(outsider->pid(), svc, 77,
+                              hsn::TrafficClass::kBestEffort);
+    benchmark::DoNotOptimize(ep);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndpointAuthDenied);
+
+void BM_VniAcquireRelease(benchmark::State& state) {
+  db::Database database;
+  core::VniRegistry registry(database, {.vni_min = 1, .vni_max = 100'000,
+                                        .quarantine = 0});
+  SimTime now = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string owner = "job/" + std::to_string(i++);
+    auto vni = registry.acquire(owner, now);
+    benchmark::DoNotOptimize(vni);
+    (void)registry.release(owner, now);
+    now += kSecond;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VniAcquireRelease);
+
+void BM_DbTransactionInsert(benchmark::State& state) {
+  db::Database database;
+  (void)database.create_table({"t", {"a", "b"}});
+  for (auto _ : state) {
+    (void)database.with_transaction([&](db::Transaction& txn) {
+      return txn.insert("t", {std::int64_t{1}, std::string("x")}).status();
+    });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbTransactionInsert);
+
+void BM_RdmaWriteRoundTrip(benchmark::State& state) {
+  auto fabric = hsn::Fabric::create(2);
+  (void)fabric->fabric_switch().authorize_vni(0, 7);
+  (void)fabric->fabric_switch().authorize_vni(1, 7);
+  auto ep0 = fabric->nic(0).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
+  auto ep1 = fabric->nic(1).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
+  std::vector<std::byte> window(1 << 20);
+  auto mr = fabric->nic(1).register_mr(ep1.value(), window);
+  SimTime vt = 0;
+  std::uint64_t op = 1;
+  for (auto _ : state) {
+    auto r = fabric->nic(0).rdma_write(ep0.value(), 1, mr.value(), 0,
+                                       state.range(0), {}, vt, op++);
+    vt = r.value();
+    (void)fabric->nic(0).poll_event(ep0.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RdmaWriteRoundTrip)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace

@@ -1,0 +1,105 @@
+// failure_injection.cpp — operational failure modes of the VNI service
+// and how the stack degrades (Section III-C: "Jobs annotated with that
+// label will therefore only launch successfully if the VNI service is
+// running").
+//
+// Scenarios:
+//   1. VNI endpoint outage: annotated jobs stall, plain jobs unaffected,
+//      stalled jobs launch once the service returns;
+//   2. VNI database crash mid-commit: journal recovery restores exactly
+//      the committed state (no VNI lost, none double-allocated);
+//   3. pod with an over-long termination grace: rejected outright by the
+//      CXI CNI plugin (the 30 s quarantine contract).
+//
+//   $ ./build/examples/failure_injection
+#include <cstdio>
+
+#include "core/stack.hpp"
+#include "util/log.hpp"
+
+using namespace shs;
+
+int main() {
+  Log::set_level(LogLevel::kError);
+  std::printf("== failure injection: VNI service outage, DB crash, bad "
+              "grace ==\n\n");
+
+  core::SlingshotStack stack;
+
+  // -- 1. Endpoint outage. --------------------------------------------------
+  std::printf("[1] taking the VNI endpoint DOWN, submitting two jobs...\n");
+  stack.set_vni_endpoint_available(false);
+  auto vni_job = stack.submit_job({.name = "needs-vni",
+                                   .vni_annotation = "true",
+                                   .pods = 1,
+                                   .run_duration = 30 * kSecond});
+  auto plain_job = stack.submit_job({.name = "plain",
+                                     .pods = 1,
+                                     .run_duration = from_millis(100)});
+  const bool plain_done =
+      stack.wait_job_complete(plain_job.value(), 60 * kSecond);
+  const bool vni_started =
+      stack.wait_job_start(vni_job.value(), 5 * kSecond);
+  std::printf("    plain job completed: %s   annotated job started: %s\n",
+              plain_done ? "yes" : "NO", vni_started ? "YES (bug!)" : "no");
+
+  std::printf("    bringing the endpoint back UP...\n");
+  stack.set_vni_endpoint_available(true);
+  const bool recovered = stack.wait_job_start(vni_job.value(), 60 * kSecond);
+  std::printf("    annotated job started after recovery: %s\n\n",
+              recovered ? "yes" : "NO");
+
+  // -- 2. Database crash mid-commit. ----------------------------------------
+  std::printf("[2] crashing the VNI database mid-commit...\n");
+  const std::size_t allocated_before = stack.registry().allocated_count();
+  stack.database().crash_on_commit();
+  // The next acquisition journals, then "loses power" halfway through.
+  auto crashed = stack.registry().acquire("job/crash-victim",
+                                          stack.loop().now());
+  std::printf("    acquisition during crash: %s\n",
+              crashed.status().to_string().c_str());
+  std::printf("    database crashed: %s\n",
+              stack.database().crashed() ? "yes" : "no");
+  const Status rec = stack.database().recover();
+  std::printf("    recovery: %s — journal replayed %zu commits\n",
+              rec.to_string().c_str(), stack.database().journal_commits());
+  // The journaled acquisition survived the crash atomically.
+  auto survived = stack.registry().find_by_owner("job/crash-victim");
+  std::printf("    crash-victim's VNI after recovery: %s (allocated: "
+              "%zu -> %zu)\n",
+              survived.is_ok() ? "present (journaled before the crash)"
+                               : "absent",
+              allocated_before, stack.registry().allocated_count());
+  // Exclusivity still holds: a fresh acquire gets a different VNI.
+  auto fresh = stack.registry().acquire("job/after-crash",
+                                        stack.loop().now());
+  std::printf("    post-recovery acquire: VNI %u (distinct: %s)\n\n",
+              fresh.value_or(0),
+              (survived.is_ok() && fresh.is_ok() &&
+               fresh.value() != survived.value())
+                  ? "yes"
+                  : "n/a");
+
+  // -- 3. Grace-period violation. --------------------------------------------
+  std::printf("[3] submitting a VNI job with terminationGracePeriod=120s "
+              "(> 30 s cap)...\n");
+  auto greedy = stack.submit_job({.name = "greedy-grace",
+                                  .vni_annotation = "true",
+                                  .pods = 1,
+                                  .grace_s = 120});
+  stack.run_until(
+      [&] {
+        const auto pods = stack.pods_of_job(greedy.value());
+        return !pods.empty() &&
+               pods.front().status.phase == k8s::PodPhase::kFailed;
+      },
+      60 * kSecond);
+  for (const auto& pod : stack.pods_of_job(greedy.value())) {
+    std::printf("    pod %s: %s — %s\n", pod.meta.name.c_str(),
+                k8s::pod_phase_name(pod.status.phase),
+                pod.status.message.c_str());
+  }
+  std::printf("\nAll failure modes degrade exactly as the design "
+              "requires.\n");
+  return 0;
+}

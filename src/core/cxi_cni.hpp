@@ -1,0 +1,73 @@
+// cxi_cni.hpp — the CXI CNI plugin (Section III-B).
+//
+// A *chained* CNI plugin that manages the lifetime of CXI services for
+// containers:
+//   * ADD — (1) extracts the container's network-namespace inode, (2)
+//     fetches the VNI granted to the owning job from its VNI CRD instance
+//     (created by the VNI controller), and (3) creates a CXI service with
+//     a NETNS member for that inode and VNI.  Until the VNI CRD exists
+//     the plugin reports kUnavailable — the container must not launch.
+//   * DEL — destroys any CXI service associated with the container.
+//   * Containers without the `vni` annotation are untouched ("does not
+//     interfere with the container").
+//   * Pods requesting a VNI must have terminationGracePeriodSeconds <= 30
+//     so no straggler can outlive the VNI quarantine (Section III-C1);
+//     the plugin rejects violations outright.
+//
+// The plugin runs with host-root privileges (as real CNI plugins do) —
+// it holds the node's privileged pid for driver calls.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cri/cni.hpp"
+#include "cxi/driver.hpp"
+#include "k8s/api_server.hpp"
+#include "k8s/kubelet.hpp"
+#include "k8s/params.hpp"
+#include "util/rng.hpp"
+
+namespace shs::core {
+
+struct CxiCniCounters {
+  std::uint64_t services_created = 0;
+  std::uint64_t services_destroyed = 0;
+  std::uint64_t noop_adds = 0;       ///< pods without the vni annotation
+  std::uint64_t unavailable_adds = 0;///< VNI CRD not served yet
+  std::uint64_t rejected_grace = 0;  ///< grace period > 30 s
+};
+
+class CxiCniPlugin final : public cri::CniPlugin {
+ public:
+  CxiCniPlugin(k8s::ApiServer& api, cxi::CxiDriver& driver,
+               linuxsim::Pid privileged_pid, Rng rng)
+      : api_(api), driver_(driver), root_(privileged_pid), rng_(rng) {}
+
+  [[nodiscard]] std::string name() const override { return "cxi"; }
+
+  Result<cri::CniAddResult> add(const cri::CniContext& ctx) override;
+  Result<SimDuration> del(const cri::CniContext& ctx) override;
+
+  [[nodiscard]] const CxiCniCounters& counters() const noexcept {
+    return counters_;
+  }
+  /// The CXI service created for a container (kInvalidSvc if none).
+  [[nodiscard]] cxi::SvcId service_for(const std::string& container_id) const;
+
+ private:
+  SimDuration jittered(SimDuration d) {
+    return static_cast<SimDuration>(
+        static_cast<double>(d) * rng_.jitter(api_.params().jitter_amplitude));
+  }
+
+  k8s::ApiServer& api_;
+  cxi::CxiDriver& driver_;
+  linuxsim::Pid root_;
+  Rng rng_;
+  CxiCniCounters counters_;
+  std::map<std::string, cxi::SvcId> services_;  ///< container -> svc
+};
+
+}  // namespace shs::core

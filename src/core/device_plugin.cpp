@@ -1,0 +1,29 @@
+#include "core/device_plugin.hpp"
+
+#include "util/strings.hpp"
+
+namespace shs::core {
+
+Result<DeviceMount> CxiDevicePlugin::allocate(const k8s::Pod& pod) {
+  if (mounts_.contains(pod.meta.uid)) {
+    return mounts_.at(pod.meta.uid);  // idempotent re-allocation
+  }
+  if (allocated() >= shares_) {
+    return Result<DeviceMount>(resource_exhausted(
+        strfmt("node %s: all %d CXI device shares allocated", node_.c_str(),
+               shares_)));
+  }
+  DeviceMount mount;
+  mount.device_path = "/dev/cxi0";
+  mount.library_path = "/usr/lib64/libcxi.so.1";
+  mount.pod_uid = pod.meta.uid;
+  mounts_.emplace(pod.meta.uid, mount);
+  return mount;
+}
+
+Status CxiDevicePlugin::release(k8s::Uid pod_uid) {
+  mounts_.erase(pod_uid);  // idempotent
+  return Status::ok();
+}
+
+}  // namespace shs::core

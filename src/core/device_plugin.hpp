@@ -1,0 +1,65 @@
+// device_plugin.hpp — model of HPE's CXI Kubernetes *device plugin*
+// (related work, Section V).
+//
+// The device plugin registers CXI NICs as a Kubernetes resource and, at
+// container creation, mounts the CXI character device and libraries into
+// the container.  Crucially — and this is the contrast the paper draws —
+// it "does not handle CXI service management and instead assumes external
+// management", so by itself it provides *shared* NIC access with no
+// container-granular isolation: every pod that gets the device can only
+// authenticate against whatever externally-managed (typically global)
+// services exist.
+//
+// Implemented here so the repository can demonstrate that difference:
+// device-plugin-only pods land on the default service's global VNI, while
+// CXI-CNI pods get per-job netns-isolated VNIs (see device_plugin_test).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "k8s/objects.hpp"
+#include "util/status.hpp"
+
+namespace shs::core {
+
+/// What the plugin injects into a container at allocation time.
+struct DeviceMount {
+  std::string device_path;    ///< e.g. /dev/cxi0
+  std::string library_path;   ///< e.g. /usr/lib64/libcxi.so
+  k8s::Uid pod_uid = k8s::kNoUid;
+};
+
+/// Per-node device plugin: advertises `shares` slots on one NIC (the
+/// k8s-rdma-shared-dev-plugin model the paper cites as variant 1).
+class CxiDevicePlugin {
+ public:
+  CxiDevicePlugin(std::string node, int shares)
+      : node_(std::move(node)), shares_(shares) {}
+
+  [[nodiscard]] const std::string& node() const noexcept { return node_; }
+  /// Advertised resource capacity ("hpe.com/cxi": shares).
+  [[nodiscard]] int capacity() const noexcept { return shares_; }
+  [[nodiscard]] int allocated() const noexcept {
+    return static_cast<int>(mounts_.size());
+  }
+
+  /// Allocates a device share to `pod` and returns the mount spec.
+  /// Fails with kResourceExhausted once all shares are taken.
+  Result<DeviceMount> allocate(const k8s::Pod& pod);
+
+  /// Releases the pod's share (idempotent).
+  Status release(k8s::Uid pod_uid);
+
+  [[nodiscard]] bool has_device(k8s::Uid pod_uid) const {
+    return mounts_.contains(pod_uid);
+  }
+
+ private:
+  std::string node_;
+  int shares_;
+  std::map<k8s::Uid, DeviceMount> mounts_;
+};
+
+}  // namespace shs::core

@@ -1,0 +1,41 @@
+#include "core/drc.hpp"
+
+#include "util/strings.hpp"
+
+namespace shs::core {
+
+Result<DrcCredential> DrcService::request(cxi::CxiDriver& driver,
+                                          linuxsim::Kernel& kernel,
+                                          linuxsim::Pid requester,
+                                          linuxsim::Pid privileged,
+                                          const std::string& owner_tag) {
+  auto inode = kernel.proc_net_ns_inode(requester);
+  if (!inode.is_ok()) return Result<DrcCredential>(inode.status());
+
+  auto vni = registry_.acquire("drc/" + owner_tag, loop_.now());
+  if (!vni.is_ok()) return Result<DrcCredential>(vni.status());
+
+  cxi::CxiServiceDesc desc;
+  desc.name = strfmt("drc-%s", owner_tag.c_str());
+  desc.restricted_members = true;
+  desc.restricted_vnis = true;
+  desc.members = {{cxi::MemberType::kNetNs, inode.value()}};
+  desc.vnis = {vni.value()};
+  auto svc = driver.svc_alloc(privileged, std::move(desc));
+  if (!svc.is_ok()) {
+    // Roll the acquisition back so the VNI is not leaked.
+    (void)registry_.release("drc/" + owner_tag, loop_.now());
+    return Result<DrcCredential>(svc.status());
+  }
+  return DrcCredential{vni.value(), svc.value(), "drc/" + owner_tag,
+                       inode.value()};
+}
+
+Status DrcService::release(cxi::CxiDriver& driver, linuxsim::Pid privileged,
+                           const DrcCredential& cred) {
+  const Status svc_st = driver.svc_destroy_force(privileged, cred.svc);
+  if (!svc_st.is_ok() && svc_st.code() != Code::kNotFound) return svc_st;
+  return registry_.release(cred.owner, loop_.now());
+}
+
+}  // namespace shs::core

@@ -1,0 +1,53 @@
+// drc.hpp — Dynamic RDMA Credential service (extension).
+//
+// The paper mentions HPE's DRC mechanism as the alternative to ahead-of-
+// time CXI service configuration: "the HPE-provided Dynamic RDMA
+// Credential (DRC) mechanism can be used, which allows users to request
+// new VNIs at run time" (Section II-C).  This module implements that
+// path on top of the same VNI registry, so non-Kubernetes workloads can
+// acquire an isolated VNI + CXI service at runtime — and so tests can
+// compare both acquisition paths against the same exclusivity rules.
+#pragma once
+
+#include <string>
+
+#include "core/vni_registry.hpp"
+#include "cxi/driver.hpp"
+#include "linuxsim/kernel.hpp"
+#include "sim/event_loop.hpp"
+
+namespace shs::core {
+
+/// A granted credential: the VNI plus the CXI service that admits the
+/// requesting process (by netns).
+struct DrcCredential {
+  hsn::Vni vni = hsn::kInvalidVni;
+  cxi::SvcId svc = cxi::kInvalidSvc;
+  std::string owner;
+  linuxsim::NetNsInode netns = 0;
+};
+
+class DrcService {
+ public:
+  DrcService(VniRegistry& registry, sim::EventLoop& loop)
+      : registry_(registry), loop_(loop) {}
+
+  /// Acquires a VNI for `requester` and installs a netns-member CXI
+  /// service on `driver` (using `privileged` for the root-only call).
+  /// `owner_tag` names the credential in the VNI database.
+  Result<DrcCredential> request(cxi::CxiDriver& driver,
+                                linuxsim::Kernel& kernel,
+                                linuxsim::Pid requester,
+                                linuxsim::Pid privileged,
+                                const std::string& owner_tag);
+
+  /// Releases the credential: destroys the service, quarantines the VNI.
+  Status release(cxi::CxiDriver& driver, linuxsim::Pid privileged,
+                 const DrcCredential& cred);
+
+ private:
+  VniRegistry& registry_;
+  sim::EventLoop& loop_;
+};
+
+}  // namespace shs::core

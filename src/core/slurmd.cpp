@@ -1,0 +1,83 @@
+#include "core/slurmd.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::core {
+
+namespace {
+constexpr const char* kTag = "slurmd";
+}
+
+Result<SlurmStep> SlurmDaemon::launch_step(
+    std::uint32_t job_id, const std::vector<std::size_t>& node_indices,
+    SlurmAuthScheme scheme, linuxsim::Uid uid,
+    const std::vector<linuxsim::NetNsInode>& netns_per_node) {
+  if (node_indices.empty()) {
+    return Result<SlurmStep>(invalid_argument("a step needs nodes"));
+  }
+  if (scheme == SlurmAuthScheme::kNetnsMember &&
+      netns_per_node.size() != node_indices.size()) {
+    return Result<SlurmStep>(invalid_argument(
+        "netns scheme needs one netns inode per node"));
+  }
+  for (const std::size_t n : node_indices) {
+    if (n >= nodes_.size()) {
+      return Result<SlurmStep>(invalid_argument(strfmt("no node %zu", n)));
+    }
+  }
+
+  SlurmStep step;
+  step.job_id = job_id;
+  step.scheme = scheme;
+  step.owner_key = strfmt("slurm/job-%u", job_id);
+  auto vni = registry_.acquire(step.owner_key, loop_.now());
+  if (!vni.is_ok()) return Result<SlurmStep>(vni.status());
+  step.vni = vni.value();
+
+  // Create the per-node services; roll everything back on any failure so
+  // a partially-launched step never leaks services or the VNI.
+  for (std::size_t i = 0; i < node_indices.size(); ++i) {
+    const std::size_t n = node_indices[i];
+    cxi::CxiServiceDesc desc;
+    desc.name = strfmt("slurm-job-%u", job_id);
+    desc.restricted_members = true;
+    desc.restricted_vnis = true;
+    desc.vnis = {step.vni};
+    if (scheme == SlurmAuthScheme::kUidMember) {
+      desc.members = {{cxi::MemberType::kUid, uid}};
+    } else {
+      desc.members = {{cxi::MemberType::kNetNs, netns_per_node[i]}};
+    }
+    auto svc = nodes_[n].driver->svc_alloc(nodes_[n].root_pid,
+                                           std::move(desc));
+    if (!svc.is_ok()) {
+      SHS_WARN(kTag) << "step launch failed on node " << n << ": "
+                     << svc.status();
+      for (const auto& [node, svc_id] : step.services) {
+        (void)nodes_[node].driver->svc_destroy_force(nodes_[node].root_pid,
+                                                     svc_id);
+      }
+      (void)registry_.release(step.owner_key, loop_.now());
+      return Result<SlurmStep>(svc.status());
+    }
+    step.services.emplace(n, svc.value());
+  }
+  ++active_steps_;
+  SHS_DEBUG(kTag) << "job " << job_id << " launched on "
+                  << node_indices.size() << " nodes, VNI " << step.vni;
+  return step;
+}
+
+Status SlurmDaemon::complete_step(const SlurmStep& step) {
+  for (const auto& [node, svc_id] : step.services) {
+    const Status st = nodes_[node].driver->svc_destroy_force(
+        nodes_[node].root_pid, svc_id);
+    if (!st.is_ok() && st.code() != Code::kNotFound) return st;
+  }
+  SHS_RETURN_IF_ERROR(registry_.release(step.owner_key, loop_.now()));
+  if (active_steps_ > 0) --active_steps_;
+  return Status::ok();
+}
+
+}  // namespace shs::core

@@ -1,0 +1,229 @@
+#include "core/stack.hpp"
+
+#include "core/webhook_codec.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::core {
+
+namespace {
+constexpr const char* kTag = "stack";
+}
+
+SlingshotStack::SlingshotStack(StackConfig config)
+    : config_(config), master_rng_(config.seed) {
+  api_ = std::make_unique<k8s::ApiServer>(loop_, config_.k8s_params);
+  fabric_ = hsn::Fabric::create(config_.nodes, config_.timing,
+                                master_rng_.next());
+  db_ = std::make_unique<db::Database>();
+  registry_ = std::make_unique<VniRegistry>(*db_, config_.vni);
+  endpoint_ = std::make_unique<VniEndpoint>(*registry_, loop_);
+
+  // Per-node stacks.
+  std::vector<std::string> node_names;
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    auto node = std::make_unique<Node>();
+    node->name = strfmt("node-%zu", i);
+    node->nic = static_cast<hsn::NicAddr>(i);
+    node->kernel = std::make_unique<linuxsim::Kernel>();
+    node->driver = std::make_unique<cxi::CxiDriver>(
+        *node->kernel, fabric_->nic(node->nic), fabric_->switch_ptr(),
+        config_.auth_mode);
+    node->runtime = std::make_unique<cri::ContainerRuntime>(
+        *node->kernel, node->name, api_->params(), master_rng_.fork());
+    node->bridge_cni = std::make_shared<cri::BridgeCni>(
+        *node->kernel, api_->params(), master_rng_.fork());
+    node->runtime->add_cni_plugin(node->bridge_cni);
+    if (config_.install_cxi_cni) {
+      node->cxi_cni = std::make_shared<CxiCniPlugin>(
+          *api_, *node->driver, node->root_pid, master_rng_.fork());
+      node->runtime->add_cni_plugin(node->cxi_cni);
+    }
+    node->kubelet = std::make_unique<k8s::Kubelet>(
+        *api_, node->name, *node->runtime, master_rng_.fork());
+    node->kubelet->start();
+    node_names.push_back(node->name);
+    nodes_.push_back(std::move(node));
+  }
+
+  // Cluster-wide controllers.
+  job_controller_ =
+      std::make_unique<k8s::JobController>(*api_, master_rng_.fork());
+  job_controller_->start();
+  scheduler_ = std::make_unique<k8s::Scheduler>(*api_, node_names,
+                                                master_rng_.fork());
+  scheduler_->start();
+
+  // The real VNI Endpoint is an HTTP service; the hooks round-trip every
+  // request and response through the JSON webhook codec so the
+  // serialization boundary is honest (no shared pointers between the
+  // controller and the endpoint).
+  k8s::DecoratorController::Hooks hooks;
+  hooks.sync_job =
+      [this](const k8s::Job& j) -> Result<std::vector<k8s::VniObject>> {
+    using R = Result<std::vector<k8s::VniObject>>;
+    auto request = webhook::Json::parse(webhook::encode_job(j).dump());
+    if (!request.is_ok()) return R(request.status());
+    auto job = webhook::decode_job(request.value());
+    if (!job.is_ok()) return R(job.status());
+    auto children = endpoint_->sync_job(job.value());
+    if (!children.is_ok()) return children;
+    auto response = webhook::Json::parse(
+        webhook::encode_children(children.value()).dump());
+    if (!response.is_ok()) return R(response.status());
+    return webhook::decode_children(response.value());
+  };
+  hooks.finalize_job = [this](const k8s::Job& j) -> Result<bool> {
+    auto request = webhook::Json::parse(webhook::encode_job(j).dump());
+    if (!request.is_ok()) return Result<bool>(request.status());
+    auto job = webhook::decode_job(request.value());
+    if (!job.is_ok()) return Result<bool>(job.status());
+    auto fin = endpoint_->finalize_job(job.value());
+    if (!fin.is_ok()) return fin;
+    auto response = webhook::Json::parse(
+        webhook::encode_finalized(fin.value()).dump());
+    if (!response.is_ok()) return Result<bool>(response.status());
+    return webhook::decode_finalized(response.value());
+  };
+  hooks.sync_claim = [this](const k8s::VniClaim& c)
+      -> Result<std::vector<k8s::VniObject>> {
+    using R = Result<std::vector<k8s::VniObject>>;
+    auto request = webhook::Json::parse(webhook::encode_claim(c).dump());
+    if (!request.is_ok()) return R(request.status());
+    auto claim = webhook::decode_claim(request.value());
+    if (!claim.is_ok()) return R(claim.status());
+    auto children = endpoint_->sync_claim(claim.value());
+    if (!children.is_ok()) return children;
+    auto response = webhook::Json::parse(
+        webhook::encode_children(children.value()).dump());
+    if (!response.is_ok()) return R(response.status());
+    return webhook::decode_children(response.value());
+  };
+  hooks.finalize_claim = [this](const k8s::VniClaim& c) -> Result<bool> {
+    auto request = webhook::Json::parse(webhook::encode_claim(c).dump());
+    if (!request.is_ok()) return Result<bool>(request.status());
+    auto claim = webhook::decode_claim(request.value());
+    if (!claim.is_ok()) return Result<bool>(claim.status());
+    auto fin = endpoint_->finalize_claim(claim.value());
+    if (!fin.is_ok()) return fin;
+    auto response = webhook::Json::parse(
+        webhook::encode_finalized(fin.value()).dump());
+    if (!response.is_ok()) return Result<bool>(response.status());
+    return webhook::decode_finalized(response.value());
+  };
+  vni_controller_ = std::make_unique<k8s::DecoratorController>(
+      *api_, std::move(hooks), master_rng_.fork());
+  vni_controller_->start();
+
+  SHS_INFO(kTag) << "cluster up: " << config_.nodes << " nodes, auth mode "
+                 << static_cast<int>(config_.auth_mode);
+}
+
+SlingshotStack::~SlingshotStack() {
+  vni_controller_->stop();
+  scheduler_->stop();
+  job_controller_->stop();
+  for (auto& node : nodes_) node->kubelet->stop();
+}
+
+Result<k8s::Uid> SlingshotStack::submit_job(const JobOptions& options) {
+  if (options.name.empty()) {
+    return Result<k8s::Uid>(invalid_argument("job needs a name"));
+  }
+  k8s::Job job;
+  job.meta.name = options.name;
+  job.meta.ns = options.ns;
+  if (!options.vni_annotation.empty()) {
+    job.meta.annotations[k8s::kVniAnnotation] = options.vni_annotation;
+  }
+  job.spec.completions = options.pods;
+  job.spec.parallelism = options.pods;
+  job.spec.ttl_after_finished_s = options.ttl_after_finished_s;
+  job.spec.pod_template.image = options.image;
+  job.spec.pod_template.run_duration = options.run_duration;
+  job.spec.pod_template.termination_grace_s = options.grace_s;
+  job.spec.pod_template.spread_key = options.spread_key;
+  return api_->create_job(std::move(job));
+}
+
+Result<k8s::Uid> SlingshotStack::create_claim(const std::string& ns,
+                                              const std::string& claim_name) {
+  k8s::VniClaim claim;
+  claim.meta.name = claim_name;
+  claim.meta.ns = ns;
+  claim.spec.claim_name = claim_name;
+  return api_->create_vni_claim(std::move(claim));
+}
+
+Status SlingshotStack::delete_claim(k8s::Uid uid) {
+  return api_->delete_vni_claim(uid);
+}
+
+Status SlingshotStack::delete_job(k8s::Uid uid) {
+  return api_->delete_job(uid);
+}
+
+bool SlingshotStack::run_until(const std::function<bool()>& pred,
+                               SimDuration max_wait, SimDuration step) {
+  const SimTime deadline = loop_.now() + max_wait;
+  while (loop_.now() < deadline) {
+    if (pred()) return true;
+    loop_.run_for(step);
+  }
+  return pred();
+}
+
+bool SlingshotStack::wait_job_start(k8s::Uid job, SimDuration max_wait) {
+  return run_until(
+      [&] {
+        auto j = api_->get_job(job);
+        return j.is_ok() && j.value().status.start_vt > 0;
+      },
+      max_wait);
+}
+
+bool SlingshotStack::wait_job_complete(k8s::Uid job, SimDuration max_wait) {
+  return run_until(
+      [&] {
+        auto j = api_->get_job(job);
+        return j.is_ok() && j.value().status.complete;
+      },
+      max_wait);
+}
+
+bool SlingshotStack::wait_job_gone(k8s::Uid job, SimDuration max_wait) {
+  return run_until(
+      [&] { return !api_->get_job(job).is_ok(); }, max_wait);
+}
+
+std::vector<k8s::Pod> SlingshotStack::pods_of_job(k8s::Uid job) const {
+  return api_->list_pods(
+      [&](const k8s::Pod& p) { return p.meta.owner_uid == job; });
+}
+
+Result<SlingshotStack::PodHandle> SlingshotStack::exec_in_pod(
+    k8s::Uid pod_uid) {
+  auto pod = api_->get_pod(pod_uid);
+  if (!pod.is_ok()) return Result<PodHandle>(pod.status());
+  const std::string& node_name = pod.value().status.node;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->name == node_name) {
+      auto pid = nodes_[i]->runtime->exec_in_pod(pod_uid);
+      if (!pid.is_ok()) return Result<PodHandle>(pid.status());
+      return PodHandle{pod_uid, i, pid.value()};
+    }
+  }
+  return Result<PodHandle>(
+      failed_precondition("pod is not bound to any node yet"));
+}
+
+Result<ofi::Domain> SlingshotStack::domain_for(const PodHandle& handle) {
+  if (handle.node_index >= nodes_.size()) {
+    return Result<ofi::Domain>(invalid_argument("bad node index"));
+  }
+  Node& n = *nodes_[handle.node_index];
+  return ofi::Domain(*n.driver, fabric_->nic(n.nic), fabric_->timing(),
+                     handle.pid);
+}
+
+}  // namespace shs::core

@@ -1,0 +1,158 @@
+// stack.hpp — SlingshotStack: the whole converged HPC-Cloud cluster in
+// one object.
+//
+// Assembles every layer the paper's Figure 2 shows, per node: a Linux
+// kernel model, a Cassini NIC on the shared Rosetta switch, the
+// (netns-extended) CXI driver, a container runtime with the chained CNI
+// plugins (bridge overlay -> CXI), and a kubelet — plus the cluster-wide
+// pieces: API server, job controller, scheduler, Metacontroller-style VNI
+// controller, VNI endpoint, and the VNI database.
+//
+// This is the public entry point examples and benches use:
+//     core::SlingshotStack stack;
+//     auto job = stack.submit_job({.name = "solver", .vni_annotation =
+//                                  "true", .pods = 2});
+//     stack.wait_job_start(job.value());
+//     auto pod = stack.exec_in_pod(...);
+//     auto dom = stack.domain_for(pod.value());
+//     auto ep  = dom.open_endpoint(vni);   // netns-authenticated
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cxi_cni.hpp"
+#include "core/vni_endpoint.hpp"
+#include "core/vni_registry.hpp"
+#include "cri/bridge_cni.hpp"
+#include "cri/runtime.hpp"
+#include "cxi/driver.hpp"
+#include "db/database.hpp"
+#include "hsn/fabric.hpp"
+#include "k8s/api_server.hpp"
+#include "k8s/job_controller.hpp"
+#include "k8s/kubelet.hpp"
+#include "k8s/metacontroller.hpp"
+#include "k8s/scheduler.hpp"
+#include "ofi/domain.hpp"
+#include "sim/event_loop.hpp"
+
+namespace shs::core {
+
+struct StackConfig {
+  std::size_t nodes = 2;  ///< the paper's testbed: two OpenCUBE nodes
+  cxi::AuthMode auth_mode = cxi::AuthMode::kNetnsExtended;
+  k8s::K8sParams k8s_params{};
+  hsn::TimingConfig timing{};
+  VniRegistryConfig vni{};
+  std::uint64_t seed = 0x5005;
+  /// Install the CXI CNI plugin into the chain.  Disabling it models a
+  /// stock cluster (pods with vni annotations then fail to launch).
+  bool install_cxi_cni = true;
+};
+
+/// Options for submitting a Job (Listing 1 / Listing 3 of the paper).
+struct JobOptions {
+  std::string name;
+  std::string ns = "default";
+  /// "" = no Slingshot; "true" = Per-Resource VNI; else a VniClaim name.
+  std::string vni_annotation;
+  int pods = 1;
+  SimDuration run_duration = from_millis(50);
+  int grace_s = 5;
+  int ttl_after_finished_s = -1;  ///< 0 = delete right after completion
+  std::string image = "alpine";
+  std::string spread_key;  ///< topology-spread group (OSU pod placement)
+};
+
+class SlingshotStack {
+ public:
+  /// One node's full software stack.
+  struct Node {
+    std::string name;
+    hsn::NicAddr nic = 0;
+    std::unique_ptr<linuxsim::Kernel> kernel;
+    std::unique_ptr<cxi::CxiDriver> driver;
+    std::unique_ptr<cri::ContainerRuntime> runtime;
+    std::unique_ptr<k8s::Kubelet> kubelet;
+    std::shared_ptr<CxiCniPlugin> cxi_cni;      ///< null if not installed
+    std::shared_ptr<cri::BridgeCni> bridge_cni;
+    linuxsim::Pid root_pid = 1;  ///< host init: privileged plane identity
+  };
+
+  /// A process running inside a pod ("kubectl exec" result).
+  struct PodHandle {
+    k8s::Uid pod_uid = k8s::kNoUid;
+    std::size_t node_index = 0;
+    linuxsim::Pid pid = 0;
+  };
+
+  explicit SlingshotStack(StackConfig config = {});
+  ~SlingshotStack();
+  SlingshotStack(const SlingshotStack&) = delete;
+  SlingshotStack& operator=(const SlingshotStack&) = delete;
+
+  // -- Accessors.
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] k8s::ApiServer& api() noexcept { return *api_; }
+  [[nodiscard]] hsn::Fabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] VniRegistry& registry() noexcept { return *registry_; }
+  [[nodiscard]] VniEndpoint& vni_endpoint() noexcept { return *endpoint_; }
+  [[nodiscard]] db::Database& database() noexcept { return *db_; }
+  [[nodiscard]] const StackConfig& config() const noexcept { return config_; }
+
+  // -- Workload submission.
+  Result<k8s::Uid> submit_job(const JobOptions& options);
+  Result<k8s::Uid> create_claim(const std::string& ns,
+                                const std::string& claim_name);
+  Status delete_claim(k8s::Uid uid);
+  Status delete_job(k8s::Uid uid);
+
+  // -- Driving virtual time.
+  void run_for(SimDuration d) { loop_.run_for(d); }
+  std::size_t run_until_idle() { return loop_.run_until_idle(); }
+  /// Steps the loop until `pred()` or `max_wait` virtual time elapses.
+  bool run_until(const std::function<bool()>& pred, SimDuration max_wait,
+                 SimDuration step = from_millis(20));
+
+  /// Waits for the job's first pod to reach Running ("actual job start").
+  bool wait_job_start(k8s::Uid job, SimDuration max_wait = 120 * kSecond);
+  bool wait_job_complete(k8s::Uid job, SimDuration max_wait = 120 * kSecond);
+  /// Waits until the job object has been fully removed.
+  bool wait_job_gone(k8s::Uid job, SimDuration max_wait = 120 * kSecond);
+
+  [[nodiscard]] std::vector<k8s::Pod> pods_of_job(k8s::Uid job) const;
+
+  // -- Data plane access for pod workloads.
+  Result<PodHandle> exec_in_pod(k8s::Uid pod_uid);
+  /// A libfabric-style domain bound to the handle's process — endpoint
+  /// creation through it is netns-authenticated by the node's driver.
+  Result<ofi::Domain> domain_for(const PodHandle& handle);
+
+  // -- Failure injection.
+  void set_vni_endpoint_available(bool up) {
+    endpoint_->set_available(up);
+  }
+
+ private:
+  StackConfig config_;
+  sim::EventLoop loop_;
+  Rng master_rng_;
+  std::unique_ptr<k8s::ApiServer> api_;
+  std::unique_ptr<hsn::Fabric> fabric_;
+  std::unique_ptr<db::Database> db_;
+  std::unique_ptr<VniRegistry> registry_;
+  std::unique_ptr<VniEndpoint> endpoint_;
+  std::unique_ptr<k8s::JobController> job_controller_;
+  std::unique_ptr<k8s::Scheduler> scheduler_;
+  std::unique_ptr<k8s::DecoratorController> vni_controller_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace shs::core

@@ -1,0 +1,30 @@
+// version.hpp — component versions of the (simulated) software stack.
+//
+// Reproduces Table I of the paper: the versions of every component in the
+// evaluated deployment.  Components marked "(netns-patched)" correspond
+// to the software the paper patched to support the Slingshot-K8s
+// integration (libfabric in Table I, plus the CXI driver/library).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shs::core {
+
+inline constexpr const char* kShsK8sVersion = "1.0.0";
+
+/// Rows of Table I, in paper order, plus this library itself.
+inline std::vector<std::pair<std::string, std::string>> stack_versions() {
+  return {
+      {"OpenSUSE (simulated host OS)", "15.5"},
+      {"k3s (mini control plane)", "v1.29.5-sim"},
+      {"libfabric (netns-patched)", "2.1.0-sim"},
+      {"Open MPI (mini-MPI pt2pt)", "5.0.7-sim"},
+      {"OSU Micro-Benchmarks", "7.3-sim"},
+      {"CXI driver (netns member type)", "1.0.0-sim"},
+      {"shsk8s (this reproduction)", kShsK8sVersion},
+  };
+}
+
+}  // namespace shs::core

@@ -1,0 +1,131 @@
+#include "core/vni_endpoint.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::core {
+
+namespace {
+constexpr const char* kTag = "vni-endpoint";
+}
+
+std::string VniEndpoint::job_owner_key(const k8s::Job& job) {
+  return strfmt("job/%s/%s#%llu", job.meta.ns.c_str(),
+                job.meta.name.c_str(),
+                static_cast<unsigned long long>(job.meta.uid));
+}
+
+std::string VniEndpoint::claim_owner_key(const std::string& ns,
+                                         const std::string& claim_name) {
+  return strfmt("claim/%s/%s", ns.c_str(), claim_name.c_str());
+}
+
+Result<std::vector<k8s::VniObject>> VniEndpoint::sync_job(
+    const k8s::Job& job) {
+  using R = Result<std::vector<k8s::VniObject>>;
+  if (!available_) return R(unavailable("VNI endpoint is down"));
+  ++counters_.sync_job;
+
+  const std::string ann = job.meta.annotation(k8s::kVniAnnotation);
+  if (ann.empty()) return std::vector<k8s::VniObject>{};
+
+  k8s::VniObject child;
+  child.meta.name = job.meta.name + "-vni";
+  child.meta.ns = job.meta.ns;
+  child.bound_kind = "Job";
+  child.bound_name = job.meta.name;
+  child.bound_uid = job.meta.uid;
+
+  if (ann == "true") {
+    // Per-Resource model: the job owns a fresh VNI.
+    auto vni = registry_.acquire(job_owner_key(job), loop_.now());
+    if (!vni.is_ok()) return R(vni.status());
+    ++counters_.acquisitions;
+    child.vni = vni.value();
+    child.virtual_instance = false;
+    SHS_DEBUG(kTag) << "sync_job " << job.meta.name << " -> VNI "
+                    << child.vni;
+    return std::vector<k8s::VniObject>{child};
+  }
+
+  // Claims model: the annotation names a VniClaim; the job becomes a user
+  // of the claim's VNI through a virtual (non-owning) instance.
+  auto vni = registry_.find_by_owner(claim_owner_key(job.meta.ns, ann));
+  if (!vni.is_ok()) {
+    return R(not_found(strfmt("no VNI claim '%s' in namespace %s",
+                              ann.c_str(), job.meta.ns.c_str())));
+  }
+  const Status add =
+      registry_.add_user(vni.value(), job_owner_key(job), loop_.now());
+  if (!add.is_ok()) return R(add);
+  child.vni = vni.value();
+  child.virtual_instance = true;
+  child.claim_name = ann;
+  return std::vector<k8s::VniObject>{child};
+}
+
+Result<bool> VniEndpoint::finalize_job(const k8s::Job& job) {
+  if (!available_) return Result<bool>(unavailable("VNI endpoint is down"));
+  ++counters_.finalize_job;
+
+  const std::string ann = job.meta.annotation(k8s::kVniAnnotation);
+  if (ann.empty()) return true;
+
+  if (ann == "true") {
+    const Status st = registry_.release(job_owner_key(job), loop_.now());
+    if (!st.is_ok()) return Result<bool>(st);
+    ++counters_.releases;
+    return true;
+  }
+  // Virtual instance: drop this job as a user of the claim's VNI.
+  auto vni = registry_.find_by_owner(claim_owner_key(job.meta.ns, ann));
+  if (!vni.is_ok()) return true;  // claim already gone; nothing to undo
+  const Status st =
+      registry_.remove_user(vni.value(), job_owner_key(job), loop_.now());
+  if (!st.is_ok()) return Result<bool>(st);
+  return true;
+}
+
+Result<std::vector<k8s::VniObject>> VniEndpoint::sync_claim(
+    const k8s::VniClaim& claim) {
+  using R = Result<std::vector<k8s::VniObject>>;
+  if (!available_) return R(unavailable("VNI endpoint is down"));
+  ++counters_.sync_claim;
+
+  const std::string owner =
+      claim_owner_key(claim.meta.ns, claim.spec.claim_name);
+  auto vni = registry_.acquire(owner, loop_.now());
+  if (!vni.is_ok()) return R(vni.status());
+  ++counters_.acquisitions;
+
+  k8s::VniObject child;
+  child.meta.name = claim.meta.name + "-vni";
+  child.meta.ns = claim.meta.ns;
+  child.vni = vni.value();
+  child.bound_kind = "VniClaim";
+  child.bound_name = claim.meta.name;
+  child.bound_uid = claim.meta.uid;
+  child.virtual_instance = false;
+  child.claim_name = claim.spec.claim_name;
+  return std::vector<k8s::VniObject>{child};
+}
+
+Result<bool> VniEndpoint::finalize_claim(const k8s::VniClaim& claim) {
+  if (!available_) return Result<bool>(unavailable("VNI endpoint is down"));
+  ++counters_.finalize_claim;
+
+  const std::string owner =
+      claim_owner_key(claim.meta.ns, claim.spec.claim_name);
+  auto vni = registry_.find_by_owner(owner);
+  if (!vni.is_ok()) return true;  // already released
+  if (!registry_.users(vni.value()).empty()) {
+    // Deletion only proceeds once every redeeming job is gone.
+    return false;
+  }
+  const Status st = registry_.release(owner, loop_.now());
+  if (!st.is_ok()) return Result<bool>(st);
+  ++counters_.releases;
+  return true;
+}
+
+}  // namespace shs::core

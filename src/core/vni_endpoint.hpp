@@ -1,0 +1,77 @@
+// vni_endpoint.hpp — the VNI Endpoint: webhook logic between the VNI
+// Controller (Metacontroller) and the VNI Database (Section III-C2).
+//
+// Implements the paper's /sync and /finalize semantics:
+//   * /sync for an owning resource (Per-Resource job with `vni: true`, or
+//     a VniClaim) acquires a VNI and returns the VNI CRD child to apply;
+//   * /sync for a claim-redeeming job (`vni: <claim-name>`) looks up the
+//     claim's VNI, registers the job as a *user* of it, and returns a
+//     "virtual" (non-owning) VNI CRD child — keeping the one-to-one
+//     mapping between VNI CRD instances and jobs;
+//   * /finalize releases the VNI (owning) or removes the user (virtual);
+//     claim finalization only succeeds once every user is gone.
+//
+// All DB work happens in single transactions via VniRegistry.  /sync is
+// idempotent (it may be called for both creation and update events).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/vni_registry.hpp"
+#include "k8s/objects.hpp"
+#include "sim/event_loop.hpp"
+#include "util/status.hpp"
+
+namespace shs::core {
+
+struct VniEndpointCounters {
+  std::uint64_t sync_job = 0;
+  std::uint64_t sync_claim = 0;
+  std::uint64_t finalize_job = 0;
+  std::uint64_t finalize_claim = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t releases = 0;
+};
+
+class VniEndpoint {
+ public:
+  VniEndpoint(VniRegistry& registry, sim::EventLoop& loop)
+      : registry_(registry), loop_(loop) {}
+
+  /// Availability injection: while false every request fails with
+  /// kUnavailable — jobs annotated with `vni` must then fail to launch
+  /// ("jobs annotated with that label will therefore only launch
+  /// successfully if the VNI service is running").
+  void set_available(bool up) noexcept { available_ = up; }
+  [[nodiscard]] bool available() const noexcept { return available_; }
+
+  /// /sync for a Job carrying the vni annotation.
+  Result<std::vector<k8s::VniObject>> sync_job(const k8s::Job& job);
+  /// /finalize for a Job.  True = cleanup complete.
+  Result<bool> finalize_job(const k8s::Job& job);
+  /// /sync for a VniClaim.
+  Result<std::vector<k8s::VniObject>> sync_claim(const k8s::VniClaim& claim);
+  /// /finalize for a VniClaim.  False while users remain (deletion
+  /// stalls, per the paper).
+  Result<bool> finalize_claim(const k8s::VniClaim& claim);
+
+  [[nodiscard]] const VniEndpointCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// DB owner key for a job ("job/<ns>/<name>#<uid>").
+  static std::string job_owner_key(const k8s::Job& job);
+  /// DB owner key for a claim name within a namespace.
+  static std::string claim_owner_key(const std::string& ns,
+                                     const std::string& claim_name);
+
+ private:
+  VniRegistry& registry_;
+  sim::EventLoop& loop_;
+  bool available_ = true;
+  VniEndpointCounters counters_;
+};
+
+}  // namespace shs::core

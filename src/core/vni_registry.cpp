@@ -1,0 +1,227 @@
+#include "core/vni_registry.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::core {
+
+namespace {
+constexpr const char* kTag = "vni-db";
+constexpr const char* kAllocTable = "vni_alloc";
+constexpr const char* kUsersTable = "vni_users";
+constexpr const char* kAuditTable = "audit_log";
+
+// vni_alloc columns.
+constexpr std::size_t kColVni = 0;
+constexpr std::size_t kColOwner = 1;
+constexpr std::size_t kColState = 2;      // "allocated" | "quarantine"
+constexpr std::size_t kColAcquired = 3;
+constexpr std::size_t kColReleased = 4;
+
+// vni_users columns.
+constexpr std::size_t kUColVni = 0;
+constexpr std::size_t kUColUser = 1;
+}  // namespace
+
+VniRegistry::VniRegistry(db::Database& database, VniRegistryConfig config)
+    : db_(database), config_(config) {
+  (void)db_.create_table(
+      {kAllocTable, {"vni", "owner", "state", "acquired_at", "released_at"}});
+  (void)db_.create_table({kUsersTable, {"vni", "user"}});
+  (void)db_.create_table({kAuditTable, {"ts", "op", "vni", "detail"}});
+}
+
+void VniRegistry::audit(db::Transaction& txn, SimTime now,
+                        const std::string& op, hsn::Vni vni,
+                        const std::string& detail) {
+  (void)txn.insert(kAuditTable,
+                   {static_cast<std::int64_t>(now), op,
+                    static_cast<std::int64_t>(vni), detail});
+}
+
+Result<hsn::Vni> VniRegistry::acquire(const std::string& owner, SimTime now) {
+  hsn::Vni granted = hsn::kInvalidVni;
+  const Status st = db_.with_transaction([&](db::Transaction& txn) -> Status {
+    auto rows = txn.scan(kAllocTable);
+    if (!rows.is_ok()) return rows.status();
+
+    std::set<hsn::Vni> in_use;
+    for (const auto& [id, row] : rows.value()) {
+      const auto vni = static_cast<hsn::Vni>(db::as_int(row[kColVni]));
+      const std::string& state = db::as_text(row[kColState]);
+      if (state == "allocated") {
+        if (db::as_text(row[kColOwner]) == owner) {
+          // Idempotent re-acquisition by the same owner (the /sync hook
+          // may fire for both create and update events).
+          granted = vni;
+          return Status::ok();
+        }
+        in_use.insert(vni);
+        continue;
+      }
+      // Quarantined: blocked until the window expires; expired rows are
+      // garbage-collected here, inside the same transaction.
+      const SimTime released = db::as_int(row[kColReleased]);
+      if (now - released < config_.quarantine) {
+        in_use.insert(vni);
+      } else {
+        SHS_RETURN_IF_ERROR(txn.erase(kAllocTable, id));
+      }
+    }
+
+    for (hsn::Vni v = config_.vni_min; v <= config_.vni_max; ++v) {
+      if (!in_use.contains(v)) {
+        granted = v;
+        break;
+      }
+    }
+    if (granted == hsn::kInvalidVni) {
+      return resource_exhausted("VNI pool exhausted");
+    }
+    auto ins = txn.insert(
+        kAllocTable,
+        {static_cast<std::int64_t>(granted), owner, std::string("allocated"),
+         static_cast<std::int64_t>(now), std::int64_t{0}});
+    if (!ins.is_ok()) return ins.status();
+    audit(txn, now, "acquire", granted, owner);
+    return Status::ok();
+  });
+  if (!st.is_ok()) return Result<hsn::Vni>(st);
+  return granted;
+}
+
+Status VniRegistry::release(const std::string& owner, SimTime now) {
+  return db_.with_transaction([&](db::Transaction& txn) -> Status {
+    auto rows = txn.scan(kAllocTable, [&](const db::Row& row) {
+      return db::as_text(row[kColOwner]) == owner &&
+             db::as_text(row[kColState]) == "allocated";
+    });
+    if (!rows.is_ok()) return rows.status();
+    if (rows.value().empty()) {
+      // Idempotent: releasing something already released/absent is OK —
+      // /finalize may run repeatedly.
+      return Status::ok();
+    }
+    for (const auto& [id, row] : rows.value()) {
+      db::Row updated = row;
+      updated[kColState] = std::string("quarantine");
+      updated[kColReleased] = static_cast<std::int64_t>(now);
+      SHS_RETURN_IF_ERROR(txn.update(kAllocTable, id, updated));
+      const auto vni = static_cast<hsn::Vni>(db::as_int(row[kColVni]));
+      // Any leftover user entries die with the allocation.
+      auto users_rows = txn.scan(kUsersTable, [&](const db::Row& u) {
+        return static_cast<hsn::Vni>(db::as_int(u[kUColVni])) == vni;
+      });
+      if (users_rows.is_ok()) {
+        for (const auto& [uid, urow] : users_rows.value()) {
+          SHS_RETURN_IF_ERROR(txn.erase(kUsersTable, uid));
+        }
+      }
+      audit(txn, now, "release", vni, owner);
+    }
+    return Status::ok();
+  });
+}
+
+Result<hsn::Vni> VniRegistry::find_by_owner(const std::string& owner) const {
+  auto rows = db_.snapshot(kAllocTable, [&](const db::Row& row) {
+    return db::as_text(row[kColOwner]) == owner &&
+           db::as_text(row[kColState]) == "allocated";
+  });
+  if (!rows.is_ok()) return Result<hsn::Vni>(rows.status());
+  if (rows.value().empty()) {
+    return Result<hsn::Vni>(not_found("no VNI for owner " + owner));
+  }
+  return static_cast<hsn::Vni>(db::as_int(rows.value().front().second[kColVni]));
+}
+
+Status VniRegistry::add_user(hsn::Vni vni, const std::string& user,
+                             SimTime now) {
+  return db_.with_transaction([&](db::Transaction& txn) -> Status {
+    // The VNI must be a live allocation.
+    auto alloc = txn.scan(kAllocTable, [&](const db::Row& row) {
+      return static_cast<hsn::Vni>(db::as_int(row[kColVni])) == vni &&
+             db::as_text(row[kColState]) == "allocated";
+    });
+    if (!alloc.is_ok()) return alloc.status();
+    if (alloc.value().empty()) {
+      return failed_precondition(strfmt("VNI %u is not allocated", vni));
+    }
+    auto existing = txn.scan(kUsersTable, [&](const db::Row& row) {
+      return static_cast<hsn::Vni>(db::as_int(row[kUColVni])) == vni &&
+             db::as_text(row[kUColUser]) == user;
+    });
+    if (!existing.is_ok()) return existing.status();
+    if (!existing.value().empty()) return Status::ok();  // idempotent
+    auto ins = txn.insert(kUsersTable,
+                          {static_cast<std::int64_t>(vni), user});
+    if (!ins.is_ok()) return ins.status();
+    audit(txn, now, "add_user", vni, user);
+    return Status::ok();
+  });
+}
+
+Status VniRegistry::remove_user(hsn::Vni vni, const std::string& user,
+                                SimTime now) {
+  return db_.with_transaction([&](db::Transaction& txn) -> Status {
+    auto existing = txn.scan(kUsersTable, [&](const db::Row& row) {
+      return static_cast<hsn::Vni>(db::as_int(row[kUColVni])) == vni &&
+             db::as_text(row[kUColUser]) == user;
+    });
+    if (!existing.is_ok()) return existing.status();
+    for (const auto& [id, row] : existing.value()) {
+      SHS_RETURN_IF_ERROR(txn.erase(kUsersTable, id));
+    }
+    if (!existing.value().empty()) {
+      audit(txn, now, "remove_user", vni, user);
+    }
+    return Status::ok();
+  });
+}
+
+std::vector<std::string> VniRegistry::users(hsn::Vni vni) const {
+  std::vector<std::string> out;
+  auto rows = db_.snapshot(kUsersTable, [&](const db::Row& row) {
+    return static_cast<hsn::Vni>(db::as_int(row[kUColVni])) == vni;
+  });
+  if (rows.is_ok()) {
+    for (const auto& [id, row] : rows.value()) {
+      out.push_back(db::as_text(row[kUColUser]));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t VniRegistry::allocated_count() const {
+  auto rows = db_.snapshot(kAllocTable, [](const db::Row& row) {
+    return db::as_text(row[kColState]) == "allocated";
+  });
+  return rows.is_ok() ? rows.value().size() : 0;
+}
+
+std::size_t VniRegistry::quarantined_count(SimTime now) const {
+  auto rows = db_.snapshot(kAllocTable, [&](const db::Row& row) {
+    return db::as_text(row[kColState]) == "quarantine" &&
+           now - db::as_int(row[kColReleased]) < config_.quarantine;
+  });
+  return rows.is_ok() ? rows.value().size() : 0;
+}
+
+std::vector<VniAuditRecord> VniRegistry::audit_log() const {
+  std::vector<VniAuditRecord> out;
+  auto rows = db_.snapshot(kAuditTable);
+  if (rows.is_ok()) {
+    for (const auto& [id, row] : rows.value()) {
+      out.push_back(VniAuditRecord{
+          db::as_int(row[0]), db::as_text(row[1]),
+          static_cast<hsn::Vni>(db::as_int(row[2])), db::as_text(row[3])});
+    }
+  }
+  return out;
+}
+
+}  // namespace shs::core

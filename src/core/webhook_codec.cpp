@@ -1,0 +1,376 @@
+#include "core/webhook_codec.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace shs::core::webhook {
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out = std::to_string(int_);
+      break;
+    case Kind::kString:
+      dump_string(str_, out);
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += arr_[i].dump();
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        dump_string(key, out);
+        out += ':';
+        out += value.dump();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (recursive descent)
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(
+                                    static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  [[nodiscard]] bool eof() { return pos >= text.size(); }
+  [[nodiscard]] char peek() { return text[pos]; }
+  bool consume(char c) {
+    skip_ws();
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  Result<Json> value() {
+    skip_ws();
+    if (eof()) return Result<Json>(invalid_argument("unexpected end"));
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null_value();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return number();
+    }
+    return Result<Json>(invalid_argument(
+        strfmt("unexpected character '%c' at %zu", c, pos)));
+  }
+
+  Result<Json> object() {
+    if (!consume('{')) return Result<Json>(invalid_argument("expected {"));
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      auto key = string_value();
+      if (!key.is_ok()) return key;
+      if (!consume(':')) return Result<Json>(invalid_argument("expected :"));
+      auto val = value();
+      if (!val.is_ok()) return val;
+      obj.emplace(key.value().as_string(), std::move(val).value());
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(obj));
+      return Result<Json>(invalid_argument("expected , or }"));
+    }
+  }
+
+  Result<Json> array() {
+    if (!consume('[')) return Result<Json>(invalid_argument("expected ["));
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      auto val = value();
+      if (!val.is_ok()) return val;
+      arr.push_back(std::move(val).value());
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(arr));
+      return Result<Json>(invalid_argument("expected , or ]"));
+    }
+  }
+
+  Result<Json> string_value() {
+    skip_ws();
+    if (eof() || peek() != '"') {
+      return Result<Json>(invalid_argument("expected string"));
+    }
+    ++pos;
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return Json(std::move(out));
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        out += text[pos++];
+        continue;
+      }
+      out += c;
+    }
+    return Result<Json>(invalid_argument("unterminated string"));
+  }
+
+  Result<Json> boolean() {
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      return Json(true);
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      return Json(false);
+    }
+    return Result<Json>(invalid_argument("bad literal"));
+  }
+
+  Result<Json> null_value() {
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return Json();
+    }
+    return Result<Json>(invalid_argument("bad literal"));
+  }
+
+  Result<Json> number() {
+    const std::size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      return Result<Json>(invalid_argument("bad number"));
+    }
+    return Json(static_cast<std::int64_t>(
+        std::stoll(text.substr(start, pos - start))));
+  }
+};
+
+}  // namespace
+
+Result<Json> Json::parse(const std::string& text) {
+  Parser p{text};
+  auto v = p.value();
+  if (!v.is_ok()) return v;
+  p.skip_ws();
+  if (!p.eof()) {
+    return Result<Json>(invalid_argument("trailing characters"));
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+
+namespace {
+
+Json encode_meta(const k8s::ObjectMeta& meta) {
+  JsonObject annotations;
+  for (const auto& [key, value] : meta.annotations) {
+    annotations.emplace(key, Json(value));
+  }
+  return Json(JsonObject{
+      {"name", Json(meta.name)},
+      {"namespace", Json(meta.ns)},
+      {"uid", Json(static_cast<std::int64_t>(meta.uid))},
+      {"annotations", Json(std::move(annotations))},
+      {"deletionRequested", Json(meta.deletion_requested)},
+  });
+}
+
+Result<k8s::ObjectMeta> decode_meta(const Json& j) {
+  k8s::ObjectMeta meta;
+  const Json* name = j.find("name");
+  const Json* ns = j.find("namespace");
+  const Json* uid = j.find("uid");
+  if (!name || !name->is_string() || !ns || !ns->is_string() || !uid ||
+      !uid->is_int()) {
+    return Result<k8s::ObjectMeta>(invalid_argument("bad metadata"));
+  }
+  meta.name = name->as_string();
+  meta.ns = ns->as_string();
+  meta.uid = static_cast<k8s::Uid>(uid->as_int());
+  if (const Json* ann = j.find("annotations"); ann && ann->is_object()) {
+    for (const auto& [key, value] : ann->as_object()) {
+      if (value.is_string()) meta.annotations.emplace(key, value.as_string());
+    }
+  }
+  if (const Json* del = j.find("deletionRequested");
+      del && del->is_bool()) {
+    meta.deletion_requested = del->as_bool();
+  }
+  return meta;
+}
+
+}  // namespace
+
+Json encode_job(const k8s::Job& job) {
+  return Json(JsonObject{
+      {"apiVersion", Json("batch/v1")},
+      {"kind", Json("Job")},
+      {"metadata", encode_meta(job.meta)},
+  });
+}
+
+Result<k8s::Job> decode_job(const Json& j) {
+  const Json* kind = j.find("kind");
+  if (!kind || !kind->is_string() || kind->as_string() != "Job") {
+    return Result<k8s::Job>(invalid_argument("not a Job"));
+  }
+  const Json* meta = j.find("metadata");
+  if (!meta) return Result<k8s::Job>(invalid_argument("missing metadata"));
+  auto m = decode_meta(*meta);
+  if (!m.is_ok()) return Result<k8s::Job>(m.status());
+  k8s::Job job;
+  job.meta = std::move(m).value();
+  return job;
+}
+
+Json encode_claim(const k8s::VniClaim& claim) {
+  return Json(JsonObject{
+      {"apiVersion", Json("v1")},
+      {"kind", Json("VniClaim")},
+      {"metadata", encode_meta(claim.meta)},
+      {"spec", Json(JsonObject{{"name", Json(claim.spec.claim_name)}})},
+  });
+}
+
+Result<k8s::VniClaim> decode_claim(const Json& j) {
+  const Json* kind = j.find("kind");
+  if (!kind || !kind->is_string() || kind->as_string() != "VniClaim") {
+    return Result<k8s::VniClaim>(invalid_argument("not a VniClaim"));
+  }
+  const Json* meta = j.find("metadata");
+  if (!meta) {
+    return Result<k8s::VniClaim>(invalid_argument("missing metadata"));
+  }
+  auto m = decode_meta(*meta);
+  if (!m.is_ok()) return Result<k8s::VniClaim>(m.status());
+  k8s::VniClaim claim;
+  claim.meta = std::move(m).value();
+  if (const Json* spec = j.find("spec")) {
+    if (const Json* n = spec->find("name"); n && n->is_string()) {
+      claim.spec.claim_name = n->as_string();
+    }
+  }
+  return claim;
+}
+
+Json encode_children(const std::vector<k8s::VniObject>& children) {
+  JsonArray arr;
+  arr.reserve(children.size());
+  for (const k8s::VniObject& child : children) {
+    arr.push_back(Json(JsonObject{
+        {"apiVersion", Json("v1")},
+        {"kind", Json("Vni")},
+        {"metadata", encode_meta(child.meta)},
+        {"spec",
+         Json(JsonObject{
+             {"vni", Json(static_cast<std::int64_t>(child.vni))},
+             {"boundKind", Json(child.bound_kind)},
+             {"boundName", Json(child.bound_name)},
+             {"boundUid", Json(static_cast<std::int64_t>(child.bound_uid))},
+             {"virtual", Json(child.virtual_instance)},
+             {"claimName", Json(child.claim_name)},
+         })},
+    }));
+  }
+  return Json(JsonObject{{"attachments", Json(std::move(arr))}});
+}
+
+Result<std::vector<k8s::VniObject>> decode_children(const Json& j) {
+  using R = Result<std::vector<k8s::VniObject>>;
+  const Json* attachments = j.find("attachments");
+  if (!attachments || !attachments->is_array()) {
+    return R(invalid_argument("missing attachments"));
+  }
+  std::vector<k8s::VniObject> out;
+  for (const Json& item : attachments->as_array()) {
+    const Json* meta = item.find("metadata");
+    const Json* spec = item.find("spec");
+    if (!meta || !spec) return R(invalid_argument("bad attachment"));
+    auto m = decode_meta(*meta);
+    if (!m.is_ok()) return R(m.status());
+    k8s::VniObject v;
+    v.meta = std::move(m).value();
+    const Json* vni = spec->find("vni");
+    if (!vni || !vni->is_int()) return R(invalid_argument("missing vni"));
+    v.vni = static_cast<hsn::Vni>(vni->as_int());
+    if (const Json* f = spec->find("boundKind"); f && f->is_string()) {
+      v.bound_kind = f->as_string();
+    }
+    if (const Json* f = spec->find("boundName"); f && f->is_string()) {
+      v.bound_name = f->as_string();
+    }
+    if (const Json* f = spec->find("boundUid"); f && f->is_int()) {
+      v.bound_uid = static_cast<k8s::Uid>(f->as_int());
+    }
+    if (const Json* f = spec->find("virtual"); f && f->is_bool()) {
+      v.virtual_instance = f->as_bool();
+    }
+    if (const Json* f = spec->find("claimName"); f && f->is_string()) {
+      v.claim_name = f->as_string();
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Json encode_finalized(bool finalized) {
+  return Json(JsonObject{{"finalized", Json(finalized)}});
+}
+
+Result<bool> decode_finalized(const Json& j) {
+  const Json* f = j.find("finalized");
+  if (!f || !f->is_bool()) {
+    return Result<bool>(invalid_argument("missing finalized"));
+  }
+  return f->as_bool();
+}
+
+}  // namespace shs::core::webhook

@@ -1,0 +1,101 @@
+// webhook_codec.hpp — wire format for the Metacontroller <-> VNI Endpoint
+// webhooks.
+//
+// In the real system the VNI Endpoint is an HTTP service: Metacontroller
+// POSTs a JSON description of the observed object to /sync or /finalize
+// and receives the desired child objects (or finalization status) as a
+// JSON response (Section III-C2, "apply semantics").  To keep that
+// serialization boundary honest — controllers must not share pointers
+// with the endpoint — this codec round-trips the request/response types
+// through a compact JSON subset (objects, arrays, strings, integers,
+// booleans; no floats, no escapes beyond \" and \\, which is all the VNI
+// schema needs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "k8s/objects.hpp"
+#include "util/status.hpp"
+
+namespace shs::core::webhook {
+
+// -- Minimal JSON value model ------------------------------------------------
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value (subset: null / bool / int64 / string / array / object).
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                  // NOLINT
+  Json(std::int64_t i) : kind_(Kind::kInt), int_(i) {}            // NOLINT
+  Json(std::uint64_t u)                                           // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(u)) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}          // NOLINT
+  Json(JsonArray a) : kind_(Kind::kArray), arr_(std::move(a)) {}  // NOLINT
+  Json(JsonObject o) : kind_(Kind::kObject), obj_(std::move(o)) {}  // NOLINT
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_int() const { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const JsonArray& as_array() const { return arr_; }
+  [[nodiscard]] const JsonObject& as_object() const { return obj_; }
+
+  /// Object member access; null Json if absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+  }
+
+  /// Serializes to a compact JSON string.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parses `text`; kInvalidArgument on malformed input.
+  static Result<Json> parse(const std::string& text);
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kInt, kString, kArray, kObject
+  };
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+// -- Webhook payloads ---------------------------------------------------------
+
+/// Serializes a Job into the /sync request body ("the controller calls
+/// webhooks with information about an observed event").
+Json encode_job(const k8s::Job& job);
+Result<k8s::Job> decode_job(const Json& j);
+
+Json encode_claim(const k8s::VniClaim& claim);
+Result<k8s::VniClaim> decode_claim(const Json& j);
+
+/// Serializes the desired children of a /sync response.
+Json encode_children(const std::vector<k8s::VniObject>& children);
+Result<std::vector<k8s::VniObject>> decode_children(const Json& j);
+
+/// /finalize response: {"finalized": bool}.
+Json encode_finalized(bool finalized);
+Result<bool> decode_finalized(const Json& j);
+
+}  // namespace shs::core::webhook

@@ -1,0 +1,45 @@
+#include "cri/bridge_cni.hpp"
+
+#include "util/strings.hpp"
+
+namespace shs::cri {
+
+Result<CniAddResult> BridgeCni::add(const CniContext& ctx) {
+  if (!ctx.netns) {
+    return Result<CniAddResult>(
+        invalid_argument("bridge CNI: no container netns"));
+  }
+  const std::string veth_in = "eth0";
+  // Host-side name derives from the FULL container id: truncation would
+  // collide across pods with common name prefixes.
+  const std::string veth_out = strfmt("veth-%s", ctx.container_id.c_str());
+  // Idempotency: a retry of the chain must not fail on the existing pair.
+  if (!ctx.netns->has_device(veth_in)) {
+    if (Status st = ctx.netns->attach_device(veth_in); !st.is_ok()) {
+      return Result<CniAddResult>(std::move(st));
+    }
+    if (Status st = kernel_.host_net_ns()->attach_device(veth_out);
+        !st.is_ok()) {
+      return Result<CniAddResult>(std::move(st));
+    }
+    ++veths_created_;
+  }
+  CniAddResult out;
+  out.interfaces = {veth_in, veth_out};
+  out.cost = static_cast<SimDuration>(
+      static_cast<double>(params_.bridge_cni_add_cost) *
+      rng_.jitter(params_.jitter_amplitude));
+  return out;
+}
+
+Result<SimDuration> BridgeCni::del(const CniContext& ctx) {
+  const std::string veth_out = strfmt("veth-%s", ctx.container_id.c_str());
+  // Best-effort, idempotent: interfaces may already be gone.
+  if (ctx.netns) (void)ctx.netns->detach_device("eth0");
+  (void)kernel_.host_net_ns()->detach_device(veth_out);
+  return static_cast<SimDuration>(
+      static_cast<double>(params_.bridge_cni_del_cost) *
+      rng_.jitter(params_.jitter_amplitude));
+}
+
+}  // namespace shs::cri

@@ -1,0 +1,37 @@
+// bridge_cni.hpp — the baseline overlay plugin (Flannel/Cilium stand-in).
+//
+// Creates a veth pair: one end in the container netns, the other on the
+// node bridge in the host netns.  Exists so the CXI plugin genuinely runs
+// *chained* after another plugin, and to model classic-overlay costs.
+#pragma once
+
+#include <cstdint>
+
+#include "cri/cni.hpp"
+#include "k8s/params.hpp"
+#include "util/rng.hpp"
+
+namespace shs::cri {
+
+class BridgeCni final : public CniPlugin {
+ public:
+  BridgeCni(linuxsim::Kernel& kernel, const k8s::K8sParams& params, Rng rng)
+      : kernel_(kernel), params_(params), rng_(rng) {}
+
+  [[nodiscard]] std::string name() const override { return "bridge"; }
+
+  Result<CniAddResult> add(const CniContext& ctx) override;
+  Result<SimDuration> del(const CniContext& ctx) override;
+
+  [[nodiscard]] std::uint64_t veths_created() const noexcept {
+    return veths_created_;
+  }
+
+ private:
+  linuxsim::Kernel& kernel_;
+  const k8s::K8sParams& params_;
+  Rng rng_;
+  std::uint64_t veths_created_ = 0;
+};
+
+}  // namespace shs::cri

@@ -1,0 +1,60 @@
+// cni.hpp — Container Network Interface plugin model (Section II-D).
+//
+// CNI plugins are invoked by the container runtime with elevated
+// permissions while a container is being created (ADD) or torn down
+// (DEL).  Chained plugins see the result of the previous plugin and may
+// extend it — the paper's CXI plugin is chained after a classic overlay
+// plugin (Flannel/Cilium in production; `BridgeCni` here).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "k8s/objects.hpp"
+#include "linuxsim/kernel.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace shs::cri {
+
+/// Everything a plugin learns about the container under construction.
+/// Mirrors the CNI spec's runtime config + the Kubernetes pod coordinates
+/// the CXI plugin needs to query the management plane.
+struct CniContext {
+  std::string container_id;
+  std::string pod_name;
+  std::string pod_ns;
+  k8s::Uid pod_uid = k8s::kNoUid;
+  k8s::Uid owner_job_uid = k8s::kNoUid;
+  std::map<std::string, std::string> annotations;
+  linuxsim::NetNsInode netns_inode = 0;
+  std::shared_ptr<linuxsim::NetNamespace> netns;
+  int termination_grace_s = 30;
+  /// Result of previously-run plugins in the chain (interface names).
+  std::vector<std::string> prev_interfaces;
+};
+
+/// Outcome of a plugin's ADD.
+struct CniAddResult {
+  std::vector<std::string> interfaces;  ///< interfaces this plugin added
+  hsn::Vni vni = hsn::kInvalidVni;      ///< VNI granted (CXI plugin only)
+  SimDuration cost = 0;                 ///< modeled plugin execution time
+};
+
+/// One plugin in the chain.
+class CniPlugin {
+ public:
+  virtual ~CniPlugin() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// ADD: attach networking.  kUnavailable means "retry later" (the pod
+  /// must not launch yet).  Must be idempotent: the runtime re-runs the
+  /// whole chain on retry.
+  virtual Result<CniAddResult> add(const CniContext& ctx) = 0;
+  /// DEL: release networking.  Must be idempotent and safe to call even
+  /// if ADD never succeeded (per the CNI spec).
+  virtual Result<SimDuration> del(const CniContext& ctx) = 0;
+};
+
+}  // namespace shs::cri

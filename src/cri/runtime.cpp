@@ -1,0 +1,174 @@
+#include "cri/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::cri {
+
+namespace {
+constexpr const char* kTag = "cri";
+}
+
+ContainerRuntime::ContainerRuntime(linuxsim::Kernel& kernel, std::string node,
+                                   const k8s::K8sParams& params, Rng rng)
+    : kernel_(kernel), node_(std::move(node)), params_(params), rng_(rng) {
+  registry_.local_pull_cost = params_.image_pull_cost;
+  registry_.remote_pull_cost = params_.image_pull_cost * 25;
+}
+
+void ContainerRuntime::add_cni_plugin(std::shared_ptr<CniPlugin> plugin) {
+  chain_.push_back(std::move(plugin));
+}
+
+CniContext ContainerRuntime::make_context(const k8s::Pod& pod,
+                                          const Sandbox& sb) const {
+  CniContext ctx;
+  ctx.container_id = strfmt("%s-%llu", pod.meta.name.c_str(),
+                            static_cast<unsigned long long>(pod.meta.uid));
+  ctx.pod_name = pod.meta.name;
+  ctx.pod_ns = pod.meta.ns;
+  ctx.pod_uid = pod.meta.uid;
+  ctx.owner_job_uid = pod.meta.owner_uid;
+  ctx.annotations = pod.meta.annotations;
+  ctx.netns = sb.netns;
+  ctx.netns_inode = sb.netns ? sb.netns->inode() : 0;
+  ctx.termination_grace_s = pod.spec.termination_grace_s;
+  return ctx;
+}
+
+Result<k8s::SandboxInfo> ContainerRuntime::create_sandbox(
+    const k8s::Pod& pod) {
+  if (sandboxes_.contains(pod.meta.uid)) {
+    // Idempotent: the kubelet may retry after a mid-pipeline failure.
+    const Sandbox& sb = sandboxes_[pod.meta.uid];
+    return k8s::SandboxInfo{sb.netns->inode(), jittered(kMillisecond)};
+  }
+  Sandbox sb;
+  sb.netns = kernel_.create_net_namespace(
+      strfmt("pod-%s", pod.meta.name.c_str()));
+  // Container user namespace: root (0) inside maps to an unprivileged
+  // host range.  This is what makes in-container setuid() harmless to the
+  // host yet fatal for UID-based CXI authentication (Section III).
+  const linuxsim::Uid base = next_host_uid_base_;
+  next_host_uid_base_ += 65'536;
+  sb.userns = kernel_.create_user_namespace(
+      {{0, base, 65'536}}, {{0, base, 65'536}});
+  sb.pause_pid =
+      kernel_.spawn({linuxsim::Credentials{0, 0}, sb.userns, sb.netns})->pid();
+  sandboxes_.emplace(pod.meta.uid, sb);
+  SHS_DEBUG(kTag) << node_ << ": sandbox for " << pod.meta.name << " netns "
+                  << sb.netns->inode();
+  return k8s::SandboxInfo{sb.netns->inode(),
+                          jittered(params_.sandbox_create_cost)};
+}
+
+Result<k8s::CniAddInfo> ContainerRuntime::attach_networks(
+    const k8s::Pod& pod) {
+  const auto it = sandboxes_.find(pod.meta.uid);
+  if (it == sandboxes_.end()) {
+    return Result<k8s::CniAddInfo>(
+        failed_precondition("attach_networks before create_sandbox"));
+  }
+  Sandbox& sb = it->second;
+  CniContext ctx = make_context(pod, sb);
+  k8s::CniAddInfo info;
+  for (const auto& plugin : chain_) {
+    auto r = plugin->add(ctx);
+    if (!r.is_ok()) {
+      // kUnavailable propagates: the kubelet retries the whole chain,
+      // which is why every plugin's ADD must be idempotent.
+      return Result<k8s::CniAddInfo>(r.status());
+    }
+    for (const auto& iface : r.value().interfaces) {
+      ctx.prev_interfaces.push_back(iface);
+    }
+    if (r.value().vni != hsn::kInvalidVni) info.vni = r.value().vni;
+    info.cost += r.value().cost;
+  }
+  sb.networks_attached = true;
+  sb.vni = info.vni;
+  return info;
+}
+
+Result<SimDuration> ContainerRuntime::pull_image(const k8s::Pod& pod) {
+  const SimDuration base = registry_.is_local(pod.spec.image)
+                               ? registry_.local_pull_cost
+                               : registry_.remote_pull_cost;
+  return jittered(base);
+}
+
+Result<SimDuration> ContainerRuntime::start_container(const k8s::Pod& pod) {
+  const auto it = sandboxes_.find(pod.meta.uid);
+  if (it == sandboxes_.end()) {
+    return Result<SimDuration>(
+        failed_precondition("start_container before create_sandbox"));
+  }
+  Sandbox& sb = it->second;
+  if (sb.container_pid == 0) {
+    sb.container_pid =
+        kernel_.spawn({linuxsim::Credentials{0, 0}, sb.userns, sb.netns})
+            ->pid();
+  }
+  return jittered(params_.container_start_cost);
+}
+
+Result<SimDuration> ContainerRuntime::stop_container(const k8s::Pod& pod,
+                                                     SimDuration grace) {
+  const auto it = sandboxes_.find(pod.meta.uid);
+  if (it == sandboxes_.end()) return jittered(kMillisecond);
+  Sandbox& sb = it->second;
+  if (sb.container_pid != 0) {
+    (void)kernel_.kill(sb.container_pid);
+    sb.container_pid = 0;
+  }
+  // An exited container stops instantly; a live one pays the stop cost,
+  // never more than the grace period.
+  const SimDuration cost =
+      std::min<SimDuration>(jittered(params_.container_stop_cost), grace);
+  return cost;
+}
+
+Result<SimDuration> ContainerRuntime::detach_networks(const k8s::Pod& pod) {
+  const auto it = sandboxes_.find(pod.meta.uid);
+  if (it == sandboxes_.end()) return jittered(kMillisecond);
+  Sandbox& sb = it->second;
+  CniContext ctx = make_context(pod, sb);
+  SimDuration total = 0;
+  // DEL runs in reverse chain order, per the CNI spec.
+  for (auto pit = chain_.rbegin(); pit != chain_.rend(); ++pit) {
+    auto r = (*pit)->del(ctx);
+    if (r.is_ok()) total += r.value();
+  }
+  sb.networks_attached = false;
+  return total;
+}
+
+Result<SimDuration> ContainerRuntime::destroy_sandbox(const k8s::Pod& pod) {
+  const auto it = sandboxes_.find(pod.meta.uid);
+  if (it == sandboxes_.end()) return jittered(kMillisecond);
+  Sandbox& sb = it->second;
+  if (sb.container_pid != 0) (void)kernel_.kill(sb.container_pid);
+  if (sb.pause_pid != 0) (void)kernel_.kill(sb.pause_pid);
+  sandboxes_.erase(it);
+  return jittered(params_.sandbox_teardown_cost);
+}
+
+const Sandbox* ContainerRuntime::sandbox(k8s::Uid uid) const {
+  const auto it = sandboxes_.find(uid);
+  return it == sandboxes_.end() ? nullptr : &it->second;
+}
+
+Result<linuxsim::Pid> ContainerRuntime::exec_in_pod(k8s::Uid uid) {
+  const auto it = sandboxes_.find(uid);
+  if (it == sandboxes_.end()) {
+    return Result<linuxsim::Pid>(not_found("no sandbox for pod"));
+  }
+  return kernel_
+      .spawn({linuxsim::Credentials{0, 0}, it->second.userns,
+              it->second.netns})
+      ->pid();
+}
+
+}  // namespace shs::cri

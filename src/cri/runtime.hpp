@@ -1,0 +1,98 @@
+// runtime.hpp — per-node container runtime (containerd stand-in).
+//
+// Owns the node's sandboxes: each pod gets a fresh network namespace and a
+// user namespace (container root maps to an unprivileged host UID — the
+// precondition of the paper's UID-spoof concern), a pause process, and a
+// container process.  Runs the CNI plugin chain on ADD/DEL.  Implements
+// k8s::PodRuntime so the kubelet can drive it stage by stage.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cri/cni.hpp"
+#include "k8s/params.hpp"
+#include "k8s/pod_runtime.hpp"
+#include "linuxsim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace shs::cri {
+
+/// Image registry model: the paper pulls `alpine` from a local Harbor
+/// registry to keep pull time out of the measurement; unknown images pay
+/// a (much) larger remote-pull cost.
+struct RegistryModel {
+  SimDuration local_pull_cost;
+  SimDuration remote_pull_cost;
+  std::vector<std::string> local_images{"alpine", "osu-bench", "pause"};
+
+  [[nodiscard]] bool is_local(const std::string& image) const {
+    for (const auto& i : local_images) {
+      if (i == image) return true;
+    }
+    return false;
+  }
+};
+
+/// State of one pod sandbox on this node.
+struct Sandbox {
+  std::shared_ptr<linuxsim::NetNamespace> netns;
+  std::shared_ptr<linuxsim::UserNamespace> userns;
+  linuxsim::Pid pause_pid = 0;
+  linuxsim::Pid container_pid = 0;
+  bool networks_attached = false;
+  hsn::Vni vni = hsn::kInvalidVni;
+};
+
+class ContainerRuntime final : public k8s::PodRuntime {
+ public:
+  ContainerRuntime(linuxsim::Kernel& kernel, std::string node,
+                   const k8s::K8sParams& params, Rng rng);
+
+  /// Appends a plugin to the CNI chain (invocation order = append order).
+  void add_cni_plugin(std::shared_ptr<CniPlugin> plugin);
+
+  // -- k8s::PodRuntime.
+  Result<k8s::SandboxInfo> create_sandbox(const k8s::Pod& pod) override;
+  Result<k8s::CniAddInfo> attach_networks(const k8s::Pod& pod) override;
+  Result<SimDuration> pull_image(const k8s::Pod& pod) override;
+  Result<SimDuration> start_container(const k8s::Pod& pod) override;
+  Result<SimDuration> stop_container(const k8s::Pod& pod,
+                                     SimDuration grace) override;
+  Result<SimDuration> detach_networks(const k8s::Pod& pod) override;
+  Result<SimDuration> destroy_sandbox(const k8s::Pod& pod) override;
+
+  // -- Introspection for tests / examples.
+
+  /// The sandbox of pod `uid`, or nullptr.
+  [[nodiscard]] const Sandbox* sandbox(k8s::Uid uid) const;
+  /// Spawns an extra process inside the pod's namespaces ("kubectl exec")
+  /// and returns its pid.  Processes run as the container-root UID inside
+  /// the pod's user namespace.
+  Result<linuxsim::Pid> exec_in_pod(k8s::Uid uid);
+  [[nodiscard]] linuxsim::Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] std::size_t sandbox_count() const { return sandboxes_.size(); }
+
+  RegistryModel& registry() noexcept { return registry_; }
+
+ private:
+  CniContext make_context(const k8s::Pod& pod, const Sandbox& sb) const;
+  SimDuration jittered(SimDuration d) {
+    return static_cast<SimDuration>(static_cast<double>(d) *
+                                    rng_.jitter(params_.jitter_amplitude));
+  }
+
+  linuxsim::Kernel& kernel_;
+  std::string node_;
+  const k8s::K8sParams& params_;
+  Rng rng_;
+  RegistryModel registry_;
+  std::vector<std::shared_ptr<CniPlugin>> chain_;
+  std::map<k8s::Uid, Sandbox> sandboxes_;
+  /// Host UID base for user-namespace mappings (one range per sandbox).
+  linuxsim::Uid next_host_uid_base_ = 100'000;
+};
+
+}  // namespace shs::cri

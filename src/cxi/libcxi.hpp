@@ -1,0 +1,68 @@
+// libcxi.hpp — userspace CXI library (simulated `libcxi`).
+//
+// Applications never talk to the driver directly; they open the CXI
+// character device and go through libcxi, which the paper patches to carry
+// the netns member type.  A `LibCxi` instance is bound to one process (the
+// way an open device fd is) so every call authenticates as that process.
+#pragma once
+
+#include <optional>
+
+#include "cxi/driver.hpp"
+#include "cxi/service.hpp"
+#include "linuxsim/kernel.hpp"
+
+namespace shs::cxi {
+
+/// Per-process handle to the node's CXI device.
+class LibCxi {
+ public:
+  /// Opens the device for `pid` (must be a live process on the node's
+  /// kernel).  Mirrors `cxil_open_device`.
+  LibCxi(CxiDriver& driver, linuxsim::Pid pid) noexcept
+      : driver_(&driver), pid_(pid) {}
+
+  [[nodiscard]] linuxsim::Pid pid() const noexcept { return pid_; }
+
+  // -- Service management (privileged; mirrors cxil_alloc_svc etc.).
+
+  Result<SvcId> alloc_svc(CxiServiceDesc desc) {
+    return driver_->svc_alloc(pid_, std::move(desc));
+  }
+  Status destroy_svc(SvcId id) { return driver_->svc_destroy(pid_, id); }
+  Status destroy_svc_force(SvcId id) {
+    return driver_->svc_destroy_force(pid_, id);
+  }
+  Result<CxiServiceDesc> get_svc(SvcId id) const {
+    return driver_->svc_get(id);
+  }
+  [[nodiscard]] std::vector<CxiServiceDesc> list_svcs() const {
+    return driver_->svc_list();
+  }
+
+  // -- Endpoint allocation (the authenticated operation).
+
+  /// Allocates an RDMA endpoint on `vni`.  If `svc` is given the request
+  /// authenticates against that service; otherwise libcxi scans all
+  /// services for one that admits the caller (Section II-C: "checks
+  /// whether any CXI service exists that (1) lists the requesting user as
+  /// an authorized member, and (2) is authorized to use the requested
+  /// VNIs").
+  Result<CxiEndpoint> alloc_endpoint(
+      hsn::Vni vni,
+      hsn::TrafficClass tc = hsn::TrafficClass::kBestEffort,
+      std::optional<SvcId> svc = std::nullopt) {
+    if (svc.has_value()) return driver_->ep_alloc(pid_, *svc, vni, tc);
+    return driver_->ep_alloc_any_svc(pid_, vni, tc);
+  }
+
+  Status free_endpoint(const CxiEndpoint& ep) {
+    return driver_->ep_free(pid_, ep);
+  }
+
+ private:
+  CxiDriver* driver_;
+  linuxsim::Pid pid_;
+};
+
+}  // namespace shs::cxi

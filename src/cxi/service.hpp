@@ -1,0 +1,77 @@
+// service.hpp — CXI service descriptors (Section II-C / III-A).
+//
+// A CXI service (SVC) is the driver-side object that grants members access
+// to a set of VNIs and bounds their NIC resource usage.  The stock driver
+// knows UID and GID members; the paper adds the NETNS member type, keyed
+// by the network-namespace inode of the calling process — an identifier
+// the kernel assigns and userspace cannot forge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hsn/types.hpp"
+
+namespace shs::cxi {
+
+using SvcId = std::uint32_t;
+constexpr SvcId kInvalidSvc = 0;
+/// The always-present default service (unrestricted; used by legacy
+/// single-tenant deployments and by the paper's vni:false baseline runs).
+constexpr SvcId kDefaultSvcId = 1;
+/// The VNI the default service exposes ("globally accessible VNI").
+constexpr hsn::Vni kDefaultVni = 1;
+
+/// Service member types.  kNetNs is the paper's extension.
+enum class MemberType : std::uint8_t {
+  kUid = 0,
+  kGid = 1,
+  kNetNs = 2,  ///< authenticate by network-namespace inode
+};
+
+struct SvcMember {
+  MemberType type = MemberType::kUid;
+  /// UID, GID, or netns inode depending on `type`.
+  std::uint64_t id = 0;
+
+  friend bool operator==(const SvcMember&, const SvcMember&) = default;
+};
+
+/// Per-service NIC resource bounds ("limit the use of communication
+/// resources, such as transmission or event queues").
+struct SvcResourceLimits {
+  std::uint32_t max_endpoints = 16;
+  std::uint32_t max_tx_queues = 64;
+  std::uint32_t max_event_queues = 64;
+  std::uint32_t max_memory_regions = 256;
+};
+
+/// Full descriptor of one CXI service.
+struct CxiServiceDesc {
+  SvcId id = kInvalidSvc;       ///< assigned by the driver at alloc
+  std::string name;             ///< diagnostic label (e.g. the pod name)
+  bool enabled = true;
+  /// When false, *any* caller matches (the default service).  When true,
+  /// the caller must match one of `members`.
+  bool restricted_members = true;
+  /// When false, any VNI may be requested through this service.
+  bool restricted_vnis = true;
+  std::vector<SvcMember> members;
+  std::vector<hsn::Vni> vnis;
+  std::vector<hsn::TrafficClass> traffic_classes{
+      hsn::TrafficClass::kDedicatedAccess, hsn::TrafficClass::kLowLatency,
+      hsn::TrafficClass::kBulkData, hsn::TrafficClass::kBestEffort};
+  SvcResourceLimits limits;
+};
+
+/// Handle returned by endpoint allocation through the driver.
+struct CxiEndpoint {
+  hsn::EndpointId ep = 0;
+  hsn::NicAddr nic = hsn::kInvalidNic;
+  hsn::Vni vni = hsn::kInvalidVni;
+  hsn::TrafficClass tc = hsn::TrafficClass::kBestEffort;
+  SvcId svc = kInvalidSvc;
+};
+
+}  // namespace shs::cxi

@@ -1,0 +1,287 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::db {
+
+namespace {
+constexpr const char* kTag = "db";
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+
+Transaction::Transaction(Database& database)
+    : db_(database), lock_(database.write_mutex_) {}
+
+Transaction::~Transaction() {
+  if (active_) rollback();
+}
+
+Result<RowId> Transaction::insert(const std::string& table, Row row) {
+  if (!active_) return Result<RowId>(failed_precondition("txn closed"));
+  const auto it = db_.tables_.find(table);
+  if (it == db_.tables_.end()) {
+    return Result<RowId>(not_found(strfmt("no table %s", table.c_str())));
+  }
+  if (row.size() != it->second.schema.columns.size()) {
+    return Result<RowId>(invalid_argument(
+        strfmt("table %s expects %zu columns, got %zu", table.c_str(),
+               it->second.schema.columns.size(), row.size())));
+  }
+  // IDs are allocated eagerly under the writer lock; a rollback burns
+  // them, which matches "rowids are never reused".
+  const RowId id = it->second.next_id++;
+  ops_.push_back(Op{Op::Kind::kInsert, table, id, std::move(row)});
+  return id;
+}
+
+Status Transaction::update(const std::string& table, RowId id, Row row) {
+  if (!active_) return failed_precondition("txn closed");
+  auto current = get(table, id);
+  if (!current.is_ok()) return current.status();
+  ops_.push_back(Op{Op::Kind::kUpdate, table, id, std::move(row)});
+  return Status::ok();
+}
+
+Status Transaction::erase(const std::string& table, RowId id) {
+  if (!active_) return failed_precondition("txn closed");
+  auto current = get(table, id);
+  if (!current.is_ok()) return current.status();
+  ops_.push_back(Op{Op::Kind::kErase, table, id, {}});
+  return Status::ok();
+}
+
+Result<Row> Transaction::get(const std::string& table, RowId id) const {
+  if (!active_) return Result<Row>(failed_precondition("txn closed"));
+  // Own-writes overlay: newest buffered op for (table, id) wins.
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (it->table == table && it->id == id) {
+      if (it->kind == Op::Kind::kErase) {
+        return Result<Row>(not_found(strfmt("row %llu erased in txn",
+                                            static_cast<unsigned long long>(id))));
+      }
+      return it->row;
+    }
+  }
+  const auto t = db_.tables_.find(table);
+  if (t == db_.tables_.end()) {
+    return Result<Row>(not_found(strfmt("no table %s", table.c_str())));
+  }
+  const auto r = t->second.rows.find(id);
+  if (r == t->second.rows.end()) {
+    return Result<Row>(not_found(strfmt("no row %llu in %s",
+                                        static_cast<unsigned long long>(id),
+                                        table.c_str())));
+  }
+  return r->second;
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Transaction::scan(
+    const std::string& table,
+    const std::function<bool(const Row&)>& pred) const {
+  if (!active_) {
+    return Result<std::vector<std::pair<RowId, Row>>>(
+        failed_precondition("txn closed"));
+  }
+  const auto t = db_.tables_.find(table);
+  if (t == db_.tables_.end()) {
+    return Result<std::vector<std::pair<RowId, Row>>>(
+        not_found(strfmt("no table %s", table.c_str())));
+  }
+  // Materialize committed rows, overlay buffered ops in order.
+  std::map<RowId, Row> view = t->second.rows;
+  for (const Op& op : ops_) {
+    if (op.table != table) continue;
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+      case Op::Kind::kUpdate:
+        view[op.id] = op.row;
+        break;
+      case Op::Kind::kErase:
+        view.erase(op.id);
+        break;
+    }
+  }
+  std::vector<std::pair<RowId, Row>> out;
+  for (auto& [id, row] : view) {
+    if (!pred || pred(row)) out.emplace_back(id, std::move(row));
+  }
+  return out;
+}
+
+Status Transaction::commit() {
+  if (!active_) return failed_precondition("txn closed");
+  active_ = false;
+  if (db_.crashed_) {
+    lock_.unlock();
+    return unavailable("database crashed; recover() first");
+  }
+  // 1. Journal first (write-ahead): once journaled, the commit is durable.
+  db_.journal_.push_back(Database::JournalEntry{ops_});
+  // 2. Apply to the live tables.  A simulated crash stops halfway.
+  const bool crash = db_.crash_next_commit_;
+  db_.crash_next_commit_ = false;
+  const std::size_t apply_n = crash ? ops_.size() / 2 : ops_.size();
+  for (std::size_t i = 0; i < apply_n; ++i) {
+    const Status st = db_.apply_locked(ops_[i]);
+    if (!st.is_ok()) {
+      SHS_ERROR(kTag) << "apply failed mid-commit: " << st;
+      db_.crashed_ = true;
+      lock_.unlock();
+      return internal_error("commit apply failed: " + st.message());
+    }
+  }
+  if (crash) {
+    db_.crashed_ = true;
+    SHS_WARN(kTag) << "simulated crash mid-commit (" << apply_n << "/"
+                   << ops_.size() << " ops applied)";
+    lock_.unlock();
+    return internal_error("simulated crash during commit");
+  }
+  ops_.clear();
+  lock_.unlock();
+  return Status::ok();
+}
+
+void Transaction::rollback() {
+  if (!active_) return;
+  active_ = false;
+  ops_.clear();
+  lock_.unlock();
+}
+
+// ---------------------------------------------------------------------------
+// Database
+
+Status Database::create_table(const TableSchema& schema) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (tables_.contains(schema.name)) {
+    return already_exists(strfmt("table %s exists", schema.name.c_str()));
+  }
+  if (schema.columns.empty()) {
+    return invalid_argument("a table needs at least one column");
+  }
+  tables_.emplace(schema.name, TableData{schema, {}, 1});
+  return Status::ok();
+}
+
+bool Database::has_table(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return tables_.contains(name);
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, data] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::unique_ptr<Transaction> Database::begin() {
+  return std::unique_ptr<Transaction>(new Transaction(*this));
+}
+
+Status Database::with_transaction(
+    const std::function<Status(Transaction&)>& fn, int max_attempts) {
+  Status last = internal_error("with_transaction never ran");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto txn = begin();
+    Status st = fn(*txn);
+    if (!st.is_ok()) {
+      txn->rollback();
+      if (st.code() == Code::kAborted) {
+        last = st;
+        continue;  // retry
+      }
+      return st;
+    }
+    st = txn->commit();
+    if (st.is_ok() || st.code() != Code::kAborted) return st;
+    last = st;
+  }
+  return last;
+}
+
+Result<std::vector<std::pair<RowId, Row>>> Database::snapshot(
+    const std::string& table,
+    const std::function<bool(const Row&)>& pred) const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const auto t = tables_.find(table);
+  if (t == tables_.end()) {
+    return Result<std::vector<std::pair<RowId, Row>>>(
+        not_found(strfmt("no table %s", table.c_str())));
+  }
+  std::vector<std::pair<RowId, Row>> out;
+  for (const auto& [id, row] : t->second.rows) {
+    if (!pred || pred(row)) out.emplace_back(id, row);
+  }
+  return out;
+}
+
+std::size_t Database::row_count(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  const auto t = tables_.find(table);
+  return t == tables_.end() ? 0 : t->second.rows.size();
+}
+
+Status Database::apply_locked(const Transaction::Op& op) {
+  const auto t = tables_.find(op.table);
+  if (t == tables_.end()) {
+    return not_found(strfmt("no table %s", op.table.c_str()));
+  }
+  switch (op.kind) {
+    case Transaction::Op::Kind::kInsert:
+    case Transaction::Op::Kind::kUpdate:
+      t->second.rows[op.id] = op.row;
+      t->second.next_id = std::max(t->second.next_id, op.id + 1);
+      break;
+    case Transaction::Op::Kind::kErase:
+      t->second.rows.erase(op.id);
+      break;
+  }
+  return Status::ok();
+}
+
+void Database::crash_on_commit() noexcept {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  crash_next_commit_ = true;
+}
+
+bool Database::crashed() const noexcept {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return crashed_;
+}
+
+Status Database::recover() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  // Rebuild from the journal: wipe live rows, replay every committed
+  // transaction in order.  The half-applied commit journaled before the
+  // crash, so replay restores it completely — atomicity holds.
+  for (auto& [name, data] : tables_) {
+    data.rows.clear();
+    data.next_id = 1;
+  }
+  for (const JournalEntry& entry : journal_) {
+    for (const auto& op : entry.ops) {
+      const Status st = apply_locked(op);
+      if (!st.is_ok()) return st;
+    }
+  }
+  crashed_ = false;
+  SHS_INFO(kTag) << "recovered from journal: " << journal_.size()
+                 << " commits replayed";
+  return Status::ok();
+}
+
+std::size_t Database::journal_commits() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return journal_.size();
+}
+
+}  // namespace shs::db

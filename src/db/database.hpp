@@ -1,0 +1,171 @@
+// database.hpp — a small embedded ACID store (the paper uses SQLite).
+//
+// The VNI Endpoint keeps the ground truth of VNI assignments in a
+// relational store and leans on ACID transactions to rule out
+// Time-of-Check-to-Time-of-Use races between concurrent acquisition
+// requests (Section III-C2).  This module supplies exactly those
+// guarantees in-process:
+//
+//  * serializable isolation — one writer at a time (SQLite's write lock);
+//  * atomicity — a transaction's effects apply all-or-nothing, via a redo
+//    journal that is replayed on recovery;
+//  * durability (simulated) — committed redo records survive an injected
+//    crash; `recover()` replays them onto fresh tables;
+//  * fault injection — `crash_on_commit()` makes the next commit "lose
+//    power" midway through applying, so tests can verify that recovery
+//    yields exactly the committed prefix.
+//
+// Values are typed (int64 / string / null); tables are schemaless beyond
+// a fixed column count, which is all the VNI schema needs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace shs::db {
+
+/// A cell: NULL, integer, or text.
+using Value = std::variant<std::monostate, std::int64_t, std::string>;
+/// A row: fixed-width tuple of cells.
+using Row = std::vector<Value>;
+/// Row identifier, unique within a table, never reused.
+using RowId = std::uint64_t;
+
+[[nodiscard]] inline std::int64_t as_int(const Value& v) {
+  return std::get<std::int64_t>(v);
+}
+[[nodiscard]] inline const std::string& as_text(const Value& v) {
+  return std::get<std::string>(v);
+}
+[[nodiscard]] inline bool is_null(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// Schema of one table.
+struct TableSchema {
+  std::string name;
+  std::vector<std::string> columns;
+};
+
+class Database;
+
+/// An exclusive (serializable) transaction.  Obtain via
+/// `Database::begin()`; commit explicitly — destruction rolls back.
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction(Transaction&&) = delete;
+
+  /// Inserts `row` into `table`; returns its RowId.
+  Result<RowId> insert(const std::string& table, Row row);
+  /// Replaces the row `id` in `table`.
+  Status update(const std::string& table, RowId id, Row row);
+  /// Deletes row `id` from `table`.
+  Status erase(const std::string& table, RowId id);
+  /// Reads one row (transaction-local view: sees own writes).
+  Result<Row> get(const std::string& table, RowId id) const;
+  /// Scans `table`, returning (id, row) pairs satisfying `pred`
+  /// (transaction-local view).  Null `pred` selects everything.
+  Result<std::vector<std::pair<RowId, Row>>> scan(
+      const std::string& table,
+      const std::function<bool(const Row&)>& pred = nullptr) const;
+
+  /// Applies all buffered writes atomically and releases the lock.
+  Status commit();
+  /// Discards buffered writes and releases the lock.
+  void rollback();
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+ private:
+  friend class Database;
+  explicit Transaction(Database& database);
+
+  struct Op {
+    enum class Kind : std::uint8_t { kInsert, kUpdate, kErase } kind;
+    std::string table;
+    RowId id = 0;
+    Row row;
+  };
+
+  Database& db_;
+  std::unique_lock<std::mutex> lock_;
+  bool active_ = true;
+  std::vector<Op> ops_;  ///< redo log, applied on commit
+};
+
+/// The store.  Thread-safe: `begin()` blocks until the writer lock frees.
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates `schema.name`; fails if it exists.
+  Status create_table(const TableSchema& schema);
+  [[nodiscard]] bool has_table(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+  /// Opens an exclusive transaction (serializable).
+  [[nodiscard]] std::unique_ptr<Transaction> begin();
+
+  /// Runs `fn` inside a transaction, committing on OK; retries kAborted
+  /// results up to `max_attempts` times.
+  Status with_transaction(const std::function<Status(Transaction&)>& fn,
+                          int max_attempts = 5);
+
+  /// Convenience snapshot read outside any transaction.
+  Result<std::vector<std::pair<RowId, Row>>> snapshot(
+      const std::string& table,
+      const std::function<bool(const Row&)>& pred = nullptr) const;
+  [[nodiscard]] std::size_t row_count(const std::string& table) const;
+
+  // -- Fault injection & recovery (tests and failure-mode benches).
+
+  /// The next commit crashes midway: some ops applied, some not, journal
+  /// already durable.  The database enters the `crashed` state and every
+  /// subsequent call fails until `recover()` runs.
+  void crash_on_commit() noexcept;
+  [[nodiscard]] bool crashed() const noexcept;
+  /// Rebuilds all tables by replaying the committed journal; clears the
+  /// crashed state.  Demonstrates atomicity: the half-applied commit is
+  /// either fully present (it journaled before the crash) or fully absent.
+  Status recover();
+
+  /// Committed journal length (diagnostics).
+  [[nodiscard]] std::size_t journal_commits() const;
+
+ private:
+  friend class Transaction;
+
+  struct TableData {
+    TableSchema schema;
+    std::map<RowId, Row> rows;  // ordered: deterministic scans
+    RowId next_id = 1;
+  };
+  struct JournalEntry {
+    std::vector<Transaction::Op> ops;
+  };
+
+  /// Applies one op to the live tables.  Caller holds write_mutex_.
+  Status apply_locked(const Transaction::Op& op);
+
+  mutable std::mutex write_mutex_;  ///< the single-writer lock
+  mutable std::mutex meta_mutex_;   ///< guards tables_/journal_ topology
+  std::unordered_map<std::string, TableData> tables_;
+  std::vector<JournalEntry> journal_;
+  bool crash_next_commit_ = false;
+  bool crashed_ = false;
+};
+
+}  // namespace shs::db

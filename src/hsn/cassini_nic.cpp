@@ -1,0 +1,523 @@
+#include "hsn/cassini_nic.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <optional>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::hsn {
+
+namespace {
+constexpr const char* kTag = "cassini";
+
+Status drop_status(DropReason r) {
+  switch (r) {
+    case DropReason::kSrcNotAuthorized:
+      return permission_denied("switch: source port not authorized for VNI");
+    case DropReason::kDstNotAuthorized:
+      return permission_denied(
+          "switch: destination port not authorized for VNI");
+    case DropReason::kUnknownDestination:
+      return not_found("switch: no NIC at destination address");
+    case DropReason::kNone:
+      break;
+  }
+  return internal_error("unexpected drop reason");
+}
+}  // namespace
+
+CassiniNic::CassiniNic(NicAddr addr,
+                       std::shared_ptr<RosettaSwitch> fabric_switch,
+                       std::shared_ptr<TimingModel> timing, NicLimits limits)
+    : addr_(addr), switch_(std::move(fabric_switch)), timing_(std::move(timing)),
+      limits_(limits) {
+  const Status st =
+      switch_->connect(addr_, [this](Packet&& p) { on_packet(std::move(p)); });
+  if (!st.is_ok()) {
+    SHS_ERROR(kTag) << "NIC " << addr_ << " failed to connect: " << st;
+  }
+}
+
+CassiniNic::~CassiniNic() {
+  // Wake any blocked waiters before tearing down.
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> eps;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    eps = endpoints_;
+  }
+  for (auto& [id, ep] : eps) {
+    std::lock_guard<std::mutex> ep_lock(ep->mutex);
+    ep->closed = true;
+    ep->cv.notify_all();
+  }
+  (void)switch_->disconnect(addr_);
+}
+
+Result<EndpointId> CassiniNic::alloc_endpoint(Vni vni, TrafficClass tc) {
+  if (vni == kInvalidVni) {
+    return Result<EndpointId>(invalid_argument("VNI 0 is reserved"));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (endpoints_.size() >= limits_.max_endpoints) {
+    return Result<EndpointId>(
+        resource_exhausted(strfmt("NIC %u endpoint limit (%u) reached", addr_,
+                                  limits_.max_endpoints)));
+  }
+  const EndpointId id = next_ep_++;
+  auto ep = std::make_shared<Endpoint>();
+  ep->vni = vni;
+  ep->tc = tc;
+  endpoints_.emplace(id, std::move(ep));
+  SHS_DEBUG(kTag) << "NIC " << addr_ << " allocated EP " << id << " on VNI "
+                  << vni;
+  return id;
+}
+
+Status CassiniNic::free_endpoint(EndpointId id) {
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) {
+      return not_found(strfmt("NIC %u: no endpoint %u", addr_, id));
+    }
+    ep = it->second;
+    endpoints_.erase(it);
+    // Registered MRs die with the endpoint, as the driver would enforce.
+    for (auto mr_it = mrs_.begin(); mr_it != mrs_.end();) {
+      if (mr_it->second.ep == id) {
+        mr_it = mrs_.erase(mr_it);
+      } else {
+        ++mr_it;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> ep_lock(ep->mutex);
+  ep->closed = true;
+  ep->cv.notify_all();
+  return Status::ok();
+}
+
+std::size_t CassiniNic::endpoint_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.size();
+}
+
+Vni CassiniNic::endpoint_vni(EndpointId id) const {
+  const auto ep = find_ep(id);
+  return ep ? ep->vni : kInvalidVni;
+}
+
+std::shared_ptr<CassiniNic::Endpoint> CassiniNic::find_ep(
+    EndpointId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(id);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+Result<RKey> CassiniNic::register_mr(EndpointId ep_id,
+                                     std::span<std::byte> region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(ep_id);
+  if (it == endpoints_.end()) {
+    return Result<RKey>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                         ep_id)));
+  }
+  if (mrs_.size() >= limits_.max_memory_regions) {
+    return Result<RKey>(resource_exhausted(
+        strfmt("NIC %u MR limit (%u) reached", addr_,
+               limits_.max_memory_regions)));
+  }
+  const RKey key = next_rkey_++;
+  mrs_.emplace(key, MemRegion{ep_id, it->second->vni, region});
+  return key;
+}
+
+Status CassiniNic::deregister_mr(RKey key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (mrs_.erase(key) == 0) {
+    return not_found(strfmt("NIC %u: no MR with rkey %llu", addr_,
+                            static_cast<unsigned long long>(key)));
+  }
+  return Status::ok();
+}
+
+std::size_t CassiniNic::mr_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mrs_.size();
+}
+
+void CassiniNic::push_event(Endpoint& ep, Event e, std::size_t cap) {
+  std::lock_guard<std::mutex> lock(ep.mutex);
+  if (ep.events.size() >= cap) ep.events.pop_front();  // oldest-first drop
+  ep.events.push_back(std::move(e));
+  ep.cv.notify_all();
+}
+
+SimTime CassiniNic::schedule_tx_locked(SimTime accepted_vt, TrafficClass tc,
+                                       std::uint64_t size_bytes) {
+  const int prio = static_cast<int>(tc);  // 0 = highest priority
+  SimTime start = accepted_vt;
+  for (int c = 0; c <= prio; ++c) {
+    start = std::max(start, tx_free_vt_[c]);
+  }
+  for (int c = prio + 1; c < kNumTrafficClasses; ++c) {
+    if (tx_free_vt_[c] > start) {
+      // One lower-priority frame may be in flight (non-preemptible).
+      start += timing_->serialize_time(timing_->config().frame_bytes);
+      break;
+    }
+  }
+  tx_free_vt_[prio] = start + timing_->serialize_time(size_bytes);
+  return tx_free_vt_[prio];
+}
+
+void CassiniNic::count_tx_drop(const RouteResult& rr, EndpointId src_ep,
+                               std::uint64_t op_id, SimTime error_vt) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.tx_dropped;
+  }
+  if (const auto ep = find_ep(src_ep)) {
+    Event e;
+    e.type = Event::Type::kError;
+    e.status = drop_status(rr.reason);
+    e.op_id = op_id;
+    e.vt = error_vt;
+    push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+  }
+}
+
+Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
+                                      EndpointId dst_ep, std::uint64_t tag,
+                                      std::uint64_t size_bytes,
+                                      std::span<const std::byte> payload,
+                                      SimTime local_vt, std::uint64_t op_id) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<SimTime>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                            ep_id)));
+  }
+  Packet p;
+  p.src = addr_;
+  p.dst = dst;
+  p.src_ep = ep_id;
+  p.dst_ep = dst_ep;
+  p.vni = ep->vni;
+  p.tc = ep->tc;
+  p.op = PacketOp::kSend;
+  p.size_bytes = size_bytes;
+  p.tag = tag;
+  p.op_id = op_id;
+  if (!payload.empty()) {
+    p.payload.assign(payload.begin(), payload.end());
+  }
+
+  // Virtual-time bookkeeping: the caller pays the per-post overhead; the
+  // packet leaves the NIC once the egress link has drained earlier posts.
+  const SimTime accepted_vt = local_vt + timing_->tx_overhead();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    p.seq = next_seq_++;
+    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, size_bytes);
+    ++counters_.tx_packets;
+  }
+
+  const RouteResult rr = switch_->route(std::move(p));
+  if (!rr.delivered) {
+    count_tx_drop(rr, ep_id, op_id, accepted_vt);
+    return Result<SimTime>(drop_status(rr.reason));
+  }
+  if (op_id != 0) {
+    // Selective completion, like FI_SELECTIVE_COMPLETION: only requested
+    // sends generate an event (the OSU window loop posts quietly).
+    Event e;
+    e.type = Event::Type::kSendComplete;
+    e.op_id = op_id;
+    e.size = size_bytes;
+    e.vt = accepted_vt;
+    push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+  }
+  return accepted_vt;
+}
+
+Result<SimTime> CassiniNic::rdma_write(EndpointId ep_id, NicAddr dst,
+                                       RKey rkey, std::uint64_t offset,
+                                       std::uint64_t size_bytes,
+                                       std::span<const std::byte> payload,
+                                       SimTime local_vt,
+                                       std::uint64_t op_id) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<SimTime>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                            ep_id)));
+  }
+  Packet p;
+  p.src = addr_;
+  p.dst = dst;
+  p.src_ep = ep_id;
+  p.vni = ep->vni;
+  p.tc = ep->tc;
+  p.op = PacketOp::kRdmaWrite;
+  p.size_bytes = size_bytes;
+  p.rkey = rkey;
+  p.mr_offset = offset;
+  p.op_id = op_id;
+  if (!payload.empty()) p.payload.assign(payload.begin(), payload.end());
+
+  const SimTime accepted_vt = local_vt + timing_->tx_overhead();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    p.seq = next_seq_++;
+    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, size_bytes);
+    ++counters_.tx_packets;
+  }
+  const RouteResult rr = switch_->route(std::move(p));
+  if (!rr.delivered) {
+    count_tx_drop(rr, ep_id, op_id, accepted_vt);
+    return Result<SimTime>(drop_status(rr.reason));
+  }
+  return accepted_vt;
+}
+
+Result<SimTime> CassiniNic::rdma_read(EndpointId ep_id, NicAddr dst,
+                                      RKey rkey, std::uint64_t offset,
+                                      std::uint64_t size_bytes,
+                                      SimTime local_vt, std::uint64_t op_id) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<SimTime>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                            ep_id)));
+  }
+  Packet p;
+  p.src = addr_;
+  p.dst = dst;
+  p.src_ep = ep_id;
+  p.vni = ep->vni;
+  p.tc = ep->tc;
+  p.op = PacketOp::kRdmaRead;
+  p.size_bytes = 64;  // the read *request* is small; data rides the response
+  p.rkey = rkey;
+  p.mr_offset = offset;
+  p.op_id = op_id;
+  // Requested length travels in the tag field of the request.
+  p.tag = size_bytes;
+
+  const SimTime accepted_vt = local_vt + timing_->tx_overhead();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    p.seq = next_seq_++;
+    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.size_bytes);
+    ++counters_.tx_packets;
+  }
+  const RouteResult rr = switch_->route(std::move(p));
+  if (!rr.delivered) {
+    count_tx_drop(rr, ep_id, op_id, accepted_vt);
+    return Result<SimTime>(drop_status(rr.reason));
+  }
+  return accepted_vt;
+}
+
+void CassiniNic::on_packet(Packet&& p) {
+  std::optional<Packet> reply;
+  {
+    // Dispatch under the NIC lock; queue pushes take the endpoint lock.
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(p.dst_ep);
+    std::shared_ptr<Endpoint> ep;
+
+    switch (p.op) {
+      case PacketOp::kSend: {
+        if (it == endpoints_.end()) {
+          ++counters_.rx_unknown_ep;
+          return;
+        }
+        ep = it->second;
+        if (ep->vni != p.vni) {
+          ++counters_.rx_vni_mismatch;
+          return;
+        }
+        ++counters_.rx_packets;
+        lock.unlock();
+        std::lock_guard<std::mutex> ep_lock(ep->mutex);
+        if (ep->rx.size() >= limits_.max_rx_queue_packets) {
+          ep->rx.pop_front();
+        }
+        ep->rx.push_back(std::move(p));
+        ep->cv.notify_all();
+        return;
+      }
+
+      case PacketOp::kAck: {
+        if (it == endpoints_.end()) {
+          ++counters_.rx_unknown_ep;
+          return;
+        }
+        ep = it->second;
+        ++counters_.rx_packets;
+        lock.unlock();
+        Event e;
+        e.type = Event::Type::kRdmaWriteComplete;
+        e.op_id = p.op_id;
+        e.size = p.tag;  // echoed write size
+        e.vt = p.arrival_vt + timing_->rx_overhead();
+        push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+        return;
+      }
+
+      case PacketOp::kRdmaReadResp: {
+        if (it == endpoints_.end()) {
+          ++counters_.rx_unknown_ep;
+          return;
+        }
+        ep = it->second;
+        ++counters_.rx_packets;
+        lock.unlock();
+        Event e;
+        e.type = Event::Type::kRdmaReadComplete;
+        e.op_id = p.op_id;
+        e.size = p.size_bytes;
+        e.vt = p.arrival_vt + timing_->rx_overhead();
+        e.data = std::move(p.payload);
+        push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+        return;
+      }
+
+      case PacketOp::kRdmaWrite: {
+        const auto mr_it = mrs_.find(p.rkey);
+        if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
+            p.mr_offset + p.size_bytes > mr_it->second.region.size()) {
+          ++counters_.rma_denied;
+          return;  // silently dropped, as hardware would NACK eventually
+        }
+        if (!p.payload.empty()) {
+          std::memcpy(mr_it->second.region.data() + p.mr_offset,
+                      p.payload.data(),
+                      std::min<std::size_t>(p.payload.size(), p.size_bytes));
+        }
+        ++counters_.rx_packets;
+        // ACK back to the initiator (size 0, echoes write size in tag).
+        Packet ack;
+        ack.src = addr_;
+        ack.dst = p.src;
+        ack.dst_ep = p.src_ep;
+        ack.vni = p.vni;
+        ack.tc = p.tc;
+        ack.op = PacketOp::kAck;
+        ack.size_bytes = 0;
+        ack.tag = p.size_bytes;
+        ack.op_id = p.op_id;
+        ack.seq = next_seq_++;
+        ack.inject_vt = p.arrival_vt + timing_->rx_overhead();
+        reply = std::move(ack);
+        break;
+      }
+
+      case PacketOp::kRdmaRead: {
+        const std::uint64_t want = p.tag;
+        const auto mr_it = mrs_.find(p.rkey);
+        if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
+            p.mr_offset + want > mr_it->second.region.size()) {
+          ++counters_.rma_denied;
+          return;
+        }
+        ++counters_.rx_packets;
+        Packet resp;
+        resp.src = addr_;
+        resp.dst = p.src;
+        resp.dst_ep = p.src_ep;
+        resp.vni = p.vni;
+        resp.tc = p.tc;
+        resp.op = PacketOp::kRdmaReadResp;
+        resp.size_bytes = want;
+        resp.op_id = p.op_id;
+        resp.seq = next_seq_++;
+        resp.payload.assign(
+            mr_it->second.region.begin() +
+                static_cast<std::ptrdiff_t>(p.mr_offset),
+            mr_it->second.region.begin() +
+                static_cast<std::ptrdiff_t>(p.mr_offset + want));
+        resp.inject_vt = p.arrival_vt + timing_->rx_overhead();
+        reply = std::move(resp);
+        break;
+      }
+    }
+  }
+  if (reply) {
+    (void)switch_->route(std::move(*reply));
+  }
+}
+
+Result<Packet> CassiniNic::wait_rx(EndpointId ep_id, int real_timeout_ms) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<Packet>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                           ep_id)));
+  }
+  std::unique_lock<std::mutex> lock(ep->mutex);
+  const bool ready = ep->cv.wait_for(
+      lock, std::chrono::milliseconds(real_timeout_ms),
+      [&] { return !ep->rx.empty() || ep->closed; });
+  if (!ready) return Result<Packet>(timeout_error("wait_rx timed out"));
+  if (ep->rx.empty()) {
+    return Result<Packet>(failed_precondition("endpoint closed"));
+  }
+  Packet p = std::move(ep->rx.front());
+  ep->rx.pop_front();
+  return p;
+}
+
+Result<Packet> CassiniNic::poll_rx(EndpointId ep_id) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<Packet>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                           ep_id)));
+  }
+  std::lock_guard<std::mutex> lock(ep->mutex);
+  if (ep->rx.empty()) return Result<Packet>(unavailable("rx queue empty"));
+  Packet p = std::move(ep->rx.front());
+  ep->rx.pop_front();
+  return p;
+}
+
+Result<Event> CassiniNic::wait_event(EndpointId ep_id, int real_timeout_ms) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<Event>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                          ep_id)));
+  }
+  std::unique_lock<std::mutex> lock(ep->mutex);
+  const bool ready = ep->cv.wait_for(
+      lock, std::chrono::milliseconds(real_timeout_ms),
+      [&] { return !ep->events.empty() || ep->closed; });
+  if (!ready) return Result<Event>(timeout_error("wait_event timed out"));
+  if (ep->events.empty()) {
+    return Result<Event>(failed_precondition("endpoint closed"));
+  }
+  Event e = std::move(ep->events.front());
+  ep->events.pop_front();
+  return e;
+}
+
+Result<Event> CassiniNic::poll_event(EndpointId ep_id) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<Event>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
+                                          ep_id)));
+  }
+  std::lock_guard<std::mutex> lock(ep->mutex);
+  if (ep->events.empty()) return Result<Event>(unavailable("no events"));
+  Event e = std::move(ep->events.front());
+  ep->events.pop_front();
+  return e;
+}
+
+NicCounters CassiniNic::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace shs::hsn

@@ -1,0 +1,190 @@
+// cassini_nic.hpp — model of the Slingshot Cassini (CXI) NIC.
+//
+// The real Cassini exposes RDMA through a character device: applications
+// allocate endpoints (command + event queues), register memory regions,
+// and then communicate with no kernel involvement (Section II-A/II-B).
+// This model keeps those semantics:
+//   * endpoints are NIC-level objects bound to exactly one VNI and one
+//     traffic class at allocation time (the security-relevant binding —
+//     authorization happens in the CXI driver *before* this call);
+//   * two-sided sends land in the target endpoint's RX queue;
+//   * one-sided RDMA read/write touch registered memory regions only,
+//     validated against the packet's VNI, with completions raised at the
+//     initiator via a real ACK/response packet routed back through the
+//     switch (so isolation applies to both directions);
+//   * every operation advances *virtual* time via the shared TimingModel
+//     (callers carry their own virtual clock; see src/mpi).
+//
+// Thread-safety: all public methods may be called from any thread; RX and
+// event queues use mutex+condvar so application threads block naturally.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "hsn/packet.hpp"
+#include "hsn/rosetta_switch.hpp"
+#include "hsn/timing.hpp"
+#include "util/status.hpp"
+
+namespace shs::hsn {
+
+/// Completion event, as Cassini would write into an event queue.
+struct Event {
+  enum class Type : std::uint8_t {
+    kSendComplete,
+    kRdmaWriteComplete,
+    kRdmaReadComplete,
+    kError,
+  };
+  Type type = Type::kError;
+  Status status;               ///< non-OK for kError
+  std::uint64_t op_id = 0;     ///< initiator-side correlation id
+  std::uint64_t size = 0;
+  SimTime vt = 0;              ///< virtual completion time
+  std::vector<std::byte> data; ///< RDMA-read response payload
+};
+
+/// NIC hardware resource limits (per NIC).
+struct NicLimits {
+  std::uint32_t max_endpoints = 2048;
+  std::uint32_t max_memory_regions = 8192;
+  std::size_t max_rx_queue_packets = 1 << 16;
+};
+
+struct NicCounters {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_dropped = 0;       ///< refused by the switch
+  std::uint64_t rx_unknown_ep = 0;    ///< arrived for a freed endpoint
+  std::uint64_t rx_vni_mismatch = 0;  ///< NIC-side VNI double-check failed
+  std::uint64_t rma_denied = 0;       ///< RMA to missing/foreign-VNI MR
+};
+
+/// The NIC.  One per node; constructor connects it to the switch.
+class CassiniNic {
+ public:
+  CassiniNic(NicAddr addr, std::shared_ptr<RosettaSwitch> fabric_switch,
+             std::shared_ptr<TimingModel> timing, NicLimits limits = {});
+  ~CassiniNic();
+  CassiniNic(const CassiniNic&) = delete;
+  CassiniNic& operator=(const CassiniNic&) = delete;
+
+  [[nodiscard]] NicAddr addr() const noexcept { return addr_; }
+  [[nodiscard]] const NicLimits& limits() const noexcept { return limits_; }
+
+  // -- Endpoint lifecycle (invoked by the CXI driver after authentication).
+
+  /// Allocates a hardware endpoint bound to `vni`/`tc`.
+  Result<EndpointId> alloc_endpoint(Vni vni, TrafficClass tc);
+  Status free_endpoint(EndpointId ep);
+  [[nodiscard]] std::size_t endpoint_count() const;
+  /// VNI an endpoint is bound to (kInvalidVni if unknown).
+  [[nodiscard]] Vni endpoint_vni(EndpointId ep) const;
+
+  // -- Memory registration (one-sided targets).
+
+  /// Registers `region` for remote access via the returned RKey.  The
+  /// region inherits the endpoint's VNI; remote ops on other VNIs are
+  /// refused by the NIC even if the switch somehow routed them.
+  Result<RKey> register_mr(EndpointId ep, std::span<std::byte> region);
+  Status deregister_mr(RKey key);
+  [[nodiscard]] std::size_t mr_count() const;
+
+  // -- Data path.  `local_vt` is the caller's virtual clock; the returned
+  //    SimTime is the clock after the NIC accepted the operation.
+
+  /// Two-sided send.  If `payload` is non-empty its bytes travel with the
+  /// packet; otherwise the packet is size-only (`size_bytes` governs
+  /// timing either way).  Completion is *local* (eager): the returned
+  /// time is when the send buffer is reusable.  Switch-level drops raise
+  /// a kError event on the sender's event queue.
+  Result<SimTime> post_send(EndpointId ep, NicAddr dst, EndpointId dst_ep,
+                            std::uint64_t tag, std::uint64_t size_bytes,
+                            std::span<const std::byte> payload,
+                            SimTime local_vt, std::uint64_t op_id = 0);
+
+  /// One-sided RDMA write into the remote MR `rkey` at `offset`.
+  /// Completion (kRdmaWriteComplete) arrives on this endpoint's event
+  /// queue once the target NIC's ACK returns.
+  Result<SimTime> rdma_write(EndpointId ep, NicAddr dst, RKey rkey,
+                             std::uint64_t offset, std::uint64_t size_bytes,
+                             std::span<const std::byte> payload,
+                             SimTime local_vt, std::uint64_t op_id);
+
+  /// One-sided RDMA read of `size_bytes` from remote MR `rkey`+`offset`.
+  /// Completion (kRdmaReadComplete, with data) arrives on the event queue.
+  Result<SimTime> rdma_read(EndpointId ep, NicAddr dst, RKey rkey,
+                            std::uint64_t offset, std::uint64_t size_bytes,
+                            SimTime local_vt, std::uint64_t op_id);
+
+  // -- Queues.
+
+  /// Blocking dequeue of the next two-sided packet for `ep`.  Returns
+  /// kTimeout after `real_timeout_ms` wall milliseconds (0 = poll once).
+  Result<Packet> wait_rx(EndpointId ep, int real_timeout_ms = 10'000);
+  /// Non-blocking variant.
+  Result<Packet> poll_rx(EndpointId ep);
+
+  /// Blocking dequeue from the endpoint's event queue.
+  Result<Event> wait_event(EndpointId ep, int real_timeout_ms = 10'000);
+  Result<Event> poll_event(EndpointId ep);
+
+  [[nodiscard]] NicCounters counters() const;
+
+ private:
+  /// A hardware endpoint.  Owns its queues behind its own mutex so a
+  /// blocked receiver never stalls the NIC-wide maps (and per-rank
+  /// application threads do not contend with each other).
+  struct Endpoint {
+    Vni vni = kInvalidVni;
+    TrafficClass tc = TrafficClass::kBestEffort;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Packet> rx;
+    std::deque<Event> events;
+    bool closed = false;
+  };
+  struct MemRegion {
+    EndpointId ep = 0;
+    Vni vni = kInvalidVni;
+    std::span<std::byte> region;
+  };
+
+  /// Switch delivery callback — dispatches by PacketOp.  Never holds an
+  /// endpoint lock while re-entering the switch (loopback RMA replies).
+  void on_packet(Packet&& p);
+
+  [[nodiscard]] std::shared_ptr<Endpoint> find_ep(EndpointId ep) const;
+  static void push_event(Endpoint& ep, Event e, std::size_t cap);
+  void count_tx_drop(const RouteResult& rr, EndpointId src_ep,
+                     std::uint64_t op_id, SimTime error_vt);
+  /// Injection scheduling: computes when a packet of `tc` leaves the NIC
+  /// given `accepted_vt`, honouring per-class priority (same model as the
+  /// switch egress).  Caller holds mutex_.
+  SimTime schedule_tx_locked(SimTime accepted_vt, TrafficClass tc,
+                             std::uint64_t size_bytes);
+
+  const NicAddr addr_;
+  std::shared_ptr<RosettaSwitch> switch_;
+  std::shared_ptr<TimingModel> timing_;
+  const NicLimits limits_;
+
+  mutable std::mutex mutex_;  ///< guards maps, counters, id generators
+  EndpointId next_ep_ = 1;
+  RKey next_rkey_ = 1;
+  std::uint64_t next_seq_ = 1;
+  /// Sender-side link serialization horizon, per traffic class
+  /// (priority-scheduled, frame-granular preemption).
+  SimTime tx_free_vt_[kNumTrafficClasses] = {0, 0, 0, 0};
+  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
+  std::unordered_map<RKey, MemRegion> mrs_;
+  NicCounters counters_;
+};
+
+}  // namespace shs::hsn

@@ -1,0 +1,18 @@
+#include "hsn/fabric.hpp"
+
+namespace shs::hsn {
+
+std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
+                                       std::uint64_t seed) {
+  auto fabric = std::unique_ptr<Fabric>(new Fabric());
+  fabric->timing_ = std::make_shared<TimingModel>(config, seed);
+  fabric->switch_ = std::make_shared<RosettaSwitch>(fabric->timing_);
+  fabric->nics_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    fabric->nics_.push_back(std::make_unique<CassiniNic>(
+        static_cast<NicAddr>(i), fabric->switch_, fabric->timing_));
+  }
+  return fabric;
+}
+
+}  // namespace shs::hsn

@@ -1,0 +1,51 @@
+// fabric.hpp — topology builder: N nodes, one Cassini NIC each, one
+// Rosetta switch (the paper's testbed is two OpenCUBE nodes on one switch).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hsn/cassini_nic.hpp"
+#include "hsn/rosetta_switch.hpp"
+#include "hsn/timing.hpp"
+
+namespace shs::hsn {
+
+/// Owns the switch, timing model, and per-node NICs.
+class Fabric {
+ public:
+  /// Builds a fabric of `nodes` NICs (addresses 0..nodes-1).
+  static std::unique_ptr<Fabric> create(std::size_t nodes,
+                                        TimingConfig config = {},
+                                        std::uint64_t seed = 0x51e6);
+
+  [[nodiscard]] RosettaSwitch& fabric_switch() noexcept { return *switch_; }
+  [[nodiscard]] const RosettaSwitch& fabric_switch() const noexcept {
+    return *switch_;
+  }
+  [[nodiscard]] std::shared_ptr<RosettaSwitch> switch_ptr() const noexcept {
+    return switch_;
+  }
+  [[nodiscard]] std::shared_ptr<TimingModel> timing() const noexcept {
+    return timing_;
+  }
+
+  /// NIC at fabric address `addr` (must be < node_count()).
+  [[nodiscard]] CassiniNic& nic(NicAddr addr) { return *nics_.at(addr); }
+  [[nodiscard]] const CassiniNic& nic(NicAddr addr) const {
+    return *nics_.at(addr);
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nics_.size();
+  }
+
+ private:
+  Fabric() = default;
+  std::shared_ptr<TimingModel> timing_;
+  std::shared_ptr<RosettaSwitch> switch_;
+  std::vector<std::unique_ptr<CassiniNic>> nics_;
+};
+
+}  // namespace shs::hsn

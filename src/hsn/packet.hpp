@@ -1,0 +1,61 @@
+// packet.hpp — the unit of transfer on the simulated fabric.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hsn/types.hpp"
+#include "util/units.hpp"
+
+namespace shs::hsn {
+
+/// A fabric packet.  `size_bytes` is authoritative for timing; `payload`
+/// optionally carries real data (correctness tests copy data, the OSU
+/// throughput benches send size-only packets to avoid gigabytes of memcpy
+/// that would not change the modeled timing).
+struct Packet {
+  NicAddr src = kInvalidNic;
+  NicAddr dst = kInvalidNic;
+  EndpointId src_ep = 0;
+  EndpointId dst_ep = 0;
+  Vni vni = kInvalidVni;
+  TrafficClass tc = TrafficClass::kBestEffort;
+  PacketOp op = PacketOp::kSend;
+  std::uint64_t size_bytes = 0;
+
+  /// Two-sided matching tag (used by the ofi/mpi layers).
+  std::uint64_t tag = 0;
+  /// Sequence number assigned by the sending endpoint.
+  std::uint64_t seq = 0;
+  /// Initiator-side operation id, echoed by ACK/response packets so the
+  /// initiating NIC can complete the matching operation.
+  std::uint64_t op_id = 0;
+
+  /// One-sided ops: target memory-region key and offset.
+  RKey rkey = 0;
+  std::uint64_t mr_offset = 0;
+
+  /// Virtual timestamps: when the sender injected the packet and when the
+  /// fabric delivered it (computed by the switch's timing model).
+  SimTime inject_vt = 0;
+  SimTime arrival_vt = 0;
+
+  std::vector<std::byte> payload;
+};
+
+/// Per-VNI / per-port drop and delivery accounting, exposed by the switch.
+struct SwitchCounters {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_src_unauthorized = 0;
+  std::uint64_t dropped_dst_unauthorized = 0;
+  std::uint64_t dropped_unknown_dst = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    return dropped_src_unauthorized + dropped_dst_unauthorized +
+           dropped_unknown_dst;
+  }
+};
+
+}  // namespace shs::hsn

@@ -1,0 +1,32 @@
+#include "hsn/timing.hpp"
+
+namespace shs::hsn {
+
+SimDuration TimingModel::serialize_time(std::uint64_t bytes) const noexcept {
+  // Each frame adds a small header on the wire; model it as 32 bytes.
+  constexpr std::uint64_t kFrameHeader = 32;
+  const std::uint64_t frames =
+      bytes == 0 ? 1 : (bytes + config_.frame_bytes - 1) / config_.frame_bytes;
+  const std::uint64_t wire_bytes = bytes + frames * kFrameHeader;
+  return config_.link_rate.transfer_time(wire_bytes);
+}
+
+SimDuration TimingModel::hop_latency(TrafficClass tc) {
+  return jittered(config_.hop_latency + tc_penalty(tc));
+}
+
+SimDuration TimingModel::tx_overhead() {
+  return jittered(config_.tx_overhead);
+}
+
+SimDuration TimingModel::rx_overhead() {
+  return jittered(config_.rx_overhead);
+}
+
+SimDuration TimingModel::jittered(SimDuration d) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double factor = run_bias_ * rng_.jitter(config_.jitter_amplitude);
+  return static_cast<SimDuration>(static_cast<double>(d) * factor);
+}
+
+}  // namespace shs::hsn

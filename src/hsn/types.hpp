@@ -1,0 +1,55 @@
+// types.hpp — common Slingshot fabric vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace shs::hsn {
+
+/// Fabric address of a NIC (Slingshot: node address assigned by the
+/// fabric manager).  One NIC per node in our topologies.
+using NicAddr = std::uint32_t;
+constexpr NicAddr kInvalidNic = 0xffffffffu;
+
+/// Virtual Network ID — an unsigned integer naming a layer-2 isolation
+/// domain (Section II-C).  The Rosetta switch only routes a packet if both
+/// the sender and receiver port are authorized for the packet's VNI.
+using Vni = std::uint32_t;
+constexpr Vni kInvalidVni = 0;
+
+/// Endpoint index local to a NIC.
+using EndpointId = std::uint32_t;
+
+/// Remote-access key for a registered memory region.
+using RKey = std::uint64_t;
+
+/// Slingshot traffic classes (Section I use-case 1: e.g. a latency-critical
+/// solver co-scheduled with bulk checkpointing traffic).
+enum class TrafficClass : std::uint8_t {
+  kDedicatedAccess = 0,  ///< highest priority, lowest queueing delay
+  kLowLatency = 1,
+  kBulkData = 2,
+  kBestEffort = 3,
+};
+constexpr int kNumTrafficClasses = 4;
+
+constexpr std::string_view traffic_class_name(TrafficClass tc) noexcept {
+  switch (tc) {
+    case TrafficClass::kDedicatedAccess: return "DEDICATED_ACCESS";
+    case TrafficClass::kLowLatency: return "LOW_LATENCY";
+    case TrafficClass::kBulkData: return "BULK_DATA";
+    case TrafficClass::kBestEffort: return "BEST_EFFORT";
+  }
+  return "UNKNOWN";
+}
+
+/// Fabric-level operation carried by a packet.
+enum class PacketOp : std::uint8_t {
+  kSend = 0,       ///< two-sided message (matched at the receiver)
+  kRdmaWrite,      ///< one-sided write into a registered remote MR
+  kRdmaRead,       ///< one-sided read request
+  kRdmaReadResp,   ///< data response to a read request
+  kAck,            ///< delivery acknowledgement (completes sender ops)
+};
+
+}  // namespace shs::hsn

@@ -1,0 +1,326 @@
+// api_server.hpp — the cluster's typed object store with watches and
+// Kubernetes deletion semantics.
+//
+// Faithful pieces:
+//   * every mutation bumps resourceVersion and fans out a watch event
+//     (delivered asynchronously on the event loop after `watch_latency`);
+//   * deletion is two-phase — `request_delete` sets the deletion
+//     timestamp; the object only disappears when its finalizer list
+//     drains (controllers own finalizers, exactly like kubelet and the
+//     Metacontroller decorator in the real system);
+//   * reads return snapshots (value semantics) — controllers never alias
+//     live store memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "k8s/objects.hpp"
+#include "k8s/params.hpp"
+#include "sim/event_loop.hpp"
+#include "util/status.hpp"
+
+namespace shs::k8s {
+
+/// Subscription handle returned by watch registration.
+using SubId = std::uint64_t;
+
+namespace detail {
+
+/// One kind's storage: uid-indexed objects + subscribers.
+template <typename T>
+class Store {
+ public:
+  using Watcher = std::function<void(const WatchEvent<T>&)>;
+
+  explicit Store(sim::EventLoop& loop, const K8sParams& params)
+      : loop_(loop), params_(params) {}
+
+  Result<Uid> create(T obj, Uid uid, SimTime now) {
+    if (obj.meta.name.empty()) {
+      return Result<Uid>(invalid_argument("metadata.name required"));
+    }
+    if (find_by_name(obj.meta.ns, obj.meta.name) != nullptr) {
+      return Result<Uid>(already_exists(obj.meta.ns + "/" + obj.meta.name));
+    }
+    obj.meta.uid = uid;
+    obj.meta.creation_vt = now;
+    obj.meta.resource_version = ++rv_;
+    auto [it, ok] = objects_.emplace(uid, std::move(obj));
+    notify(WatchEventType::kAdded, it->second);
+    return uid;
+  }
+
+  Result<T> get(Uid uid) const {
+    const auto it = objects_.find(uid);
+    if (it == objects_.end()) return Result<T>(not_found("no such object"));
+    return it->second;
+  }
+
+  Result<T> get_by_name(const std::string& ns, const std::string& name) const {
+    const T* obj = find_by_name(ns, name);
+    if (obj == nullptr) return Result<T>(not_found(ns + "/" + name));
+    return *obj;
+  }
+
+  /// Last-write-wins update keyed by uid.  Deleted objects reject writes.
+  Status update(const T& obj) {
+    const auto it = objects_.find(obj.meta.uid);
+    if (it == objects_.end()) return not_found("no such object");
+    const auto preserved_finalizers = it->second.meta.finalizers;
+    const bool preserved_deletion = it->second.meta.deletion_requested;
+    const SimTime preserved_deletion_vt = it->second.meta.deletion_vt;
+    it->second = obj;
+    // Deletion state and finalizers are owned by the server (clients use
+    // the dedicated verbs below), so status updates cannot resurrect.
+    it->second.meta.finalizers = preserved_finalizers;
+    it->second.meta.deletion_requested = preserved_deletion;
+    it->second.meta.deletion_vt = preserved_deletion_vt;
+    it->second.meta.resource_version = ++rv_;
+    notify(WatchEventType::kModified, it->second);
+    return Status::ok();
+  }
+
+  Status add_finalizer(Uid uid, const std::string& f) {
+    const auto it = objects_.find(uid);
+    if (it == objects_.end()) return not_found("no such object");
+    if (!it->second.meta.has_finalizer(f)) {
+      it->second.meta.finalizers.push_back(f);
+      it->second.meta.resource_version = ++rv_;
+      notify(WatchEventType::kModified, it->second);
+    }
+    return Status::ok();
+  }
+
+  Status remove_finalizer(Uid uid, const std::string& f) {
+    const auto it = objects_.find(uid);
+    if (it == objects_.end()) return not_found("no such object");
+    auto& fins = it->second.meta.finalizers;
+    for (auto fit = fins.begin(); fit != fins.end(); ++fit) {
+      if (*fit == f) {
+        fins.erase(fit);
+        it->second.meta.resource_version = ++rv_;
+        maybe_reap(it->first);
+        return Status::ok();
+      }
+    }
+    return not_found("finalizer not present");
+  }
+
+  Status request_delete(Uid uid, SimTime now) {
+    const auto it = objects_.find(uid);
+    if (it == objects_.end()) return not_found("no such object");
+    if (!it->second.meta.deletion_requested) {
+      it->second.meta.deletion_requested = true;
+      it->second.meta.deletion_vt = now;
+      it->second.meta.resource_version = ++rv_;
+      notify(WatchEventType::kModified, it->second);
+    }
+    maybe_reap(uid);
+    return Status::ok();
+  }
+
+  std::vector<T> list(const std::function<bool(const T&)>& pred = nullptr)
+      const {
+    std::vector<T> out;
+    for (const auto& [uid, obj] : objects_) {
+      if (!pred || pred(obj)) out.push_back(obj);
+    }
+    return out;
+  }
+
+  /// Copy-free iteration for controller hot paths.  The callback must not
+  /// mutate the store (single-threaded loop, so re-entrancy is the only
+  /// hazard — visitors must not call create/update/delete).
+  void visit(const std::function<void(const T&)>& fn) const {
+    for (const auto& [uid, obj] : objects_) fn(obj);
+  }
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+  SubId subscribe(Watcher w, SubId id) {
+    watchers_.emplace(id, std::move(w));
+    return id;
+  }
+  void unsubscribe(SubId id) { watchers_.erase(id); }
+
+ private:
+  const T* find_by_name(const std::string& ns, const std::string& name) const {
+    for (const auto& [uid, obj] : objects_) {
+      if (obj.meta.ns == ns && obj.meta.name == name) return &obj;
+    }
+    return nullptr;
+  }
+
+  void maybe_reap(Uid uid) {
+    const auto it = objects_.find(uid);
+    if (it == objects_.end()) return;
+    if (it->second.meta.deletion_requested &&
+        it->second.meta.finalizers.empty()) {
+      T snapshot = it->second;
+      objects_.erase(it);
+      notify(WatchEventType::kDeleted, snapshot);
+    }
+  }
+
+  void notify(WatchEventType type, const T& obj) {
+    for (const auto& [id, w] : watchers_) {
+      // Copy the watcher and a snapshot; deliver after the watch latency,
+      // matching the asynchrony of real watch streams.
+      auto watcher = w;
+      WatchEvent<T> ev{type, obj};
+      loop_.schedule_after(params_.watch_latency,
+                           [watcher, ev] { watcher(ev); });
+    }
+  }
+
+  sim::EventLoop& loop_;
+  const K8sParams& params_;
+  std::map<Uid, T> objects_;  // ordered: deterministic list()
+  std::map<SubId, Watcher> watchers_;
+  std::uint64_t rv_ = 0;
+};
+
+}  // namespace detail
+
+/// The API server.  Single-threaded: all access happens on the event-loop
+/// thread (controllers are loop callbacks), matching the deterministic
+/// control-plane design.
+class ApiServer {
+ public:
+  explicit ApiServer(sim::EventLoop& loop, K8sParams params = {})
+      : loop_(loop), params_(params), pods_(loop, params_),
+        jobs_(loop, params_), vnis_(loop, params_), claims_(loop, params_) {}
+
+  [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] const K8sParams& params() const noexcept { return params_; }
+
+  // -- Pods.
+  Result<Uid> create_pod(Pod pod) {
+    return pods_.create(std::move(pod), next_uid_++, loop_.now());
+  }
+  Result<Pod> get_pod(Uid uid) const { return pods_.get(uid); }
+  Result<Pod> get_pod_by_name(const std::string& ns,
+                              const std::string& name) const {
+    return pods_.get_by_name(ns, name);
+  }
+  Status update_pod(const Pod& pod) { return pods_.update(pod); }
+  Status add_pod_finalizer(Uid uid, const std::string& f) {
+    return pods_.add_finalizer(uid, f);
+  }
+  Status remove_pod_finalizer(Uid uid, const std::string& f) {
+    return pods_.remove_finalizer(uid, f);
+  }
+  Status delete_pod(Uid uid) { return pods_.request_delete(uid, loop_.now()); }
+  std::vector<Pod> list_pods(
+      const std::function<bool(const Pod&)>& pred = nullptr) const {
+    return pods_.list(pred);
+  }
+  void visit_pods(const std::function<void(const Pod&)>& fn) const {
+    pods_.visit(fn);
+  }
+  SubId watch_pods(detail::Store<Pod>::Watcher w) {
+    return pods_.subscribe(std::move(w), next_sub_++);
+  }
+  void unwatch_pods(SubId id) { pods_.unsubscribe(id); }
+
+  // -- Jobs.
+  Result<Uid> create_job(Job job) {
+    return jobs_.create(std::move(job), next_uid_++, loop_.now());
+  }
+  Result<Job> get_job(Uid uid) const { return jobs_.get(uid); }
+  Result<Job> get_job_by_name(const std::string& ns,
+                              const std::string& name) const {
+    return jobs_.get_by_name(ns, name);
+  }
+  Status update_job(const Job& job) { return jobs_.update(job); }
+  Status add_job_finalizer(Uid uid, const std::string& f) {
+    return jobs_.add_finalizer(uid, f);
+  }
+  Status remove_job_finalizer(Uid uid, const std::string& f) {
+    return jobs_.remove_finalizer(uid, f);
+  }
+  Status delete_job(Uid uid) { return jobs_.request_delete(uid, loop_.now()); }
+  std::vector<Job> list_jobs(
+      const std::function<bool(const Job&)>& pred = nullptr) const {
+    return jobs_.list(pred);
+  }
+  void visit_jobs(const std::function<void(const Job&)>& fn) const {
+    jobs_.visit(fn);
+  }
+  SubId watch_jobs(detail::Store<Job>::Watcher w) {
+    return jobs_.subscribe(std::move(w), next_sub_++);
+  }
+  void unwatch_jobs(SubId id) { jobs_.unsubscribe(id); }
+
+  // -- Vni CRD instances.
+  Result<Uid> create_vni_object(VniObject v) {
+    return vnis_.create(std::move(v), next_uid_++, loop_.now());
+  }
+  Result<VniObject> get_vni_object(Uid uid) const { return vnis_.get(uid); }
+  Status update_vni_object(const VniObject& v) { return vnis_.update(v); }
+  Status delete_vni_object(Uid uid) {
+    return vnis_.request_delete(uid, loop_.now());
+  }
+  Status add_vni_finalizer(Uid uid, const std::string& f) {
+    return vnis_.add_finalizer(uid, f);
+  }
+  Status remove_vni_finalizer(Uid uid, const std::string& f) {
+    return vnis_.remove_finalizer(uid, f);
+  }
+  std::vector<VniObject> list_vni_objects(
+      const std::function<bool(const VniObject&)>& pred = nullptr) const {
+    return vnis_.list(pred);
+  }
+  SubId watch_vni_objects(detail::Store<VniObject>::Watcher w) {
+    return vnis_.subscribe(std::move(w), next_sub_++);
+  }
+
+  // -- VniClaim CRD instances.
+  Result<Uid> create_vni_claim(VniClaim c) {
+    return claims_.create(std::move(c), next_uid_++, loop_.now());
+  }
+  Result<VniClaim> get_vni_claim(Uid uid) const { return claims_.get(uid); }
+  Result<VniClaim> get_vni_claim_by_name(const std::string& ns,
+                                         const std::string& name) const {
+    return claims_.get_by_name(ns, name);
+  }
+  Status update_vni_claim(const VniClaim& c) { return claims_.update(c); }
+  Status delete_vni_claim(Uid uid) {
+    return claims_.request_delete(uid, loop_.now());
+  }
+  Status add_claim_finalizer(Uid uid, const std::string& f) {
+    return claims_.add_finalizer(uid, f);
+  }
+  Status remove_claim_finalizer(Uid uid, const std::string& f) {
+    return claims_.remove_finalizer(uid, f);
+  }
+  std::vector<VniClaim> list_vni_claims(
+      const std::function<bool(const VniClaim&)>& pred = nullptr) const {
+    return claims_.list(pred);
+  }
+  void visit_vni_claims(const std::function<void(const VniClaim&)>& fn)
+      const {
+    claims_.visit(fn);
+  }
+  SubId watch_vni_claims(detail::Store<VniClaim>::Watcher w) {
+    return claims_.subscribe(std::move(w), next_sub_++);
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  K8sParams params_;
+  Uid next_uid_ = 1;
+  SubId next_sub_ = 1;
+  detail::Store<Pod> pods_;
+  detail::Store<Job> jobs_;
+  detail::Store<VniObject> vnis_;
+  detail::Store<VniClaim> claims_;
+};
+
+}  // namespace shs::k8s

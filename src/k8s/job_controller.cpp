@@ -1,0 +1,194 @@
+#include "k8s/job_controller.hpp"
+
+#include <unordered_map>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::k8s {
+
+namespace {
+constexpr const char* kTag = "job-ctrl";
+
+/// Per-job pod aggregate, built in one pass over all pods so a reconcile
+/// costs O(pods + jobs), not O(pods * jobs) — the spike test (Fig 11)
+/// runs 500 jobs at once.
+struct PodRollup {
+  int active = 0;
+  int succeeded = 0;
+  int failed = 0;
+  SimTime first_running = 0;
+  SimTime last_finish = 0;
+  bool any_pod = false;
+  std::vector<Uid> undeleted;  ///< pods without a deletion timestamp
+};
+}  // namespace
+
+JobController::JobController(ApiServer& api, Rng rng)
+    : api_(api), rng_(rng) {}
+
+JobController::~JobController() { stop(); }
+
+void JobController::start() {
+  if (task_ != sim::EventLoop::kInvalidTask) return;
+  task_ = api_.loop().schedule_periodic(api_.params().job_reconcile_delay,
+                                        [this] { reconcile(); });
+}
+
+void JobController::stop() {
+  if (task_ != sim::EventLoop::kInvalidTask) {
+    api_.loop().cancel(task_);
+    task_ = sim::EventLoop::kInvalidTask;
+  }
+}
+
+void JobController::reconcile() {
+  // Pass 1: aggregate pods by owning job.
+  std::unordered_map<Uid, PodRollup> rollup;
+  api_.visit_pods([&](const Pod& p) {
+    if (p.meta.owner_uid == kNoUid) return;
+    PodRollup& r = rollup[p.meta.owner_uid];
+    r.any_pod = true;
+    if (!p.meta.deletion_requested) r.undeleted.push_back(p.meta.uid);
+    switch (p.status.phase) {
+      case PodPhase::kRunning:
+        ++r.active;
+        break;
+      case PodPhase::kSucceeded:
+        ++r.succeeded;
+        break;
+      case PodPhase::kFailed:
+        ++r.failed;
+        break;
+      default:
+        ++r.active;  // pending/creating pods count as active work
+        break;
+    }
+    if (p.status.running_vt > 0 &&
+        (r.first_running == 0 || p.status.running_vt < r.first_running)) {
+      r.first_running = p.status.running_vt;
+    }
+    if (p.status.finished_vt > r.last_finish) {
+      r.last_finish = p.status.finished_vt;
+    }
+  });
+
+  // Pass 2: collect actions (no store mutation while visiting).
+  struct StatusUpdate {
+    Uid uid;
+    JobStatus status;
+  };
+  std::vector<StatusUpdate> updates;
+  std::vector<Uid> to_create;
+  std::vector<Uid> to_ttl_delete;
+  std::vector<Uid> deleting;
+
+  api_.visit_jobs([&](const Job& job) {
+    const Uid uid = job.meta.uid;
+    if (job.meta.deletion_requested) {
+      if (job.meta.has_finalizer(kJobFinalizer)) deleting.push_back(uid);
+      return;
+    }
+    if (!pods_created_.contains(uid)) {
+      to_create.push_back(uid);
+      return;
+    }
+    const auto rit = rollup.find(uid);
+    static const PodRollup kEmpty{};
+    const PodRollup& r = rit == rollup.end() ? kEmpty : rit->second;
+
+    JobStatus status = job.status;
+    status.active = r.active;
+    status.succeeded = r.succeeded;
+    status.failed = r.failed;
+    if (r.first_running > 0 && status.start_vt == 0) {
+      status.start_vt = r.first_running;
+    }
+    if (!status.complete && status.succeeded >= job.spec.completions) {
+      status.complete = true;
+      status.completion_vt =
+          r.last_finish > 0 ? r.last_finish : api_.loop().now();
+      SHS_DEBUG(kTag) << "job " << job.meta.name << " complete at "
+                      << to_seconds(status.completion_vt) << "s";
+    }
+    if (status.active != job.status.active ||
+        status.succeeded != job.status.succeeded ||
+        status.failed != job.status.failed ||
+        status.complete != job.status.complete ||
+        status.start_vt != job.status.start_vt) {
+      updates.push_back({uid, status});
+    }
+    if (status.complete && job.spec.ttl_after_finished_s >= 0 &&
+        !ttl_deleted_.contains(uid)) {
+      to_ttl_delete.push_back(uid);
+    }
+  });
+
+  // Pass 3: apply.
+  for (const auto& u : updates) {
+    auto job = api_.get_job(u.uid);
+    if (!job.is_ok()) continue;
+    Job updated = job.value();
+    updated.status = u.status;
+    (void)api_.update_job(updated);
+  }
+  for (const Uid uid : to_create) {
+    pods_created_.insert(uid);
+    (void)api_.add_job_finalizer(uid, kJobFinalizer);
+    api_.loop().schedule_after(
+        jittered(api_.params().job_reconcile_delay), [this, uid] {
+          auto j = api_.get_job(uid);
+          if (j.is_ok() && !j.value().meta.deletion_requested) {
+            create_pods(j.value());
+          }
+        });
+  }
+  for (const Uid uid : to_ttl_delete) {
+    ttl_deleted_.insert(uid);
+    auto job = api_.get_job(uid);
+    if (!job.is_ok()) continue;
+    api_.loop().schedule_after(
+        from_seconds(job.value().spec.ttl_after_finished_s),
+        [this, uid] { (void)api_.delete_job(uid); });
+  }
+  for (const Uid uid : deleting) {
+    const auto rit = rollup.find(uid);
+    if (rit == rollup.end() || !rit->second.any_pod) {
+      // No pods left: release the job.
+      (void)api_.remove_job_finalizer(uid, kJobFinalizer);
+      pods_created_.erase(uid);
+      ttl_deleted_.erase(uid);
+      continue;
+    }
+    for (const Uid pod_uid : rit->second.undeleted) {
+      (void)api_.delete_pod(pod_uid);
+    }
+  }
+}
+
+void JobController::create_pods(const Job& job) {
+  const int n = std::max(job.spec.completions, job.spec.parallelism);
+  for (int i = 0; i < n; ++i) {
+    Pod pod;
+    pod.meta.name = strfmt("%s-%d", job.meta.name.c_str(), i);
+    pod.meta.ns = job.meta.ns;
+    pod.meta.owner_uid = job.meta.uid;
+    pod.meta.annotations = job.meta.annotations;  // vni annotation flows down
+    pod.spec = job.spec.pod_template;
+    // Each pod-object creation costs one API round-trip; stagger them.
+    const SimDuration delay =
+        jittered(api_.params().pod_create_api_cost) * (i + 1);
+    const Uid owner = job.meta.uid;
+    api_.loop().schedule_after(delay, [this, pod, owner] {
+      // The job may have been deleted while this creation was in flight.
+      auto j = api_.get_job(owner);
+      if (!j.is_ok() || j.value().meta.deletion_requested) return;
+      auto r = api_.create_pod(pod);
+      if (!r.is_ok()) {
+        SHS_WARN(kTag) << "pod create failed: " << r.status();
+      }
+    });
+  }
+}
+
+}  // namespace shs::k8s

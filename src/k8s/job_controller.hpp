@@ -1,0 +1,50 @@
+// job_controller.hpp — creates pods for Jobs, tracks completion, cascades
+// deletion, and implements ttlSecondsAfterFinished=0 ("Jobs are configured
+// to be deleted immediately after completion", Section IV-B).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "k8s/api_server.hpp"
+#include "util/rng.hpp"
+
+namespace shs::k8s {
+
+inline constexpr const char* kJobFinalizer = "shs.io/job-controller";
+
+class JobController {
+ public:
+  JobController(ApiServer& api, Rng rng);
+  ~JobController();
+  JobController(const JobController&) = delete;
+  JobController& operator=(const JobController&) = delete;
+
+  /// Starts the periodic reconcile loop.
+  void start();
+  void stop();
+
+  /// Number of jobs currently tracked as incomplete (diagnostics).
+  [[nodiscard]] std::size_t inflight_jobs() const {
+    return pods_created_.size();
+  }
+
+ private:
+  void reconcile();
+  void create_pods(const Job& job);
+  SimDuration jittered(SimDuration d) {
+    return static_cast<SimDuration>(
+        static_cast<double>(d) * rng_.jitter(api_.params().jitter_amplitude));
+  }
+
+  ApiServer& api_;
+  Rng rng_;
+  sim::EventLoop::TaskId task_ = sim::EventLoop::kInvalidTask;
+  /// Jobs whose pods have been created (or are being created).
+  std::unordered_set<Uid> pods_created_;
+  /// Jobs with a TTL deletion already issued.
+  std::unordered_set<Uid> ttl_deleted_;
+};
+
+}  // namespace shs::k8s

@@ -1,0 +1,186 @@
+#include "k8s/metacontroller.hpp"
+
+#include "util/log.hpp"
+
+namespace shs::k8s {
+
+namespace {
+constexpr const char* kTag = "metactrl";
+}
+
+DecoratorController::DecoratorController(ApiServer& api, Hooks hooks, Rng rng)
+    : api_(api), hooks_(std::move(hooks)), rng_(rng) {}
+
+DecoratorController::~DecoratorController() { stop(); }
+
+void DecoratorController::start() {
+  if (task_ != sim::EventLoop::kInvalidTask) return;
+  task_ = api_.loop().schedule_periodic(api_.params().job_reconcile_delay,
+                                        [this] { reconcile(); });
+}
+
+void DecoratorController::stop() {
+  if (task_ != sim::EventLoop::kInvalidTask) {
+    api_.loop().cancel(task_);
+    task_ = sim::EventLoop::kInvalidTask;
+  }
+}
+
+void DecoratorController::reconcile() {
+  // Light one-pass scans; full objects are only fetched inside the
+  // scheduled webhook callbacks (O(jobs) per pass, small constant).
+  struct Flags {
+    Uid uid;
+    bool deleting;
+    bool has_finalizer;
+  };
+  std::vector<Flags> jobs;
+  api_.visit_jobs([&](const Job& j) {
+    if (!j.meta.has_annotation(kVniAnnotation)) return;
+    jobs.push_back({j.meta.uid, j.meta.deletion_requested,
+                    j.meta.has_finalizer(kMetaFinalizer)});
+  });
+  for (const Flags& f : jobs) reconcile_job(f.uid, f.deleting,
+                                            f.has_finalizer);
+
+  std::vector<Flags> claims;
+  api_.visit_vni_claims([&](const VniClaim& c) {
+    claims.push_back({c.meta.uid, c.meta.deletion_requested,
+                      c.meta.has_finalizer(kMetaFinalizer)});
+  });
+  for (const Flags& f : claims) reconcile_claim(f.uid, f.deleting,
+                                                f.has_finalizer);
+}
+
+void DecoratorController::apply_children(
+    Uid parent_uid, const std::vector<VniObject>& desired) {
+  // Apply semantics: create children that do not exist yet (matched by
+  // name); existing ones are left untouched (our children are immutable).
+  const auto existing = api_.list_vni_objects([&](const VniObject& v) {
+    return v.bound_uid == parent_uid;
+  });
+  for (const VniObject& want : desired) {
+    bool found = false;
+    for (const VniObject& have : existing) {
+      if (have.meta.name == want.meta.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      auto r = api_.create_vni_object(want);
+      if (!r.is_ok() && r.code() != Code::kAlreadyExists) {
+        SHS_WARN(kTag) << "child create failed: " << r.status();
+      }
+    }
+  }
+}
+
+void DecoratorController::reconcile_job(Uid uid, bool deleting,
+                                        bool has_finalizer) {
+  if (deleting) {
+    if (!has_finalizer || finalize_inflight_.contains(uid)) {
+      return;
+    }
+    finalize_inflight_.insert(uid);
+    ++finalize_calls_;
+    api_.loop().schedule_after(jittered(api_.params().webhook_cost),
+                               [this, uid] {
+      finalize_inflight_.erase(uid);
+      auto j = api_.get_job(uid);
+      if (!j.is_ok()) return;
+      auto fin = hooks_.finalize_job ? hooks_.finalize_job(j.value())
+                                     : Result<bool>(true);
+      if (!fin.is_ok() || !fin.value()) return;  // retried next pass
+      // Cleanup complete: remove child VNI CRD instances, release the
+      // decorator finalizer so the job can disappear.
+      for (const VniObject& child : api_.list_vni_objects(
+               [&](const VniObject& v) { return v.bound_uid == uid; })) {
+        (void)api_.delete_vni_object(child.meta.uid);
+      }
+      (void)api_.remove_job_finalizer(uid, kMetaFinalizer);
+      synced_.erase(uid);
+    });
+    return;
+  }
+
+  // Live object: decorate.
+  if (!has_finalizer) {
+    (void)api_.add_job_finalizer(uid, kMetaFinalizer);
+  }
+  if (synced_.contains(uid) || sync_inflight_.contains(uid)) return;
+  sync_inflight_.insert(uid);
+  ++sync_calls_;
+  api_.loop().schedule_after(jittered(api_.params().webhook_cost),
+                             [this, uid] {
+    sync_inflight_.erase(uid);
+    auto j = api_.get_job(uid);
+    if (!j.is_ok() || j.value().meta.deletion_requested) return;
+    auto children = hooks_.sync_job
+                        ? hooks_.sync_job(j.value())
+                        : Result<std::vector<VniObject>>(
+                              std::vector<VniObject>{});
+    if (!children.is_ok()) {
+      // e.g. the referenced VniClaim does not exist: the job's pods will
+      // keep failing CNI ADD and the job fails to launch (Section III-C1).
+      SHS_DEBUG(kTag) << "sync_job " << j.value().meta.name << ": "
+                      << children.status();
+      return;  // retried on the next reconcile pass
+    }
+    apply_children(uid, children.value());
+    synced_.insert(uid);
+  });
+}
+
+void DecoratorController::reconcile_claim(Uid uid, bool deleting,
+                                          bool has_finalizer) {
+  if (deleting) {
+    if (!has_finalizer || finalize_inflight_.contains(uid)) {
+      return;
+    }
+    finalize_inflight_.insert(uid);
+    ++finalize_calls_;
+    api_.loop().schedule_after(jittered(api_.params().webhook_cost),
+                               [this, uid] {
+      finalize_inflight_.erase(uid);
+      auto c = api_.get_vni_claim(uid);
+      if (!c.is_ok()) return;
+      auto fin = hooks_.finalize_claim ? hooks_.finalize_claim(c.value())
+                                       : Result<bool>(true);
+      if (!fin.is_ok() || !fin.value()) return;  // users remain: stall
+      for (const VniObject& child : api_.list_vni_objects(
+               [&](const VniObject& v) { return v.bound_uid == uid; })) {
+        (void)api_.delete_vni_object(child.meta.uid);
+      }
+      (void)api_.remove_claim_finalizer(uid, kMetaFinalizer);
+      synced_.erase(uid);
+    });
+    return;
+  }
+
+  if (!has_finalizer) {
+    (void)api_.add_claim_finalizer(uid, kMetaFinalizer);
+  }
+  if (synced_.contains(uid) || sync_inflight_.contains(uid)) return;
+  sync_inflight_.insert(uid);
+  ++sync_calls_;
+  api_.loop().schedule_after(jittered(api_.params().webhook_cost),
+                             [this, uid] {
+    sync_inflight_.erase(uid);
+    auto c = api_.get_vni_claim(uid);
+    if (!c.is_ok() || c.value().meta.deletion_requested) return;
+    auto children = hooks_.sync_claim
+                        ? hooks_.sync_claim(c.value())
+                        : Result<std::vector<VniObject>>(
+                              std::vector<VniObject>{});
+    if (!children.is_ok()) {
+      SHS_DEBUG(kTag) << "sync_claim " << c.value().meta.name << ": "
+                      << children.status();
+      return;
+    }
+    apply_children(uid, children.value());
+    synced_.insert(uid);
+  });
+}
+
+}  // namespace shs::k8s

@@ -1,0 +1,186 @@
+// objects.hpp — the Kubernetes object model the reproduction needs.
+//
+// Typed objects instead of untyped JSON: Pods, Jobs, and the two CRDs the
+// paper introduces (Vni, VniClaim).  Semantics preserved from Kubernetes:
+//   * metadata with namespace, annotations, finalizers, ownerReferences;
+//   * two-phase deletion (deletionTimestamp + finalizers);
+//   * Jobs create Pods through a controller, never directly;
+//   * CRD instances are plain objects the VNI controller manages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hsn/types.hpp"
+#include "linuxsim/kernel.hpp"
+#include "util/units.hpp"
+
+namespace shs::k8s {
+
+using Uid = std::uint64_t;
+constexpr Uid kNoUid = 0;
+
+/// The annotation key the paper uses to request Slingshot connectivity:
+/// `vni: "true"` (Per-Resource model) or `vni: "<claim-name>"` (Claims).
+inline constexpr const char* kVniAnnotation = "vni";
+
+/// Common object metadata.
+struct ObjectMeta {
+  std::string name;
+  std::string ns = "default";  ///< Kubernetes namespace
+  Uid uid = kNoUid;
+  std::uint64_t resource_version = 0;
+  std::map<std::string, std::string> annotations;
+  std::map<std::string, std::string> labels;
+  std::vector<std::string> finalizers;
+  Uid owner_uid = kNoUid;  ///< single ownerReference is enough here
+  SimTime creation_vt = 0;
+  bool deletion_requested = false;  ///< deletionTimestamp set
+  SimTime deletion_vt = 0;
+
+  [[nodiscard]] bool has_annotation(const std::string& key) const {
+    return annotations.contains(key);
+  }
+  [[nodiscard]] std::string annotation(const std::string& key) const {
+    const auto it = annotations.find(key);
+    return it == annotations.end() ? std::string{} : it->second;
+  }
+  [[nodiscard]] bool has_finalizer(const std::string& f) const {
+    for (const auto& x : finalizers) {
+      if (x == f) return true;
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pod
+
+enum class PodPhase : std::uint8_t {
+  kPending = 0,   ///< accepted, not yet bound to a node
+  kScheduled,     ///< bound; kubelet has not started it yet
+  kCreating,      ///< sandbox / CNI / image pull in flight
+  kRunning,
+  kSucceeded,
+  kFailed,
+};
+
+constexpr const char* pod_phase_name(PodPhase p) noexcept {
+  switch (p) {
+    case PodPhase::kPending: return "Pending";
+    case PodPhase::kScheduled: return "Scheduled";
+    case PodPhase::kCreating: return "Creating";
+    case PodPhase::kRunning: return "Running";
+    case PodPhase::kSucceeded: return "Succeeded";
+    case PodPhase::kFailed: return "Failed";
+  }
+  return "Unknown";
+}
+
+struct PodSpec {
+  std::string image = "alpine";
+  /// Virtual runtime of the container's command ("echo" ≈ instant; the
+  /// pod lifecycle overhead dominates, as in the paper's admission test).
+  SimDuration run_duration = from_millis(50);
+  /// terminationGracePeriodSeconds.  The CXI CNI plugin rejects pods
+  /// requesting a VNI with grace > 30 s (Section III-C1).
+  int termination_grace_s = 30;
+  /// Topology-spread: pods sharing a non-empty key are spread across
+  /// distinct nodes (how the paper places the two OSU ranks).
+  std::string spread_key;
+};
+
+struct PodStatus {
+  PodPhase phase = PodPhase::kPending;
+  std::string node;  ///< bound node name, empty until scheduled
+  linuxsim::NetNsInode netns_inode = 0;
+  hsn::Vni vni = hsn::kInvalidVni;  ///< granted by the CXI CNI plugin
+  std::string message;
+  SimTime scheduled_vt = 0;
+  SimTime running_vt = 0;
+  SimTime finished_vt = 0;
+};
+
+struct Pod {
+  ObjectMeta meta;
+  PodSpec spec;
+  PodStatus status;
+};
+
+// ---------------------------------------------------------------------------
+// Job
+
+struct JobSpec {
+  int completions = 1;
+  int parallelism = 1;
+  PodSpec pod_template;
+  /// ttlSecondsAfterFinished.  0 = delete immediately on completion (the
+  /// admission benches use this, per Section IV-B).
+  int ttl_after_finished_s = -1;  ///< -1 = never auto-delete
+};
+
+struct JobStatus {
+  int active = 0;
+  int succeeded = 0;
+  int failed = 0;
+  bool complete = false;
+  SimTime start_vt = 0;       ///< first pod Running — "actual job start"
+  SimTime completion_vt = 0;
+};
+
+struct Job {
+  ObjectMeta meta;
+  JobSpec spec;
+  JobStatus status;
+};
+
+// ---------------------------------------------------------------------------
+// CRDs: Vni and VniClaim (Section III-C)
+
+/// One VNI CRD instance represents one allocated Virtual Network, or — in
+/// the Claims model — a "virtual" (non-owning) instance binding a job to a
+/// claim's VNI.
+struct VniObject {
+  ObjectMeta meta;
+  hsn::Vni vni = hsn::kInvalidVni;
+  /// Kind/name of the resource this instance decorates (Job or VniClaim).
+  std::string bound_kind;
+  std::string bound_name;
+  Uid bound_uid = kNoUid;
+  /// True for non-owning instances handed to claim-redeeming jobs; their
+  /// deletion removes the job as a user of the claim's VNI instead of
+  /// releasing the VNI itself.
+  bool virtual_instance = false;
+  std::string claim_name;  ///< set when redeemed through a claim
+};
+
+struct VniClaimSpec {
+  /// The user-chosen claim name jobs reference via `vni: <name>`.
+  std::string claim_name;
+};
+
+struct VniClaimStatus {
+  hsn::Vni vni = hsn::kInvalidVni;  ///< acquired VNI, once bound
+  int active_users = 0;             ///< jobs currently redeeming the claim
+};
+
+struct VniClaim {
+  ObjectMeta meta;
+  VniClaimSpec spec;
+  VniClaimStatus status;
+};
+
+// ---------------------------------------------------------------------------
+// Watch events
+
+enum class WatchEventType : std::uint8_t { kAdded, kModified, kDeleted };
+
+template <typename T>
+struct WatchEvent {
+  WatchEventType type = WatchEventType::kAdded;
+  T object;  ///< snapshot at event time
+};
+
+}  // namespace shs::k8s

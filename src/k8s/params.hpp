@@ -1,0 +1,71 @@
+// params.hpp — calibration constants of the control-plane model.
+//
+// The paper's evaluation runs on k3s over two Ampere Altra nodes with a
+// local Harbor registry.  We cannot measure that stack here, so every
+// pipeline stage has an explicit virtual-time cost, chosen so that the
+// *shapes* of Figs 9-12 reproduce: job admission lags submission once the
+// ramp sustains 10 jobs/s, delays reach ~15 s (ramp) and ~60 s (spike),
+// and the vni:true series sits a low-single-digit percent above vni:false
+// (the paper reports 3.5 % ramp / 1.6 % spike median overhead).
+//
+// The dominant mechanism is intentional: pod create/teardown work is
+// serialized through a small per-node slot pool (kubelet + containerd do
+// limited concurrent sandbox work), so sustained submission above the
+// drain rate builds a queue — exactly the backlog the paper attributes to
+// "the Kubernetes stack" rather than to the Slingshot integration.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace shs::k8s {
+
+struct K8sParams {
+  // -- API server / watch plumbing.
+  SimDuration watch_latency = from_millis(6);
+
+  // -- Job controller.
+  SimDuration job_reconcile_delay = from_millis(20);
+  SimDuration pod_create_api_cost = from_millis(10);
+
+  // -- Scheduler.
+  SimDuration scheduler_period = from_millis(40);
+  SimDuration bind_cost = from_millis(15);
+  int binds_per_cycle = 20;
+
+  // -- Kubelet / container runtime (per node).  Stage costs are
+  //    *aggregates* of runtime + API + GC work observed on k3s-class
+  //    control planes; creation workers bound admission throughput and
+  //    teardown workers bound removal throughput.
+  SimDuration kubelet_sync_period = from_millis(60);
+  /// Concurrent pod creations per node (admission bottleneck, Fig 10).
+  int kubelet_create_workers = 2;
+  /// Concurrent pod teardowns per node (removal bottleneck, Figs 9/11).
+  int kubelet_teardown_workers = 2;
+  SimDuration sandbox_create_cost = from_millis(120);
+  SimDuration image_pull_cost = from_millis(220);  ///< local Harbor registry
+  SimDuration container_start_cost = from_millis(120);
+  SimDuration container_stop_cost = from_millis(300);
+  SimDuration sandbox_teardown_cost = from_millis(650);
+
+  // -- CNI chain.
+  SimDuration bridge_cni_add_cost = from_millis(45);
+  SimDuration bridge_cni_del_cost = from_millis(80);
+  /// The paper's CXI CNI plugin: annotation lookup + VNI fetch + CXI
+  /// service creation.  Runs inside the serialized pod-setup path, which
+  /// is where the few-percent admission overhead comes from.
+  SimDuration cxi_cni_add_cost = from_millis(6);
+  SimDuration cxi_cni_del_cost = from_millis(4);
+
+  // -- VNI service.
+  SimDuration webhook_cost = from_millis(15);  ///< Metacontroller -> endpoint
+  SimDuration db_txn_cost = from_millis(2);
+
+  /// Multiplicative jitter on every control-plane stage (run-to-run
+  /// variance; the paper's percentile bands).
+  double jitter_amplitude = 0.18;
+  std::uint64_t seed = 0x6b3873ULL;  // "k8s"
+};
+
+}  // namespace shs::k8s

@@ -1,0 +1,55 @@
+// pod_runtime.hpp — the kubelet's view of the container runtime (CRI).
+//
+// Each stage returns its modeled virtual-time cost; the kubelet schedules
+// the next stage after that delay.  Implemented by cri::ContainerRuntime,
+// which owns the node's namespaces and CNI plugin chain.
+#pragma once
+
+#include "k8s/objects.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace shs::k8s {
+
+struct SandboxInfo {
+  linuxsim::NetNsInode netns_inode = 0;
+  SimDuration cost = 0;
+};
+
+struct CniAddInfo {
+  hsn::Vni vni = hsn::kInvalidVni;  ///< granted VNI (kInvalidVni if none)
+  SimDuration cost = 0;
+};
+
+/// CRI-ish runtime interface.  Implementations must be callable from the
+/// event-loop thread and must not block.
+class PodRuntime {
+ public:
+  virtual ~PodRuntime() = default;
+
+  /// Creates the pod sandbox (network namespace, cgroup).
+  virtual Result<SandboxInfo> create_sandbox(const Pod& pod) = 0;
+
+  /// Runs the CNI plugin chain (ADD).  May return kUnavailable to signal
+  /// "retry later" (e.g. the VNI CRD instance has not been created yet);
+  /// the kubelet re-attempts after a backoff.
+  virtual Result<CniAddInfo> attach_networks(const Pod& pod) = 0;
+
+  /// Pulls the container image (local registry in the paper's setup).
+  virtual Result<SimDuration> pull_image(const Pod& pod) = 0;
+
+  /// Starts the container process.
+  virtual Result<SimDuration> start_container(const Pod& pod) = 0;
+
+  /// Stops the container (bounded by the grace period).
+  virtual Result<SimDuration> stop_container(const Pod& pod,
+                                             SimDuration grace) = 0;
+
+  /// Runs the CNI plugin chain (DEL).
+  virtual Result<SimDuration> detach_networks(const Pod& pod) = 0;
+
+  /// Destroys the sandbox and its namespaces.
+  virtual Result<SimDuration> destroy_sandbox(const Pod& pod) = 0;
+};
+
+}  // namespace shs::k8s

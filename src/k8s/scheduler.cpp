@@ -1,0 +1,111 @@
+#include "k8s/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace shs::k8s {
+
+namespace {
+constexpr const char* kTag = "scheduler";
+}
+
+Scheduler::Scheduler(ApiServer& api, std::vector<std::string> nodes, Rng rng)
+    : api_(api), nodes_(std::move(nodes)), rng_(rng) {}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::start() {
+  if (task_ != sim::EventLoop::kInvalidTask) return;
+  task_ = api_.loop().schedule_periodic(api_.params().scheduler_period,
+                                        [this] { cycle(); });
+}
+
+void Scheduler::stop() {
+  if (task_ != sim::EventLoop::kInvalidTask) {
+    api_.loop().cancel(task_);
+    task_ = sim::EventLoop::kInvalidTask;
+  }
+}
+
+void Scheduler::cycle() {
+  if (nodes_.empty()) return;
+
+  // One pass over pods: collect pending work and per-node load counts
+  // (bound pods per node, plus per (spread_key, node) counts).
+  struct PendingPod {
+    Uid uid = kNoUid;
+    std::string spread_key;
+  };
+  std::vector<PendingPod> pending;
+  std::unordered_map<std::string, int> bound;
+  std::unordered_map<std::string, int> spread;  // key: spread_key + '\1' + node
+  api_.visit_pods([&](const Pod& p) {
+    if (p.status.node.empty()) {
+      if (p.status.phase == PodPhase::kPending &&
+          !p.meta.deletion_requested && !in_flight_.contains(p.meta.uid)) {
+        pending.push_back({p.meta.uid, p.spec.spread_key});
+      }
+      return;
+    }
+    ++bound[p.status.node];
+    if (!p.spec.spread_key.empty()) {
+      ++spread[p.spec.spread_key + '\1' + p.status.node];
+    }
+  });
+
+  const int quota = api_.params().binds_per_cycle;
+  int issued = 0;
+  for (const PendingPod& p : pending) {
+    if (issued >= quota) break;
+    // Topology spread dominates; total load breaks ties; round-robin
+    // breaks remaining ties.
+    const std::string* best = nullptr;
+    int best_score = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const std::string& n = nodes_[(rr_ + i) % nodes_.size()];
+      int score = bound[n];
+      if (!p.spread_key.empty()) {
+        score += spread[p.spread_key + '\1' + n] * 1'000'000;
+      }
+      if (score < best_score) {
+        best_score = score;
+        best = &n;
+      }
+    }
+    rr_ = (rr_ + 1) % nodes_.size();
+    if (best == nullptr) continue;
+    const std::string node = *best;
+    // Account this decision so later binds in the same cycle spread too.
+    ++bound[node];
+    if (!p.spread_key.empty()) ++spread[p.spread_key + '\1' + node];
+
+    in_flight_.insert(p.uid);
+    ++issued;
+    ++binds_;
+    const Uid uid = p.uid;
+    // Binding costs one scheduling pass + API write; binds within one
+    // cycle serialize through the scheduler's single queue.
+    const SimDuration cost = static_cast<SimDuration>(
+        static_cast<double>(api_.params().bind_cost) * issued *
+        rng_.jitter(api_.params().jitter_amplitude));
+    api_.loop().schedule_after(cost, [this, uid, node] {
+      in_flight_.erase(uid);
+      auto r = api_.get_pod(uid);
+      if (!r.is_ok() || r.value().meta.deletion_requested) return;
+      Pod pod = r.value();
+      pod.status.node = node;
+      pod.status.phase = PodPhase::kScheduled;
+      pod.status.scheduled_vt = api_.loop().now();
+      (void)api_.update_pod(pod);
+      // The kubelet finalizer guarantees teardown runs before the object
+      // disappears.
+      (void)api_.add_pod_finalizer(uid, kKubeletFinalizer);
+      SHS_TRACE(kTag) << "bound pod " << pod.meta.name << " -> " << node;
+    });
+  }
+}
+
+}  // namespace shs::k8s

@@ -1,0 +1,45 @@
+// scheduler.hpp — binds pending pods to nodes.
+//
+// Implements the one placement feature the paper's evaluation needs:
+// topology-spread constraints ("spread the two involved containers onto
+// the two nodes", Section IV-A).  Pods sharing a non-empty
+// `spec.spread_key` are placed on distinct nodes where possible;
+// everything else balances by bound-pod count.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "k8s/api_server.hpp"
+#include "util/rng.hpp"
+
+namespace shs::k8s {
+
+inline constexpr const char* kKubeletFinalizer = "shs.io/kubelet";
+
+class Scheduler {
+ public:
+  Scheduler(ApiServer& api, std::vector<std::string> nodes, Rng rng);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t binds_issued() const noexcept { return binds_; }
+
+ private:
+  void cycle();
+
+  ApiServer& api_;
+  std::vector<std::string> nodes_;
+  Rng rng_;
+  sim::EventLoop::TaskId task_ = sim::EventLoop::kInvalidTask;
+  std::unordered_set<Uid> in_flight_;  ///< bind decisions not yet applied
+  std::size_t binds_ = 0;
+  std::size_t rr_ = 0;  ///< round-robin tiebreaker
+};
+
+}  // namespace shs::k8s

@@ -1,0 +1,221 @@
+#include "linuxsim/kernel.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::linuxsim {
+
+namespace {
+constexpr const char* kTag = "linuxsim";
+/// Real kernels place the init netns inode near this value; we start our
+/// counter there so logs look familiar.
+constexpr NetNsInode kInitNetNsInode = 4026531840ULL;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UserNamespace
+
+std::optional<Uid> UserNamespace::to_host_uid(Uid inside) const noexcept {
+  for (const auto& e : uid_map_) {
+    if (inside >= e.inside_start && inside < e.inside_start + e.length) {
+      return e.outside_start + (inside - e.inside_start);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Gid> UserNamespace::to_host_gid(Gid inside) const noexcept {
+  for (const auto& e : gid_map_) {
+    if (inside >= e.inside_start && inside < e.inside_start + e.length) {
+      return e.outside_start + (inside - e.inside_start);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// NetNamespace
+
+Status NetNamespace::attach_device(const std::string& dev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(devices_.begin(), devices_.end(), dev) != devices_.end()) {
+    return already_exists(strfmt("device %s already in netns %s", dev.c_str(),
+                                 name_.c_str()));
+  }
+  devices_.push_back(dev);
+  return Status::ok();
+}
+
+Status NetNamespace::detach_device(const std::string& dev) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = std::find(devices_.begin(), devices_.end(), dev);
+  if (it == devices_.end()) {
+    return not_found(strfmt("device %s not in netns %s", dev.c_str(),
+                            name_.c_str()));
+  }
+  devices_.erase(it);
+  return Status::ok();
+}
+
+std::vector<std::string> NetNamespace::devices() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return devices_;
+}
+
+bool NetNamespace::has_device(const std::string& dev) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::find(devices_.begin(), devices_.end(), dev) != devices_.end();
+}
+
+// ---------------------------------------------------------------------------
+// Process
+
+Uid Process::host_uid() const noexcept {
+  if (!user_ns_) return creds_.uid;
+  return user_ns_->to_host_uid(creds_.uid).value_or(kOverflowUid);
+}
+
+Gid Process::host_gid() const noexcept {
+  if (!user_ns_) return creds_.gid;
+  return user_ns_->to_host_gid(creds_.gid).value_or(kOverflowGid);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+
+Kernel::Kernel() : next_netns_inode_(kInitNetNsInode) {
+  host_net_ns_ =
+      std::make_shared<NetNamespace>(next_netns_inode_++, "host");
+  net_namespaces_.emplace(host_net_ns_->inode(), host_net_ns_);
+  // PID 1: host init, root, host namespaces.
+  auto init = std::make_shared<Process>(Pid{1}, Credentials{}, nullptr,
+                                        host_net_ns_);
+  processes_.emplace(init->pid(), std::move(init));
+}
+
+std::shared_ptr<NetNamespace> Kernel::create_net_namespace(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ns =
+      std::make_shared<NetNamespace>(next_netns_inode_++, std::move(name));
+  net_namespaces_.emplace(ns->inode(), ns);
+  SHS_DEBUG(kTag) << "created netns " << ns->name() << " inode "
+                  << ns->inode();
+  return ns;
+}
+
+std::shared_ptr<UserNamespace> Kernel::create_user_namespace(
+    std::vector<IdMapEntry> uid_map, std::vector<IdMapEntry> gid_map) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::make_shared<UserNamespace>(next_user_ns_id_++,
+                                         std::move(uid_map),
+                                         std::move(gid_map));
+}
+
+std::shared_ptr<Process> Kernel::spawn(const SpawnOptions& opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto net_ns = opts.net_ns ? opts.net_ns : host_net_ns_;
+  auto proc = std::make_shared<Process>(next_pid_++, opts.creds, opts.user_ns,
+                                        std::move(net_ns));
+  processes_.emplace(proc->pid(), proc);
+  SHS_DEBUG(kTag) << "spawned pid " << proc->pid() << " uid "
+                  << proc->creds().uid << " netns "
+                  << proc->net_ns()->inode();
+  return proc;
+}
+
+Status Kernel::kill(Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return not_found(strfmt("no such pid %u", pid));
+  }
+  it->second->alive_ = false;
+  processes_.erase(it);
+  return Status::ok();
+}
+
+Status Kernel::setuid(Pid pid, Uid uid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) return not_found(strfmt("no such pid %u", pid));
+  Process& p = *it->second;
+  if (p.user_ns_) {
+    // Inside a user namespace: any mapped UID may be assumed when the
+    // caller is namespace-root (we model container entry as ns-root, which
+    // is how rootless/user-namespaced containers behave).
+    if (!p.user_ns_->uid_mapped(uid)) {
+      return permission_denied(
+          strfmt("uid %u not mapped in user namespace", uid));
+    }
+    p.creds_.uid = uid;
+    return Status::ok();
+  }
+  // Host namespace: classic Unix — only root may switch UID freely.
+  if (p.creds_.uid != kRootUid) {
+    return permission_denied("setuid requires root outside user namespaces");
+  }
+  p.creds_.uid = uid;
+  return Status::ok();
+}
+
+Status Kernel::setgid(Pid pid, Gid gid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) return not_found(strfmt("no such pid %u", pid));
+  Process& p = *it->second;
+  if (p.user_ns_) {
+    if (!p.user_ns_->gid_mapped(gid)) {
+      return permission_denied(
+          strfmt("gid %u not mapped in user namespace", gid));
+    }
+    p.creds_.gid = gid;
+    return Status::ok();
+  }
+  if (p.creds_.uid != kRootUid) {
+    return permission_denied("setgid requires root outside user namespaces");
+  }
+  p.creds_.gid = gid;
+  return Status::ok();
+}
+
+Result<NetNsInode> Kernel::proc_net_ns_inode(Pid pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return Result<NetNsInode>(not_found(strfmt("no such pid %u", pid)));
+  }
+  return it->second->net_ns()->inode();
+}
+
+Result<Credentials> Kernel::proc_host_creds(Pid pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return Result<Credentials>(not_found(strfmt("no such pid %u", pid)));
+  }
+  return Credentials{it->second->host_uid(), it->second->host_gid()};
+}
+
+std::shared_ptr<Process> Kernel::find(Pid pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second;
+}
+
+std::size_t Kernel::process_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return processes_.size();
+}
+
+std::size_t Kernel::net_ns_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t alive = 0;
+  for (const auto& [inode, weak] : net_namespaces_) {
+    if (!weak.expired()) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace shs::linuxsim

@@ -1,0 +1,206 @@
+// kernel.hpp — simulated Linux kernel facilities the Slingshot stack
+// authenticates against.
+//
+// The paper's core observation (Section III) is that UID/GID-based CXI
+// service membership breaks under containers for two reasons:
+//   1. user namespaces let a container process *choose* its in-namespace
+//      UID/GID (root inside maps to an unprivileged host UID), and
+//   2. Kubernetes runs all containers as one host user anyway.
+// The fix authenticates by *network namespace inode*, which the kernel —
+// not the process — assigns, and which processes cannot change.
+//
+// This module reproduces exactly the semantics needed to demonstrate both
+// the vulnerability and the fix: processes with credentials, user
+// namespaces with UID/GID maps (setuid succeeds inside the mapped range),
+// network namespaces with unique procfs inodes, and a procfs view that the
+// simulated CXI driver uses to read `/proc/<pid>/ns/net`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace shs::linuxsim {
+
+using Pid = std::uint32_t;
+using Uid = std::uint32_t;
+using Gid = std::uint32_t;
+/// procfs inode of a network namespace (`/proc/<pid>/ns/net`).
+using NetNsInode = std::uint64_t;
+
+constexpr Uid kRootUid = 0;
+constexpr Gid kRootGid = 0;
+
+/// One contiguous ID mapping line, as in /proc/<pid>/uid_map:
+/// IDs [inside_start, inside_start+length) map to
+/// [outside_start, outside_start+length).
+struct IdMapEntry {
+  std::uint32_t inside_start = 0;
+  std::uint32_t outside_start = 0;
+  std::uint32_t length = 0;
+};
+
+/// A user namespace: isolates UID/GID views.  A process inside may call
+/// setuid() to any ID that its namespace maps — the privilege-containment
+/// property real user namespaces provide, and the exact property that
+/// makes UID-based RDMA authentication spoofable from inside a container.
+class UserNamespace {
+ public:
+  UserNamespace(std::uint64_t id, std::vector<IdMapEntry> uid_map,
+                std::vector<IdMapEntry> gid_map)
+      : id_(id), uid_map_(std::move(uid_map)), gid_map_(std::move(gid_map)) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Maps an in-namespace UID to the host UID; nullopt if unmapped.
+  [[nodiscard]] std::optional<Uid> to_host_uid(Uid inside) const noexcept;
+  [[nodiscard]] std::optional<Gid> to_host_gid(Gid inside) const noexcept;
+
+  /// True if `inside` is covered by the uid map (setuid allowed).
+  [[nodiscard]] bool uid_mapped(Uid inside) const noexcept {
+    return to_host_uid(inside).has_value();
+  }
+  [[nodiscard]] bool gid_mapped(Gid inside) const noexcept {
+    return to_host_gid(inside).has_value();
+  }
+
+ private:
+  std::uint64_t id_;
+  std::vector<IdMapEntry> uid_map_;
+  std::vector<IdMapEntry> gid_map_;
+};
+
+/// A network namespace.  The kernel assigns the procfs inode at creation;
+/// userspace can read it but never change it.  Network devices attach to
+/// exactly one namespace (Section II-D of the paper).
+class NetNamespace {
+ public:
+  NetNamespace(NetNsInode inode, std::string name)
+      : inode_(inode), name_(std::move(name)) {}
+
+  [[nodiscard]] NetNsInode inode() const noexcept { return inode_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Attaches a (virtual) network device; fails if already attached here.
+  Status attach_device(const std::string& dev);
+  /// Detaches a device; fails if not present.
+  Status detach_device(const std::string& dev);
+  [[nodiscard]] std::vector<std::string> devices() const;
+  [[nodiscard]] bool has_device(const std::string& dev) const;
+
+ private:
+  NetNsInode inode_;
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::vector<std::string> devices_;
+};
+
+/// Credentials of a process as the *host* kernel sees them, plus the
+/// in-namespace view when a user namespace is involved.
+struct Credentials {
+  Uid uid = kRootUid;   ///< effective UID in the process's user namespace
+  Gid gid = kRootGid;   ///< effective GID in the process's user namespace
+};
+
+/// A simulated process.  Thread-compatible: the owning Kernel serializes
+/// mutations.
+class Process {
+ public:
+  Process(Pid pid, Credentials creds,
+          std::shared_ptr<UserNamespace> user_ns,
+          std::shared_ptr<NetNamespace> net_ns)
+      : pid_(pid), creds_(creds), user_ns_(std::move(user_ns)),
+        net_ns_(std::move(net_ns)) {}
+
+  [[nodiscard]] Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] Credentials creds() const noexcept { return creds_; }
+  [[nodiscard]] const std::shared_ptr<UserNamespace>& user_ns() const noexcept {
+    return user_ns_;
+  }
+  [[nodiscard]] const std::shared_ptr<NetNamespace>& net_ns() const noexcept {
+    return net_ns_;
+  }
+
+  /// Host-view UID: identity if no user namespace, else mapped.  Unmapped
+  /// IDs surface as the kernel's overflow UID (65534, "nobody").
+  [[nodiscard]] Uid host_uid() const noexcept;
+  [[nodiscard]] Gid host_gid() const noexcept;
+
+ private:
+  friend class Kernel;
+  Pid pid_;
+  Credentials creds_;
+  std::shared_ptr<UserNamespace> user_ns_;
+  std::shared_ptr<NetNamespace> net_ns_;
+  bool alive_ = true;
+};
+
+/// Options for Kernel::spawn().
+struct SpawnOptions {
+  Credentials creds{};  ///< in-namespace credentials of the new process
+  std::shared_ptr<UserNamespace> user_ns;  ///< null = host user namespace
+  std::shared_ptr<NetNamespace> net_ns;    ///< null = host net namespace
+};
+
+/// The kernel: process table plus namespace registries.  Thread-safe.
+class Kernel {
+ public:
+  Kernel();
+
+  /// The initial network namespace (inode matches the region real kernels
+  /// use for the init netns, purely cosmetic).
+  [[nodiscard]] std::shared_ptr<NetNamespace> host_net_ns() const {
+    return host_net_ns_;
+  }
+
+  /// Creates a named network namespace with a fresh unique inode.
+  std::shared_ptr<NetNamespace> create_net_namespace(std::string name);
+
+  /// Creates a user namespace with the given maps.
+  std::shared_ptr<UserNamespace> create_user_namespace(
+      std::vector<IdMapEntry> uid_map, std::vector<IdMapEntry> gid_map);
+
+  /// Spawns a process.  Null namespaces default to the host namespaces.
+  std::shared_ptr<Process> spawn(const SpawnOptions& opts);
+
+  /// Terminates a process (removes it from the table).
+  Status kill(Pid pid);
+
+  /// setuid(2) semantics: without a user namespace only root may change
+  /// UID; within a user namespace any *mapped* UID may be assumed.  This
+  /// is the primitive the UID-spoof attack uses.
+  Status setuid(Pid pid, Uid uid);
+  Status setgid(Pid pid, Gid gid);
+
+  /// procfs: reads `/proc/<pid>/ns/net` — the netns inode for `pid`.
+  /// This is what the extended CXI driver authenticates against.
+  Result<NetNsInode> proc_net_ns_inode(Pid pid) const;
+
+  /// procfs: host-view credentials of `pid` (as `/proc/<pid>/status`).
+  Result<Credentials> proc_host_creds(Pid pid) const;
+
+  [[nodiscard]] std::shared_ptr<Process> find(Pid pid) const;
+  [[nodiscard]] std::size_t process_count() const;
+  [[nodiscard]] std::size_t net_ns_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Pid next_pid_ = 2;  // PID 1 is the host "init" created by the ctor
+  std::uint64_t next_user_ns_id_ = 1;
+  NetNsInode next_netns_inode_;
+  std::shared_ptr<NetNamespace> host_net_ns_;
+  std::unordered_map<Pid, std::shared_ptr<Process>> processes_;
+  std::unordered_map<NetNsInode, std::weak_ptr<NetNamespace>> net_namespaces_;
+};
+
+/// Kernel overflow UID ("nobody"), surfaced for unmapped IDs.
+constexpr Uid kOverflowUid = 65534;
+constexpr Gid kOverflowGid = 65534;
+
+}  // namespace shs::linuxsim

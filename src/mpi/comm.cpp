@@ -1,0 +1,67 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+
+namespace shs::mpi {
+
+std::unique_ptr<Communicator> Communicator::create(
+    std::vector<ofi::Endpoint*> endpoints) {
+  auto comm = std::unique_ptr<Communicator>(new Communicator());
+  comm->addrs_.reserve(endpoints.size());
+  for (const auto* ep : endpoints) comm->addrs_.push_back(ep->addr());
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    comm->ranks_.push_back(std::make_unique<RankContext>(
+        comm.get(), static_cast<int>(i), endpoints[i]));
+  }
+  return comm;
+}
+
+int RankContext::size() const noexcept { return comm_->size(); }
+
+Status RankContext::send(int dst, std::uint32_t tag,
+                         std::span<const std::byte> data,
+                         std::uint64_t size) {
+  if (dst < 0 || dst >= comm_->size()) {
+    return invalid_argument("bad rank");
+  }
+  auto r = ep_->tsend(comm_->addr_of(dst), wire_tag(rank_, tag), data, size,
+                      vt_);
+  if (!r.is_ok()) return r.status();
+  vt_ = r.value();
+  return Status::ok();
+}
+
+Result<RecvInfo> RankContext::recv(int src, std::uint32_t tag,
+                                   std::span<std::byte> buffer,
+                                   int real_timeout_ms) {
+  if (src < 0 || src >= comm_->size()) {
+    return Result<RecvInfo>(invalid_argument("bad rank"));
+  }
+  auto r = ep_->trecv_sync(wire_tag(src, tag), buffer, real_timeout_ms);
+  if (!r.is_ok()) return Result<RecvInfo>(r.status());
+  // Lamport merge: the local clock jumps to the arrival time if the
+  // message was still in flight.
+  vt_ = std::max(vt_, r.value().vt);
+  return RecvInfo{r.value().size, src};
+}
+
+Status RankContext::barrier() {
+  // Tag space 0xB000_0000+ is reserved for barriers; the epoch counter
+  // keeps successive barriers from matching each other's tokens.
+  const std::uint32_t tag = 0xB0000000u + barrier_epoch_++;
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      auto in = recv(r, tag, {});
+      if (!in.is_ok()) return in.status();
+    }
+    for (int r = 1; r < size(); ++r) {
+      SHS_RETURN_IF_ERROR(send(r, tag, {}, 0));
+    }
+    return Status::ok();
+  }
+  SHS_RETURN_IF_ERROR(send(0, tag, {}, 0));
+  auto release = recv(0, tag, {});
+  return release.status();
+}
+
+}  // namespace shs::mpi

@@ -1,0 +1,88 @@
+// comm.hpp — a minimal MPI-like point-to-point layer over the ofi
+// endpoints (the paper runs OSU over Open MPI over patched libfabric).
+//
+// Scope: exactly what the OSU micro-benchmarks need — ranks, blocking
+// tagged send/recv with source matching, and a barrier.  Each rank runs
+// on its own OS thread and owns a virtual clock; receives merge the
+// sender's packet-arrival time into the local clock (Lamport-style), so
+// bandwidth and latency measurements read off virtual time and are
+// reproducible regardless of host scheduling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ofi/endpoint.hpp"
+#include "util/status.hpp"
+
+namespace shs::mpi {
+
+struct RecvInfo {
+  std::uint64_t size = 0;
+  int source = -1;
+};
+
+class Communicator;
+
+/// Per-rank handle.  NOT thread-safe: use from the owning rank's thread.
+class RankContext {
+ public:
+  RankContext(Communicator* comm, int rank, ofi::Endpoint* ep) noexcept
+      : comm_(comm), rank_(rank), ep_(ep) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Blocking tagged send of `size` bytes to `dst`.  Empty `data` sends a
+  /// size-only (timing) message.
+  Status send(int dst, std::uint32_t tag, std::span<const std::byte> data,
+              std::uint64_t size);
+
+  /// Blocking tagged receive from `src`.
+  Result<RecvInfo> recv(int src, std::uint32_t tag,
+                        std::span<std::byte> buffer,
+                        int real_timeout_ms = 10'000);
+
+  /// Linear barrier through rank 0.
+  Status barrier();
+
+  /// This rank's virtual clock (nanoseconds).
+  [[nodiscard]] SimTime vt() const noexcept { return vt_; }
+
+ private:
+  /// Wire tag: (src_rank+1) in the top bits so receives match by source.
+  [[nodiscard]] static std::uint64_t wire_tag(int src,
+                                              std::uint32_t tag) noexcept {
+    return (static_cast<std::uint64_t>(src + 1) << 32) | tag;
+  }
+
+  Communicator* comm_;
+  int rank_;
+  ofi::Endpoint* ep_;
+  SimTime vt_ = 0;
+  std::uint32_t barrier_epoch_ = 0;
+};
+
+/// The world: rank -> endpoint addresses.  Construct via `create`.
+class Communicator {
+ public:
+  /// Non-owning: endpoints must outlive the communicator.
+  static std::unique_ptr<Communicator> create(
+      std::vector<ofi::Endpoint*> endpoints);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] RankContext& rank(int i) { return *ranks_.at(i); }
+  [[nodiscard]] ofi::FiAddr addr_of(int i) const { return addrs_.at(i); }
+
+ private:
+  Communicator() = default;
+  friend class RankContext;
+  std::vector<std::unique_ptr<RankContext>> ranks_;
+  std::vector<ofi::FiAddr> addrs_;
+};
+
+}  // namespace shs::mpi

@@ -1,0 +1,51 @@
+// domain.hpp — libfabric-style domain: the per-process access point to
+// one NIC.
+//
+// The paper's libfabric patch threads the new authentication through the
+// provider: a domain is opened *by a process*, and endpoint creation
+// authenticates that process (UID/GID/netns, depending on driver mode)
+// against the node's CXI services.  Here the process binding is explicit:
+// `Domain` carries the pid and hands it to libcxi on every allocation.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cxi/driver.hpp"
+#include "cxi/libcxi.hpp"
+#include "ofi/endpoint.hpp"
+
+namespace shs::ofi {
+
+/// Access point to the node's CXI provider for one process.
+class Domain {
+ public:
+  Domain(cxi::CxiDriver& driver, hsn::CassiniNic& nic,
+         std::shared_ptr<hsn::TimingModel> timing, linuxsim::Pid pid)
+      : driver_(&driver), nic_(&nic), timing_(std::move(timing)), pid_(pid) {}
+
+  [[nodiscard]] linuxsim::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] hsn::CassiniNic& nic() noexcept { return *nic_; }
+
+  /// Opens an RDM endpoint on `vni`.  This is the authenticated step: the
+  /// CXI driver checks the calling process against its services before
+  /// any hardware resources are handed out.
+  Result<std::unique_ptr<Endpoint>> open_endpoint(
+      hsn::Vni vni, hsn::TrafficClass tc = hsn::TrafficClass::kBestEffort,
+      std::optional<cxi::SvcId> svc = std::nullopt) {
+    cxi::LibCxi lib(*driver_, pid_);
+    auto hw = lib.alloc_endpoint(vni, tc, svc);
+    if (!hw.is_ok()) {
+      return Result<std::unique_ptr<Endpoint>>(hw.status());
+    }
+    return std::make_unique<Endpoint>(lib, *nic_, hw.value(), timing_);
+  }
+
+ private:
+  cxi::CxiDriver* driver_;
+  hsn::CassiniNic* nic_;
+  std::shared_ptr<hsn::TimingModel> timing_;
+  linuxsim::Pid pid_;
+};
+
+}  // namespace shs::ofi

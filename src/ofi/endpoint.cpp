@@ -1,0 +1,226 @@
+#include "ofi/endpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace shs::ofi {
+
+namespace {
+constexpr const char* kTag = "ofi-ep";
+constexpr std::size_t kMaxUnexpected = 1 << 15;
+}  // namespace
+
+Endpoint::Endpoint(cxi::LibCxi lib, hsn::CassiniNic& nic, cxi::CxiEndpoint hw,
+                   std::shared_ptr<hsn::TimingModel> timing)
+    : lib_(lib), nic_(nic), hw_(hw), timing_(std::move(timing)) {}
+
+Endpoint::~Endpoint() {
+  const Status st = lib_.free_endpoint(hw_);
+  if (!st.is_ok() && st.code() != Code::kNotFound) {
+    SHS_WARN(kTag) << "endpoint teardown: " << st;
+  }
+}
+
+Result<SimTime> Endpoint::tsend(FiAddr dst, std::uint64_t tag,
+                                std::span<const std::byte> payload,
+                                std::uint64_t size, SimTime vt,
+                                std::uint64_t context) {
+  auto accepted = nic_.post_send(hw_.ep, dst.nic, dst.ep, tag, size, payload,
+                                 vt, /*op_id=*/0);
+  if (!accepted.is_ok()) return accepted;
+  if (context != 0) {
+    cq_.push_back(Completion{Completion::Kind::kSend, context, tag, size, dst,
+                             accepted.value()});
+  }
+  return accepted;
+}
+
+void Endpoint::post_trecv(std::uint64_t tag, std::span<std::byte> buffer,
+                          std::uint64_t context) {
+  posted_.push_back(PostedRecv{tag, buffer, context});
+}
+
+void Endpoint::deliver(const PostedRecv& r, hsn::Packet& p) {
+  if (!p.payload.empty() && !r.buffer.empty()) {
+    std::memcpy(r.buffer.data(), p.payload.data(),
+                std::min<std::size_t>(r.buffer.size(), p.payload.size()));
+  }
+  cq_.push_back(Completion{Completion::Kind::kRecv, r.context, p.tag,
+                           p.size_bytes, FiAddr{p.src, p.src_ep},
+                           p.arrival_vt + timing_->rx_overhead()});
+}
+
+bool Endpoint::match_posted(hsn::Packet& p) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (tag_matches(it->tag, p.tag)) {
+      deliver(*it, p);
+      posted_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Endpoint::progress() {
+  std::size_t processed = 0;
+  while (true) {
+    auto pkt = nic_.poll_rx(hw_.ep);
+    if (!pkt.is_ok()) break;
+    hsn::Packet p = std::move(pkt).value();
+    if (!match_posted(p)) {
+      if (unexpected_.size() >= kMaxUnexpected) unexpected_.pop_front();
+      unexpected_.push_back(std::move(p));
+    }
+    ++processed;
+  }
+  return processed;
+}
+
+std::optional<Completion> Endpoint::cq_read() {
+  progress();
+  if (cq_.empty()) return std::nullopt;
+  Completion c = cq_.front();
+  cq_.pop_front();
+  return c;
+}
+
+Result<Completion> Endpoint::cq_sread(int real_timeout_ms) {
+  // Fast path.
+  if (auto c = cq_read()) return *c;
+  // Block on the NIC RX queue until something arrives or the deadline
+  // passes.  Completions produced by pure sends are already in cq_.
+  const int slice_ms = 50;
+  int waited = 0;
+  while (waited <= real_timeout_ms) {
+    auto pkt = nic_.wait_rx(hw_.ep, std::min(slice_ms, real_timeout_ms));
+    if (pkt.is_ok()) {
+      hsn::Packet p = std::move(pkt).value();
+      if (!match_posted(p)) {
+        if (unexpected_.size() >= kMaxUnexpected) unexpected_.pop_front();
+        unexpected_.push_back(std::move(p));
+      }
+      if (auto c = cq_read()) return *c;
+      continue;  // unexpected message; keep waiting
+    }
+    if (pkt.code() != Code::kTimeout) return Result<Completion>(pkt.status());
+    waited += slice_ms;
+    if (auto c = cq_read()) return *c;
+  }
+  return Result<Completion>(timeout_error("cq_sread deadline exceeded"));
+}
+
+Result<RecvResult> Endpoint::trecv_sync(std::uint64_t tag,
+                                        std::span<std::byte> buffer,
+                                        int real_timeout_ms) {
+  // 1. Unexpected queue first (messages that raced ahead of the post).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (tag_matches(tag, it->tag)) {
+      hsn::Packet p = std::move(*it);
+      unexpected_.erase(it);
+      if (!p.payload.empty() && !buffer.empty()) {
+        std::memcpy(buffer.data(), p.payload.data(),
+                    std::min<std::size_t>(buffer.size(), p.payload.size()));
+      }
+      return RecvResult{p.size_bytes, p.tag, FiAddr{p.src, p.src_ep},
+                        p.arrival_vt + timing_->rx_overhead()};
+    }
+  }
+  // 2. Block on arrivals.
+  const int slice_ms = 50;
+  int waited = 0;
+  while (waited <= real_timeout_ms) {
+    auto pkt = nic_.wait_rx(hw_.ep, std::min(slice_ms, real_timeout_ms));
+    if (!pkt.is_ok()) {
+      if (pkt.code() == Code::kTimeout) {
+        waited += slice_ms;
+        continue;
+      }
+      return Result<RecvResult>(pkt.status());
+    }
+    hsn::Packet p = std::move(pkt).value();
+    if (tag_matches(tag, p.tag)) {
+      if (!p.payload.empty() && !buffer.empty()) {
+        std::memcpy(buffer.data(), p.payload.data(),
+                    std::min<std::size_t>(buffer.size(), p.payload.size()));
+      }
+      return RecvResult{p.size_bytes, p.tag, FiAddr{p.src, p.src_ep},
+                        p.arrival_vt + timing_->rx_overhead()};
+    }
+    if (unexpected_.size() >= kMaxUnexpected) unexpected_.pop_front();
+    unexpected_.push_back(std::move(p));
+  }
+  return Result<RecvResult>(timeout_error("trecv_sync deadline exceeded"));
+}
+
+Result<hsn::RKey> Endpoint::mr_reg(std::span<std::byte> region) {
+  return nic_.register_mr(hw_.ep, region);
+}
+
+Status Endpoint::mr_close(hsn::RKey key) { return nic_.deregister_mr(key); }
+
+Result<SimTime> Endpoint::rma_write_sync(hsn::NicAddr dst, hsn::RKey rkey,
+                                         std::uint64_t offset,
+                                         std::span<const std::byte> payload,
+                                         std::uint64_t size, SimTime vt,
+                                         int real_timeout_ms) {
+  const std::uint64_t op = next_op_++;
+  auto accepted =
+      nic_.rdma_write(hw_.ep, dst, rkey, offset, size, payload, vt, op);
+  if (!accepted.is_ok()) return accepted;
+  // Wait for the ACK-completion event.
+  const int slice_ms = 50;
+  int waited = 0;
+  while (waited <= real_timeout_ms) {
+    auto ev = nic_.wait_event(hw_.ep, std::min(slice_ms, real_timeout_ms));
+    if (!ev.is_ok()) {
+      if (ev.code() == Code::kTimeout) {
+        waited += slice_ms;
+        continue;
+      }
+      return Result<SimTime>(ev.status());
+    }
+    const hsn::Event& e = ev.value();
+    if (e.op_id != op) continue;  // stale event from another op
+    if (e.type == hsn::Event::Type::kError) {
+      return Result<SimTime>(e.status);
+    }
+    return std::max(e.vt, accepted.value());
+  }
+  return Result<SimTime>(timeout_error(
+      "rma_write_sync: no ACK (is the target MR registered on this VNI?)"));
+}
+
+Result<SimTime> Endpoint::rma_read_sync(hsn::NicAddr dst, hsn::RKey rkey,
+                                        std::uint64_t offset,
+                                        std::uint64_t size,
+                                        std::vector<std::byte>& out,
+                                        SimTime vt, int real_timeout_ms) {
+  const std::uint64_t op = next_op_++;
+  auto accepted = nic_.rdma_read(hw_.ep, dst, rkey, offset, size, vt, op);
+  if (!accepted.is_ok()) return accepted;
+  const int slice_ms = 50;
+  int waited = 0;
+  while (waited <= real_timeout_ms) {
+    auto ev = nic_.wait_event(hw_.ep, std::min(slice_ms, real_timeout_ms));
+    if (!ev.is_ok()) {
+      if (ev.code() == Code::kTimeout) {
+        waited += slice_ms;
+        continue;
+      }
+      return Result<SimTime>(ev.status());
+    }
+    hsn::Event e = std::move(ev).value();
+    if (e.op_id != op) continue;
+    if (e.type == hsn::Event::Type::kError) {
+      return Result<SimTime>(e.status);
+    }
+    out = std::move(e.data);
+    return std::max(e.vt, accepted.value());
+  }
+  return Result<SimTime>(timeout_error(
+      "rma_read_sync: no response (is the target MR registered?)"));
+}
+
+}  // namespace shs::ofi

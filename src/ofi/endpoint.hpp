@@ -1,0 +1,139 @@
+// endpoint.hpp — libfabric-style endpoint over a CXI hardware endpoint.
+//
+// Provides tagged two-sided messaging with posted-receive matching and an
+// unexpected-message queue (the semantics MPI needs), plus one-sided RMA,
+// plus a software completion queue.  Blocking `*_sync` convenience calls
+// wrap the post/progress/poll cycle for application code.
+//
+// Authentication already happened: constructing an Endpoint requires a
+// CxiEndpoint, which only the CXI driver hands out after the member check.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cxi/libcxi.hpp"
+#include "hsn/cassini_nic.hpp"
+#include "ofi/types.hpp"
+#include "util/status.hpp"
+
+namespace shs::ofi {
+
+/// Result of a completed receive.
+struct RecvResult {
+  std::uint64_t size = 0;
+  std::uint64_t tag = 0;
+  FiAddr src{};
+  SimTime vt = 0;
+};
+
+/// A connected-less (RDM-style) endpoint.  Thread-compatible: one owner
+/// thread per endpoint, which is how the mini-MPI ranks use it.
+class Endpoint {
+ public:
+  /// Takes ownership of `hw` (freed through `lib` on destruction).
+  Endpoint(cxi::LibCxi lib, hsn::CassiniNic& nic, cxi::CxiEndpoint hw,
+           std::shared_ptr<hsn::TimingModel> timing);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// This endpoint's fabric address, to hand to peers out-of-band.
+  [[nodiscard]] FiAddr addr() const noexcept {
+    return FiAddr{hw_.nic, hw_.ep};
+  }
+  [[nodiscard]] hsn::Vni vni() const noexcept { return hw_.vni; }
+  [[nodiscard]] hsn::TrafficClass traffic_class() const noexcept {
+    return hw_.tc;
+  }
+
+  // -- Tagged two-sided messaging.
+
+  /// Sends `size` bytes to `dst` under `tag`.  `payload` may be empty for
+  /// size-only (timing) transfers.  Local completion: the returned time is
+  /// the caller's clock after the NIC accepted the message.  If `context`
+  /// is nonzero a kSend completion is also queued on the CQ.
+  Result<SimTime> tsend(FiAddr dst, std::uint64_t tag,
+                        std::span<const std::byte> payload,
+                        std::uint64_t size, SimTime vt,
+                        std::uint64_t context = 0);
+
+  /// Posts a receive buffer for `tag` (or kTagAny).  Completion arrives on
+  /// the CQ with `context`.
+  void post_trecv(std::uint64_t tag, std::span<std::byte> buffer,
+                  std::uint64_t context);
+
+  /// Blocking tagged receive: matches the unexpected queue first, then
+  /// waits on the NIC RX queue.  Returns the receive metadata.
+  Result<RecvResult> trecv_sync(std::uint64_t tag,
+                                std::span<std::byte> buffer,
+                                int real_timeout_ms = 10'000);
+
+  // -- Progress and completions.
+
+  /// Drains arrived packets, matching posted receives (non-blocking).
+  /// Returns the number of packets processed.
+  std::size_t progress();
+
+  /// Non-blocking CQ read.
+  std::optional<Completion> cq_read();
+
+  /// Blocking CQ read: progresses until a completion or timeout.
+  Result<Completion> cq_sread(int real_timeout_ms = 10'000);
+
+  // -- One-sided RMA.
+
+  /// Registers `region` for remote access; returns the rkey to share.
+  Result<hsn::RKey> mr_reg(std::span<std::byte> region);
+  Status mr_close(hsn::RKey key);
+
+  /// Blocking RDMA write: returns the caller's clock at remote-ACK time.
+  Result<SimTime> rma_write_sync(hsn::NicAddr dst, hsn::RKey rkey,
+                                 std::uint64_t offset,
+                                 std::span<const std::byte> payload,
+                                 std::uint64_t size, SimTime vt,
+                                 int real_timeout_ms = 10'000);
+
+  /// Blocking RDMA read: fills `out` (resized to `size`) and returns the
+  /// caller's clock at data-arrival time.
+  Result<SimTime> rma_read_sync(hsn::NicAddr dst, hsn::RKey rkey,
+                                std::uint64_t offset, std::uint64_t size,
+                                std::vector<std::byte>& out, SimTime vt,
+                                int real_timeout_ms = 10'000);
+
+  /// Number of messages sitting in the unexpected queue (diagnostics).
+  [[nodiscard]] std::size_t unexpected_depth() const noexcept {
+    return unexpected_.size();
+  }
+
+ private:
+  struct PostedRecv {
+    std::uint64_t tag = 0;
+    std::span<std::byte> buffer;
+    std::uint64_t context = 0;
+  };
+
+  /// Matches `p` against posted receives; true if consumed.
+  bool match_posted(hsn::Packet& p);
+  void deliver(const PostedRecv& r, hsn::Packet& p);
+  static bool tag_matches(std::uint64_t posted, std::uint64_t got) noexcept {
+    return posted == kTagAny || posted == got;
+  }
+
+  cxi::LibCxi lib_;
+  hsn::CassiniNic& nic_;
+  cxi::CxiEndpoint hw_;
+  std::shared_ptr<hsn::TimingModel> timing_;
+  std::uint64_t next_op_ = 1;
+
+  std::deque<PostedRecv> posted_;
+  std::deque<hsn::Packet> unexpected_;
+  std::deque<Completion> cq_;
+};
+
+}  // namespace shs::ofi

@@ -1,0 +1,38 @@
+// types.hpp — libfabric-flavoured vocabulary for the simulated provider.
+//
+// The real stack uses libfabric's CXI provider; the paper patches it so
+// the netns-authenticated CXI services work end-to-end.  This layer keeps
+// libfabric's object shapes (domain / endpoint / completion queue /
+// tagged messaging / RMA) in a simplified, strongly-typed form.
+#pragma once
+
+#include <cstdint>
+
+#include "hsn/types.hpp"
+#include "util/units.hpp"
+
+namespace shs::ofi {
+
+/// Fabric address of a peer endpoint (fi_addr_t analogue).
+struct FiAddr {
+  hsn::NicAddr nic = hsn::kInvalidNic;
+  hsn::EndpointId ep = 0;
+
+  friend bool operator==(const FiAddr&, const FiAddr&) = default;
+};
+
+/// Wildcard tag for receives (FI_TAG wildcard analogue).
+constexpr std::uint64_t kTagAny = ~0ULL;
+
+/// One completion-queue entry.
+struct Completion {
+  enum class Kind : std::uint8_t { kSend, kRecv, kRmaWrite, kRmaRead, kError };
+  Kind kind = Kind::kError;
+  std::uint64_t context = 0;  ///< caller-supplied correlation value
+  std::uint64_t tag = 0;
+  std::uint64_t size = 0;
+  FiAddr peer{};
+  SimTime vt = 0;  ///< virtual completion time (drives the OSU clocks)
+};
+
+}  // namespace shs::ofi

@@ -1,0 +1,110 @@
+#include "sim/event_loop.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace shs::sim {
+
+EventLoop::TaskId EventLoop::push(SimTime t, Callback cb, SimDuration period) {
+  const TaskId id = next_id_++;
+  callbacks_.emplace(id, std::move(cb));
+  queue_.push(Event{std::max(t, now_), next_seq_++, id, period});
+  return id;
+}
+
+EventLoop::TaskId EventLoop::schedule_at(SimTime t, Callback cb) {
+  return push(t, std::move(cb), 0);
+}
+
+EventLoop::TaskId EventLoop::schedule_after(SimDuration delay, Callback cb) {
+  return push(now_ + std::max<SimDuration>(delay, 0), std::move(cb), 0);
+}
+
+EventLoop::TaskId EventLoop::schedule_periodic(SimDuration period,
+                                               Callback cb) {
+  const SimDuration p = std::max<SimDuration>(period, 1);
+  return push(now_ + p, std::move(cb), p);
+}
+
+bool EventLoop::cancel(TaskId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);  // lazily dropped when the queue entry surfaces
+  return true;
+}
+
+bool EventLoop::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    const auto cancelled_it = cancelled_.find(e.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run_until_idle(std::size_t max_events) {
+  std::size_t executed = 0;
+  stop_requested_ = false;
+  Event e;
+  while (executed < max_events && !stop_requested_ && pop_next(e)) {
+    now_ = std::max(now_, e.time);
+    const auto cb_it = callbacks_.find(e.id);
+    if (cb_it == callbacks_.end()) continue;  // cancelled mid-flight
+    if (e.period > 0) {
+      // Re-arm before running so the callback may cancel itself.
+      queue_.push(Event{now_ + e.period, next_seq_++, e.id, e.period});
+      cb_it->second();
+    } else {
+      Callback cb = std::move(cb_it->second);
+      callbacks_.erase(cb_it);
+      cb();
+    }
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t EventLoop::run_until(SimTime t) {
+  std::size_t executed = 0;
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    if (queue_.empty()) break;
+    // Peek through cancellations without executing past `t`.
+    Event e;
+    if (!pop_next(e)) break;
+    if (e.time > t) {
+      // Put it back; it belongs to the future.
+      queue_.push(e);
+      break;
+    }
+    now_ = std::max(now_, e.time);
+    const auto cb_it = callbacks_.find(e.id);
+    if (cb_it == callbacks_.end()) continue;
+    if (e.period > 0) {
+      queue_.push(Event{now_ + e.period, next_seq_++, e.id, e.period});
+      cb_it->second();
+    } else {
+      Callback cb = std::move(cb_it->second);
+      callbacks_.erase(cb_it);
+      cb();
+    }
+    ++executed;
+  }
+  now_ = std::max(now_, t);
+  return executed;
+}
+
+bool EventLoop::idle() const noexcept { return pending() == 0; }
+
+std::size_t EventLoop::pending() const noexcept {
+  return callbacks_.size();
+}
+
+}  // namespace shs::sim

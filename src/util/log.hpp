@@ -1,0 +1,62 @@
+// log.hpp — minimal thread-safe leveled logger.
+//
+// Components tag their messages ("cxi-drv", "vni-endpoint", "kubelet/0") so
+// integration-test failures read like a cluster journal.  Logging defaults
+// to WARN so unit tests and benches stay quiet; examples raise it to INFO.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace shs {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global logger configuration and sink.  All methods are thread-safe.
+class Log {
+ public:
+  /// Sets the global threshold; messages below it are dropped.
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+
+  /// Emits one line: "<level> [<tag>] <message>".
+  static void write(LogLevel level, std::string_view tag,
+                    std::string_view message);
+
+  /// True if a message at `level` would currently be emitted.
+  static bool enabled(LogLevel level) noexcept;
+};
+
+namespace detail {
+/// Builds the message lazily: the stream only materializes when enabled.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (Log::enabled(level_)) Log::write(level_, tag_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (Log::enabled(level_)) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define SHS_LOG(level, tag) ::shs::detail::LogLine(level, tag)
+#define SHS_TRACE(tag) SHS_LOG(::shs::LogLevel::kTrace, tag)
+#define SHS_DEBUG(tag) SHS_LOG(::shs::LogLevel::kDebug, tag)
+#define SHS_INFO(tag) SHS_LOG(::shs::LogLevel::kInfo, tag)
+#define SHS_WARN(tag) SHS_LOG(::shs::LogLevel::kWarn, tag)
+#define SHS_ERROR(tag) SHS_LOG(::shs::LogLevel::kError, tag)
+
+}  // namespace shs

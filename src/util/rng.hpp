@@ -1,0 +1,91 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (wire-time jitter, control
+// plane latency variation, run-to-run noise in the OSU benches) draws from
+// a seeded xoshiro256** stream so that tests and figures are reproducible
+// bit-for-bit across runs while still exhibiting realistic variance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace shs {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+/// Small, fast, and statistically strong enough for simulation jitter.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  /// Re-initializes state from `seed` via SplitMix64 (recommended seeding).
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded generation (simplified).
+    return next() % n;
+  }
+
+  /// Normal variate via Box–Muller (no cached second value; simple and
+  /// deterministic given the stream position).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Multiplicative jitter factor in [1-amplitude, 1+amplitude].
+  double jitter(double amplitude) noexcept {
+    return 1.0 + uniform(-amplitude, amplitude);
+  }
+
+  /// Derives an independent child stream (for per-component RNGs).
+  Rng fork() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+inline double Rng::normal(double mean, double stddev) noexcept {
+  // Box–Muller; guard u1 away from 0 to keep log() finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  // std::sqrt/std::log/std::cos are constexpr-unfriendly; keep it simple.
+  const double r = __builtin_sqrt(-2.0 * __builtin_log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  return mean + stddev * r * __builtin_cos(theta);
+}
+
+}  // namespace shs

@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace shs {
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+BoxplotStats SampleSet::boxplot() const {
+  BoxplotStats b;
+  if (samples_.empty()) return b;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  b.min = sorted.front();
+  b.max = sorted.back();
+  b.q1 = percentile(25.0);
+  b.median = percentile(50.0);
+  b.q3 = percentile(75.0);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = b.max;
+  b.whisker_hi = b.min;
+  for (double x : sorted) {
+    if (x >= lo_fence) {
+      b.whisker_lo = x;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_hi = *it;
+      break;
+    }
+  }
+  for (double x : sorted) {
+    if (x < lo_fence || x > hi_fence) ++b.n_outliers;
+  }
+  return b;
+}
+
+void SampleSet::merge(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+std::string to_string(const BoxplotStats& b) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f "
+                "whiskers=[%.3f, %.3f] outliers=%zu",
+                b.min, b.q1, b.median, b.q3, b.max, b.whisker_lo,
+                b.whisker_hi, b.n_outliers);
+  return buf;
+}
+
+}  // namespace shs

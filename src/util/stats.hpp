@@ -1,0 +1,76 @@
+// stats.hpp — sample statistics used by the benchmark harness.
+//
+// The paper reports means, 10 %/90 % percentile bands (Figs 5–11) and
+// boxplots (Fig 12).  `SampleSet` accumulates raw samples and computes all
+// of those; `OnlineStats` is a Welford accumulator for cheap mean/stddev.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shs {
+
+/// Streaming mean/variance (Welford) — O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Five-number summary + whiskers as matplotlib draws them (Fig 12).
+struct BoxplotStats {
+  double min = 0.0;          ///< smallest sample
+  double q1 = 0.0;           ///< 25th percentile
+  double median = 0.0;       ///< 50th percentile
+  double q3 = 0.0;           ///< 75th percentile
+  double max = 0.0;          ///< largest sample
+  double whisker_lo = 0.0;   ///< lowest sample >= q1 - 1.5*IQR
+  double whisker_hi = 0.0;   ///< highest sample <= q3 + 1.5*IQR
+  std::size_t n_outliers = 0;
+};
+
+/// Owning container of raw samples with percentile queries.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  [[nodiscard]] double mean() const;
+  /// Linear-interpolated percentile, `p` in [0, 100].  Empty set -> 0.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] BoxplotStats boxplot() const;
+
+  /// Merges another sample set into this one.
+  void merge(const SampleSet& other);
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Formats a boxplot as a single human-readable line (used by fig12).
+std::string to_string(const BoxplotStats& b);
+
+}  // namespace shs

@@ -1,0 +1,59 @@
+#include "util/status.hpp"
+
+namespace shs {
+
+std::string_view code_name(Code c) noexcept {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kPermissionDenied: return "PERMISSION_DENIED";
+    case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kTimeout: return "TIMEOUT";
+    case Code::kInternal: return "INTERNAL";
+    case Code::kAborted: return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status invalid_argument(std::string msg) {
+  return {Code::kInvalidArgument, std::move(msg)};
+}
+Status not_found(std::string msg) { return {Code::kNotFound, std::move(msg)}; }
+Status already_exists(std::string msg) {
+  return {Code::kAlreadyExists, std::move(msg)};
+}
+Status permission_denied(std::string msg) {
+  return {Code::kPermissionDenied, std::move(msg)};
+}
+Status resource_exhausted(std::string msg) {
+  return {Code::kResourceExhausted, std::move(msg)};
+}
+Status failed_precondition(std::string msg) {
+  return {Code::kFailedPrecondition, std::move(msg)};
+}
+Status unavailable(std::string msg) {
+  return {Code::kUnavailable, std::move(msg)};
+}
+Status timeout_error(std::string msg) {
+  return {Code::kTimeout, std::move(msg)};
+}
+Status internal_error(std::string msg) {
+  return {Code::kInternal, std::move(msg)};
+}
+Status aborted(std::string msg) { return {Code::kAborted, std::move(msg)}; }
+
+}  // namespace shs

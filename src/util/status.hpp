@@ -1,0 +1,137 @@
+// status.hpp — error handling primitives used across the shsk8s stack.
+//
+// The stack spans simulated kernel code (CXI driver), userspace libraries
+// (libcxi / ofi), and control-plane services (VNI endpoint).  All of them
+// report failures through `Status` / `Result<T>` instead of exceptions so
+// that driver-style code paths stay allocation-light and the error contract
+// is visible in every signature (C++ Core Guidelines E.2/E.28: error codes
+// at boundaries where exceptions are not an option).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace shs {
+
+/// Canonical error codes, loosely mirroring errno values the real CXI
+/// driver and Kubernetes API server would return.
+enum class Code : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< EINVAL — malformed request.
+  kNotFound,          ///< ENOENT — object does not exist.
+  kAlreadyExists,     ///< EEXIST — uniqueness violated.
+  kPermissionDenied,  ///< EPERM — authentication/authorization failure.
+  kResourceExhausted, ///< ENOSPC — quota or pool exhausted.
+  kFailedPrecondition,///< EBUSY — object not in a state to accept the op.
+  kUnavailable,       ///< service not reachable (VNI endpoint down, ...).
+  kTimeout,           ///< deadline exceeded.
+  kInternal,          ///< invariant violation; a bug if ever observed.
+  kAborted,           ///< transaction conflict, retryable.
+};
+
+/// Human-readable name of a `Code` (stable, used in logs and tests).
+std::string_view code_name(Code c) noexcept;
+
+/// A cheap value-type status: a code plus an optional diagnostic message.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(Code::kOk) {}
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CODE>: <message>" — for logs and gtest failure output.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+// Factory helpers so call sites read like grep-able intent.
+Status invalid_argument(std::string msg);
+Status not_found(std::string msg);
+Status already_exists(std::string msg);
+Status permission_denied(std::string msg);
+Status resource_exhausted(std::string msg);
+Status failed_precondition(std::string msg);
+Status unavailable(std::string msg);
+Status timeout_error(std::string msg);
+Status internal_error(std::string msg);
+Status aborted(std::string msg);
+
+/// Result<T> — either a value or a non-OK Status.  Move-friendly; `value()`
+/// on an error aborts (the caller must check, as driver code would check
+/// errno).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(v_);
+  }
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+  [[nodiscard]] Code code() const noexcept {
+    return is_ok() ? Code::kOk : std::get<Status>(v_).code();
+  }
+
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(v_));
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  void check_ok() const {
+    if (!is_ok()) {
+      // Deliberate hard stop: accessing the value of a failed Result is a
+      // programming error, equivalent to dereferencing a failed syscall.
+      std::abort();
+    }
+  }
+  std::variant<T, Status> v_;
+};
+
+/// RETURN_IF_ERROR-style helper for functions returning Status.
+#define SHS_RETURN_IF_ERROR(expr)                       \
+  do {                                                  \
+    ::shs::Status shs_status_ = (expr);                 \
+    if (!shs_status_.is_ok()) return shs_status_;       \
+  } while (0)
+
+}  // namespace shs

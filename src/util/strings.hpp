@@ -1,0 +1,25 @@
+// strings.hpp — small string utilities (annotation parsing, CSV output).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shs {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace shs

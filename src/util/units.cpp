@@ -1,0 +1,31 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace shs {
+
+std::string format_size(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ULL * 1024ULL && bytes % (1024ULL * 1024ULL) == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu MB",
+                  static_cast<unsigned long long>(bytes / (1024ULL * 1024ULL)));
+  } else if (bytes >= 1024ULL && bytes % 1024ULL == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu kB",
+                  static_cast<unsigned long long>(bytes / 1024ULL));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_mmss(SimTime t) {
+  const auto total_s = static_cast<std::int64_t>(to_seconds(t));
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld",
+                static_cast<long long>(total_s / 60),
+                static_cast<long long>(total_s % 60));
+  return buf;
+}
+
+}  // namespace shs

@@ -1,0 +1,77 @@
+// units.hpp — strong typedefs for time and data-rate quantities.
+//
+// Virtual time is a 64-bit nanosecond count (`SimTime` / `SimDuration`).
+// Keeping it integral makes event ordering total and reproducible; doubles
+// would accumulate platform-dependent rounding in long control-plane runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace shs {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// Nanosecond span.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_micros(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr SimDuration from_seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+constexpr SimDuration from_micros(double us) noexcept {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimDuration from_millis(double ms) noexcept {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Link or NIC data rate.  Stored in bits per second; Slingshot Cassini
+/// ports are 200 Gbps (25 GB/s) per the paper.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  static constexpr DataRate bits_per_second(std::uint64_t bps) noexcept {
+    return DataRate(bps);
+  }
+  static constexpr DataRate gbps(double g) noexcept {
+    return DataRate(static_cast<std::uint64_t>(g * 1e9));
+  }
+  [[nodiscard]] constexpr std::uint64_t bps() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double bytes_per_second() const noexcept {
+    return static_cast<double>(bps_) / 8.0;
+  }
+  /// Serialization (wire) time for `bytes` at this rate.
+  [[nodiscard]] constexpr SimDuration transfer_time(
+      std::uint64_t bytes) const noexcept {
+    if (bps_ == 0) return 0;
+    const double seconds =
+        static_cast<double>(bytes) * 8.0 / static_cast<double>(bps_);
+    return static_cast<SimDuration>(seconds * static_cast<double>(kSecond));
+  }
+
+ private:
+  constexpr explicit DataRate(std::uint64_t bps) noexcept : bps_(bps) {}
+  std::uint64_t bps_ = 0;
+};
+
+/// Formats a byte count the way OSU prints message sizes: "1 B" ... "1 MB".
+std::string format_size(std::uint64_t bytes);
+
+/// Formats virtual time as "MM:SS" (x-axis of Figs 9 and 11).
+std::string format_mmss(SimTime t);
+
+}  // namespace shs

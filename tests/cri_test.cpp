@@ -1,0 +1,171 @@
+// cri_test.cpp — container runtime: sandbox namespaces, user-namespace
+// mapping, CNI chain execution/idempotency, registry model, exec_in_pod.
+#include <gtest/gtest.h>
+
+#include "cri/bridge_cni.hpp"
+#include "cri/runtime.hpp"
+
+namespace shs::cri {
+namespace {
+
+k8s::Pod make_pod(const std::string& name, k8s::Uid uid,
+                  const std::string& image = "alpine") {
+  k8s::Pod pod;
+  pod.meta.name = name;
+  pod.meta.uid = uid;
+  pod.spec.image = image;
+  return pod;
+}
+
+struct CriFixture : ::testing::Test {
+  linuxsim::Kernel kernel;
+  k8s::K8sParams params;
+  ContainerRuntime runtime{kernel, "node-0", params, Rng(1)};
+};
+
+TEST_F(CriFixture, SandboxCreatesNamespacesAndPause) {
+  const auto pod = make_pod("p", 10);
+  auto sb = runtime.create_sandbox(pod);
+  ASSERT_TRUE(sb.is_ok());
+  EXPECT_GT(sb.value().netns_inode, 0u);
+  EXPECT_GT(sb.value().cost, 0);
+  const Sandbox* state = runtime.sandbox(10);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->netns->inode(), sb.value().netns_inode);
+  ASSERT_NE(state->userns, nullptr);
+  EXPECT_GT(state->pause_pid, 0u);
+  // Pause process lives in the pod's netns, visible via procfs.
+  EXPECT_EQ(kernel.proc_net_ns_inode(state->pause_pid).value(),
+            sb.value().netns_inode);
+}
+
+TEST_F(CriFixture, SandboxIsIdempotent) {
+  const auto pod = make_pod("p", 10);
+  auto a = runtime.create_sandbox(pod);
+  auto b = runtime.create_sandbox(pod);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value().netns_inode, b.value().netns_inode);
+  EXPECT_EQ(runtime.sandbox_count(), 1u);
+}
+
+TEST_F(CriFixture, UserNamespaceMapsRootUnprivileged) {
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  const Sandbox* sb = runtime.sandbox(10);
+  const auto pause = kernel.find(sb->pause_pid);
+  ASSERT_NE(pause, nullptr);
+  EXPECT_EQ(pause->creds().uid, linuxsim::kRootUid);  // root inside
+  EXPECT_GE(pause->host_uid(), 100'000u);             // unprivileged outside
+}
+
+TEST_F(CriFixture, DistinctPodsGetDistinctHostUidRanges) {
+  ASSERT_TRUE(runtime.create_sandbox(make_pod("a", 1)).is_ok());
+  ASSERT_TRUE(runtime.create_sandbox(make_pod("b", 2)).is_ok());
+  const auto a = kernel.find(runtime.sandbox(1)->pause_pid);
+  const auto b = kernel.find(runtime.sandbox(2)->pause_pid);
+  EXPECT_NE(a->host_uid(), b->host_uid());
+}
+
+TEST_F(CriFixture, AttachRequiresSandbox) {
+  EXPECT_EQ(runtime.attach_networks(make_pod("ghost", 99)).code(),
+            Code::kFailedPrecondition);
+}
+
+TEST_F(CriFixture, BridgeCniAttachesVeth) {
+  runtime.add_cni_plugin(
+      std::make_shared<BridgeCni>(kernel, params, Rng(2)));
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  auto cni = runtime.attach_networks(pod);
+  ASSERT_TRUE(cni.is_ok());
+  EXPECT_GT(cni.value().cost, 0);
+  const Sandbox* sb = runtime.sandbox(10);
+  EXPECT_TRUE(sb->netns->has_device("eth0"));
+  EXPECT_TRUE(sb->networks_attached);
+  // Host end of the veth pair lives in the host namespace.
+  EXPECT_FALSE(kernel.host_net_ns()->devices().empty());
+}
+
+TEST_F(CriFixture, CniChainIsIdempotentOnRetry) {
+  auto bridge = std::make_shared<BridgeCni>(kernel, params, Rng(2));
+  runtime.add_cni_plugin(bridge);
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  ASSERT_TRUE(runtime.attach_networks(pod).is_ok());
+  ASSERT_TRUE(runtime.attach_networks(pod).is_ok());  // retry
+  EXPECT_EQ(bridge->veths_created(), 1u) << "retry must not duplicate veths";
+}
+
+TEST_F(CriFixture, DetachRunsChainInReverseAndIsIdempotent) {
+  runtime.add_cni_plugin(
+      std::make_shared<BridgeCni>(kernel, params, Rng(2)));
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  ASSERT_TRUE(runtime.attach_networks(pod).is_ok());
+  ASSERT_TRUE(runtime.detach_networks(pod).is_ok());
+  EXPECT_FALSE(runtime.sandbox(10)->netns->has_device("eth0"));
+  ASSERT_TRUE(runtime.detach_networks(pod).is_ok());  // DEL is idempotent
+}
+
+TEST_F(CriFixture, ImagePullLocalVsRemote) {
+  auto local = runtime.pull_image(make_pod("a", 1, "alpine"));
+  auto remote = runtime.pull_image(make_pod("b", 2, "some-remote-image"));
+  ASSERT_TRUE(local.is_ok());
+  ASSERT_TRUE(remote.is_ok());
+  // The paper pulls from a local Harbor registry precisely to keep this
+  // cost small; a remote pull would dominate the measurement.
+  EXPECT_GT(remote.value(), local.value() * 10);
+}
+
+TEST_F(CriFixture, StartStopContainerLifecycle) {
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  ASSERT_TRUE(runtime.start_container(pod).is_ok());
+  const Sandbox* sb = runtime.sandbox(10);
+  EXPECT_GT(sb->container_pid, 0u);
+  const auto pid = sb->container_pid;
+  EXPECT_NE(kernel.find(pid), nullptr);
+  ASSERT_TRUE(runtime.stop_container(pod, from_seconds(30)).is_ok());
+  EXPECT_EQ(kernel.find(pid), nullptr) << "container process must be gone";
+}
+
+TEST_F(CriFixture, StopCostBoundedByGrace) {
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  ASSERT_TRUE(runtime.start_container(pod).is_ok());
+  auto cost = runtime.stop_container(pod, from_millis(3));
+  ASSERT_TRUE(cost.is_ok());
+  EXPECT_LE(cost.value(), from_millis(3));
+}
+
+TEST_F(CriFixture, DestroySandboxKillsEverything) {
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  ASSERT_TRUE(runtime.start_container(pod).is_ok());
+  const auto pause = runtime.sandbox(10)->pause_pid;
+  const auto container = runtime.sandbox(10)->container_pid;
+  ASSERT_TRUE(runtime.destroy_sandbox(pod).is_ok());
+  EXPECT_EQ(runtime.sandbox(10), nullptr);
+  EXPECT_EQ(kernel.find(pause), nullptr);
+  EXPECT_EQ(kernel.find(container), nullptr);
+}
+
+TEST_F(CriFixture, ExecInPodSharesNamespaces) {
+  const auto pod = make_pod("p", 10);
+  ASSERT_TRUE(runtime.create_sandbox(pod).is_ok());
+  auto pid = runtime.exec_in_pod(10);
+  ASSERT_TRUE(pid.is_ok());
+  EXPECT_EQ(kernel.proc_net_ns_inode(pid.value()).value(),
+            runtime.sandbox(10)->netns->inode());
+  EXPECT_EQ(runtime.exec_in_pod(404).code(), Code::kNotFound);
+}
+
+TEST_F(CriFixture, OpsOnMissingSandboxAreGraceful) {
+  const auto pod = make_pod("ghost", 77);
+  EXPECT_TRUE(runtime.stop_container(pod, kSecond).is_ok());
+  EXPECT_TRUE(runtime.detach_networks(pod).is_ok());
+  EXPECT_TRUE(runtime.destroy_sandbox(pod).is_ok());
+}
+
+}  // namespace
+}  // namespace shs::cri

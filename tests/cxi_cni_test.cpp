@@ -1,0 +1,178 @@
+// cxi_cni_test.cpp — unit tests for the CXI CNI plugin (contribution B),
+// isolated from the kubelet: annotation gating, VNI CRD lookup,
+// kUnavailable retry contract, grace-period rejection, idempotency, and
+// DEL cleanup.
+#include <gtest/gtest.h>
+
+#include "core/cxi_cni.hpp"
+#include "hsn/fabric.hpp"
+#include "sim/event_loop.hpp"
+
+namespace shs::core {
+namespace {
+
+struct CniFixture : ::testing::Test {
+  void SetUp() override {
+    fabric = hsn::Fabric::create(1);
+    driver = std::make_unique<cxi::CxiDriver>(kernel, fabric->nic(0),
+                                              fabric->switch_ptr(),
+                                              cxi::AuthMode::kNetnsExtended);
+    api = std::make_unique<k8s::ApiServer>(loop);
+    root = kernel.spawn({})->pid();
+    plugin = std::make_unique<CxiCniPlugin>(*api, *driver, root, Rng(3));
+    netns = kernel.create_net_namespace("pod-ns");
+  }
+
+  /// A context for a pod owned by job `owner`, with/without annotation.
+  cri::CniContext ctx(k8s::Uid owner, const std::string& vni_ann,
+                      int grace = 10) {
+    cri::CniContext c;
+    c.container_id = "ctr-" + std::to_string(owner);
+    c.pod_name = "pod-" + std::to_string(owner);
+    c.pod_ns = "default";
+    c.pod_uid = owner * 100;
+    c.owner_job_uid = owner;
+    if (!vni_ann.empty()) c.annotations[k8s::kVniAnnotation] = vni_ann;
+    c.netns_inode = netns->inode();
+    c.netns = netns;
+    c.termination_grace_s = grace;
+    return c;
+  }
+
+  /// Installs a VNI CRD instance bound to job `owner`.
+  void serve_vni(k8s::Uid owner, hsn::Vni vni) {
+    k8s::VniObject v;
+    v.meta.name = "job-" + std::to_string(owner) + "-vni";
+    v.vni = vni;
+    v.bound_uid = owner;
+    ASSERT_TRUE(api->create_vni_object(v).is_ok());
+  }
+
+  sim::EventLoop loop;
+  linuxsim::Kernel kernel;
+  std::unique_ptr<hsn::Fabric> fabric;
+  std::unique_ptr<cxi::CxiDriver> driver;
+  std::unique_ptr<k8s::ApiServer> api;
+  std::unique_ptr<CxiCniPlugin> plugin;
+  std::shared_ptr<linuxsim::NetNamespace> netns;
+  linuxsim::Pid root = 0;
+};
+
+TEST_F(CniFixture, NoAnnotationIsNoop) {
+  auto r = plugin->add(ctx(1, ""));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().vni, hsn::kInvalidVni);
+  EXPECT_EQ(plugin->counters().noop_adds, 1u);
+  EXPECT_EQ(plugin->counters().services_created, 0u);
+  // Only the default service exists.
+  EXPECT_EQ(driver->svc_list().size(), 1u);
+}
+
+TEST_F(CniFixture, UnavailableUntilVniServed) {
+  auto r = plugin->add(ctx(1, "true"));
+  EXPECT_EQ(r.code(), Code::kUnavailable);
+  EXPECT_EQ(plugin->counters().unavailable_adds, 1u);
+
+  serve_vni(1, 4242);
+  auto retry = plugin->add(ctx(1, "true"));
+  ASSERT_TRUE(retry.is_ok());
+  EXPECT_EQ(retry.value().vni, 4242u);
+  EXPECT_EQ(plugin->counters().services_created, 1u);
+}
+
+TEST_F(CniFixture, ServiceHasNetnsMemberAndExactVni) {
+  serve_vni(1, 5000);
+  ASSERT_TRUE(plugin->add(ctx(1, "true")).is_ok());
+  const auto svc_id = plugin->service_for("ctr-1");
+  ASSERT_NE(svc_id, cxi::kInvalidSvc);
+  const auto svc = driver->svc_get(svc_id);
+  ASSERT_TRUE(svc.is_ok());
+  ASSERT_EQ(svc.value().members.size(), 1u);
+  EXPECT_EQ(svc.value().members[0].type, cxi::MemberType::kNetNs);
+  EXPECT_EQ(svc.value().members[0].id, netns->inode());
+  EXPECT_EQ(svc.value().vnis, std::vector<hsn::Vni>{5000});
+  EXPECT_TRUE(svc.value().restricted_members);
+  EXPECT_TRUE(svc.value().restricted_vnis);
+  // The switch port is now authorized for the VNI.
+  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, 5000));
+}
+
+TEST_F(CniFixture, AddIsIdempotent) {
+  serve_vni(1, 5000);
+  auto first = plugin->add(ctx(1, "true"));
+  auto second = plugin->add(ctx(1, "true"));
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().vni, second.value().vni);
+  EXPECT_EQ(plugin->counters().services_created, 1u);
+  EXPECT_EQ(driver->svc_list().size(), 2u);  // default + one
+}
+
+TEST_F(CniFixture, GraceOverThirtySecondsRejected) {
+  serve_vni(1, 5000);
+  auto r = plugin->add(ctx(1, "true", /*grace=*/31));
+  EXPECT_EQ(r.code(), Code::kInvalidArgument);
+  EXPECT_EQ(plugin->counters().rejected_grace, 1u);
+  // Exactly 30 is allowed.
+  auto ok = plugin->add(ctx(1, "true", /*grace=*/30));
+  EXPECT_TRUE(ok.is_ok());
+}
+
+TEST_F(CniFixture, DelDestroysServiceAndIsIdempotent) {
+  serve_vni(1, 5000);
+  ASSERT_TRUE(plugin->add(ctx(1, "true")).is_ok());
+  EXPECT_EQ(driver->svc_list().size(), 2u);
+  ASSERT_TRUE(plugin->del(ctx(1, "true")).is_ok());
+  EXPECT_EQ(driver->svc_list().size(), 1u);
+  EXPECT_EQ(plugin->counters().services_destroyed, 1u);
+  EXPECT_FALSE(fabric->fabric_switch().vni_authorized(0, 5000));
+  // Second DEL: silent no-op, per the CNI spec.
+  ASSERT_TRUE(plugin->del(ctx(1, "true")).is_ok());
+  EXPECT_EQ(plugin->counters().services_destroyed, 1u);
+}
+
+TEST_F(CniFixture, DelOfNeverAddedContainerIsNoop) {
+  EXPECT_TRUE(plugin->del(ctx(9, "true")).is_ok());
+  EXPECT_TRUE(plugin->del(ctx(9, "")).is_ok());
+}
+
+TEST_F(CniFixture, DelReapsLiveEndpoints) {
+  // A container may die while holding endpoints; DEL force-destroys.
+  serve_vni(1, 5000);
+  ASSERT_TRUE(plugin->add(ctx(1, "true")).is_ok());
+  auto proc = kernel.spawn({.creds = {}, .net_ns = netns});
+  auto ep = driver->ep_alloc_any_svc(proc->pid(), 5000,
+                                     hsn::TrafficClass::kBestEffort);
+  ASSERT_TRUE(ep.is_ok());
+  EXPECT_EQ(fabric->nic(0).endpoint_count(), 1u);
+  ASSERT_TRUE(plugin->del(ctx(1, "true")).is_ok());
+  EXPECT_EQ(fabric->nic(0).endpoint_count(), 0u);
+}
+
+TEST_F(CniFixture, MultipleContainersGetSeparateServices) {
+  auto netns2 = kernel.create_net_namespace("pod-ns-2");
+  serve_vni(1, 5000);
+  serve_vni(2, 5001);
+  ASSERT_TRUE(plugin->add(ctx(1, "true")).is_ok());
+  auto c2 = ctx(2, "true");
+  c2.netns = netns2;
+  c2.netns_inode = netns2->inode();
+  ASSERT_TRUE(plugin->add(c2).is_ok());
+  EXPECT_EQ(plugin->counters().services_created, 2u);
+  EXPECT_NE(plugin->service_for("ctr-1"), plugin->service_for("ctr-2"));
+}
+
+TEST_F(CniFixture, DeletedVniObjectIsNotUsed) {
+  serve_vni(1, 5000);
+  // Request deletion of the CRD instance; the plugin must not hand out a
+  // VNI that is being torn down.
+  const auto objs = api->list_vni_objects();
+  ASSERT_EQ(objs.size(), 1u);
+  (void)api->add_vni_finalizer(objs[0].meta.uid, "t/hold");
+  (void)api->delete_vni_object(objs[0].meta.uid);
+  auto r = plugin->add(ctx(1, "true"));
+  EXPECT_EQ(r.code(), Code::kUnavailable);
+}
+
+}  // namespace
+}  // namespace shs::core

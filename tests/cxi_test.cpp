@@ -1,0 +1,340 @@
+// cxi_test.cpp — CXI driver: service management, the three authentication
+// modes, the UID-spoof attack, resource limits, and switch-ACL refcounts.
+#include <gtest/gtest.h>
+
+#include "cxi/driver.hpp"
+#include "cxi/libcxi.hpp"
+#include "hsn/fabric.hpp"
+
+namespace shs::cxi {
+namespace {
+
+using linuxsim::Credentials;
+using linuxsim::Kernel;
+using linuxsim::Pid;
+
+struct CxiFixture : ::testing::Test {
+  void SetUp() override {
+    fabric = hsn::Fabric::create(2);
+    driver = std::make_unique<CxiDriver>(kernel, fabric->nic(0),
+                                         fabric->switch_ptr(),
+                                         AuthMode::kNetnsExtended);
+    root = kernel.spawn({})->pid();  // host root
+  }
+
+  Kernel kernel;
+  std::unique_ptr<hsn::Fabric> fabric;
+  std::unique_ptr<CxiDriver> driver;
+  Pid root = 0;
+};
+
+TEST_F(CxiFixture, DefaultServiceExists) {
+  auto svc = driver->svc_get(kDefaultSvcId);
+  ASSERT_TRUE(svc.is_ok());
+  EXPECT_FALSE(svc.value().restricted_members);
+  EXPECT_EQ(svc.value().vnis, std::vector<hsn::Vni>{kDefaultVni});
+  // The default VNI is authorized on the switch port.
+  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, kDefaultVni));
+}
+
+TEST_F(CxiFixture, AnyUserCanUseDefaultService) {
+  auto user = kernel.spawn({.creds = Credentials{1000, 1000}});
+  auto ep = driver->ep_alloc(user->pid(), kDefaultSvcId, kDefaultVni,
+                             hsn::TrafficClass::kBestEffort);
+  ASSERT_TRUE(ep.is_ok());
+  EXPECT_EQ(ep.value().vni, kDefaultVni);
+}
+
+TEST_F(CxiFixture, SvcAllocRequiresHostRoot) {
+  auto user = kernel.spawn({.creds = Credentials{1000, 1000}});
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  EXPECT_EQ(driver->svc_alloc(user->pid(), desc).code(),
+            Code::kPermissionDenied);
+  // Container "root" (inside a user namespace) is not privileged either.
+  auto uns = kernel.create_user_namespace({{0, 100'000, 65'536}},
+                                          {{0, 100'000, 65'536}});
+  auto fake_root = kernel.spawn({.creds = Credentials{0, 0}, .user_ns = uns});
+  EXPECT_EQ(driver->svc_alloc(fake_root->pid(), desc).code(),
+            Code::kPermissionDenied);
+  EXPECT_TRUE(driver->svc_alloc(root, desc).is_ok());
+}
+
+TEST_F(CxiFixture, SvcValidation) {
+  CxiServiceDesc no_members;
+  no_members.vnis = {500};
+  EXPECT_EQ(driver->svc_alloc(root, no_members).code(),
+            Code::kInvalidArgument);
+  CxiServiceDesc no_vnis;
+  no_vnis.members = {{MemberType::kUid, 1}};
+  EXPECT_EQ(driver->svc_alloc(root, no_vnis).code(), Code::kInvalidArgument);
+  CxiServiceDesc vni_zero;
+  vni_zero.members = {{MemberType::kUid, 1}};
+  vni_zero.vnis = {0};
+  EXPECT_EQ(driver->svc_alloc(root, vni_zero).code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(CxiFixture, UidMemberAuthenticates) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  auto svc = driver->svc_alloc(root, desc);
+  ASSERT_TRUE(svc.is_ok());
+
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  auto bob = kernel.spawn({.creds = Credentials{2000, 2000}});
+  EXPECT_TRUE(driver->ep_alloc(alice->pid(), svc.value(), 500,
+                               hsn::TrafficClass::kBestEffort)
+                  .is_ok());
+  EXPECT_EQ(driver->ep_alloc(bob->pid(), svc.value(), 500,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(CxiFixture, GidMemberAuthenticates) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kGid, 3000}};
+  desc.vnis = {500};
+  auto svc = driver->svc_alloc(root, desc);
+  auto member = kernel.spawn({.creds = Credentials{1, 3000}});
+  auto outsider = kernel.spawn({.creds = Credentials{1, 4000}});
+  EXPECT_TRUE(driver->ep_alloc(member->pid(), svc.value(), 500,
+                               hsn::TrafficClass::kBestEffort)
+                  .is_ok());
+  EXPECT_EQ(driver->ep_alloc(outsider->pid(), svc.value(), 500,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(CxiFixture, VniNotInServiceIsDenied) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  auto svc = driver->svc_alloc(root, desc);
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  EXPECT_EQ(driver->ep_alloc(alice->pid(), svc.value(), 501,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(CxiFixture, DisabledServiceDenies) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  auto svc = driver->svc_alloc(root, desc);
+  ASSERT_TRUE(driver->svc_set_enabled(root, svc.value(), false).is_ok());
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  EXPECT_EQ(driver->ep_alloc(alice->pid(), svc.value(), 500,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+// -- The attack (Section III): UID spoofing from a user-namespace container.
+
+struct SpoofFixture : CxiFixture {
+  /// Creates a victim service for UID 1000 and an attacker process that
+  /// enters a user-namespaced container and setuid()s to 1000.
+  SvcId make_victim_service() {
+    CxiServiceDesc desc;
+    desc.name = "victim";
+    desc.members = {{MemberType::kUid, 1000}};
+    desc.vnis = {777};
+    return driver->svc_alloc(root, desc).value();
+  }
+  Pid make_attacker() {
+    auto uns = kernel.create_user_namespace({{0, 100'000, 65'536}},
+                                            {{0, 100'000, 65'536}});
+    auto netns = kernel.create_net_namespace("attacker-container");
+    auto proc = kernel.spawn(
+        {.creds = Credentials{0, 0}, .user_ns = uns, .net_ns = netns});
+    // Inside the container the attacker may assume any mapped UID.
+    EXPECT_TRUE(kernel.setuid(proc->pid(), 1000).is_ok());
+    return proc->pid();
+  }
+};
+
+TEST_F(SpoofFixture, LegacyDriverIsVulnerable) {
+  driver->set_mode(AuthMode::kLegacyInNamespace);
+  const SvcId svc = make_victim_service();
+  const Pid attacker = make_attacker();
+  // The legacy driver reads the in-namespace UID (1000) and lets the
+  // attacker allocate an endpoint on the victim's VNI.
+  auto ep = driver->ep_alloc(attacker, svc, 777,
+                             hsn::TrafficClass::kBestEffort);
+  EXPECT_TRUE(ep.is_ok()) << "expected the attack to SUCCEED in legacy mode";
+}
+
+TEST_F(SpoofFixture, HostUidDriverBlocksSpoof) {
+  driver->set_mode(AuthMode::kHostUidGid);
+  const SvcId svc = make_victim_service();
+  const Pid attacker = make_attacker();
+  // Host view: the attacker is uid 101000, not 1000.
+  EXPECT_EQ(driver->ep_alloc(attacker, svc, 777,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(SpoofFixture, NetnsDriverBlocksSpoofAndUidMembersStillWork) {
+  driver->set_mode(AuthMode::kNetnsExtended);
+  const SvcId svc = make_victim_service();
+  const Pid attacker = make_attacker();
+  EXPECT_EQ(driver->ep_alloc(attacker, svc, 777,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+  // A host process with the real UID still authenticates (the extension
+  // is additive; UID members keep working for non-container callers).
+  auto legit = kernel.spawn({.creds = Credentials{1000, 1000}});
+  EXPECT_TRUE(driver->ep_alloc(legit->pid(), svc, 777,
+                               hsn::TrafficClass::kBestEffort)
+                  .is_ok());
+}
+
+TEST_F(SpoofFixture, NetnsMemberAdmitsOnlyThatNamespace) {
+  const auto netns = kernel.create_net_namespace("pod-a");
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kNetNs, netns->inode()}};
+  desc.vnis = {888};
+  const SvcId svc = driver->svc_alloc(root, desc).value();
+
+  auto inside = kernel.spawn({.creds = Credentials{0, 0}, .net_ns = netns});
+  auto outside = kernel.spawn({.creds = Credentials{0, 0}});
+  EXPECT_TRUE(driver->ep_alloc(inside->pid(), svc, 888,
+                               hsn::TrafficClass::kBestEffort)
+                  .is_ok());
+  EXPECT_EQ(driver->ep_alloc(outside->pid(), svc, 888,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(SpoofFixture, NetnsMemberIgnoredByLegacyDriver) {
+  // An un-patched driver cannot authenticate netns members at all.
+  driver->set_mode(AuthMode::kLegacyInNamespace);
+  const auto netns = kernel.create_net_namespace("pod-a");
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kNetNs, netns->inode()}};
+  desc.vnis = {888};
+  const SvcId svc = driver->svc_alloc(root, desc).value();
+  auto inside = kernel.spawn({.creds = Credentials{0, 0}, .net_ns = netns});
+  EXPECT_EQ(driver->ep_alloc(inside->pid(), svc, 888,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+// -- Lifecycle / resource management. ----------------------------------------
+
+TEST_F(CxiFixture, EndpointLimitPerService) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  desc.limits.max_endpoints = 2;
+  auto svc = driver->svc_alloc(root, desc);
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  auto e1 = driver->ep_alloc(alice->pid(), svc.value(), 500,
+                             hsn::TrafficClass::kBestEffort);
+  auto e2 = driver->ep_alloc(alice->pid(), svc.value(), 500,
+                             hsn::TrafficClass::kBestEffort);
+  ASSERT_TRUE(e1.is_ok());
+  ASSERT_TRUE(e2.is_ok());
+  EXPECT_EQ(driver->ep_alloc(alice->pid(), svc.value(), 500,
+                             hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kResourceExhausted);
+  // Freeing one endpoint makes room again.
+  ASSERT_TRUE(driver->ep_free(alice->pid(), e1.value()).is_ok());
+  EXPECT_TRUE(driver->ep_alloc(alice->pid(), svc.value(), 500,
+                               hsn::TrafficClass::kBestEffort)
+                  .is_ok());
+}
+
+TEST_F(CxiFixture, DestroyBlockedWhileEndpointsLive) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  auto svc = driver->svc_alloc(root, desc);
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  auto ep = driver->ep_alloc(alice->pid(), svc.value(), 500,
+                             hsn::TrafficClass::kBestEffort);
+  ASSERT_TRUE(ep.is_ok());
+  EXPECT_EQ(driver->svc_destroy(root, svc.value()).code(),
+            Code::kFailedPrecondition);
+  // Force destroy reaps the endpoint too (CNI DEL path).
+  EXPECT_TRUE(driver->svc_destroy_force(root, svc.value()).is_ok());
+  EXPECT_EQ(fabric->nic(0).endpoint_count(), 0u);
+}
+
+TEST_F(CxiFixture, DefaultServiceCannotBeDestroyed) {
+  EXPECT_EQ(driver->svc_destroy(root, kDefaultSvcId).code(),
+            Code::kFailedPrecondition);
+}
+
+TEST_F(CxiFixture, SwitchAclRefcountedAcrossServices) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1}};
+  desc.vnis = {600};
+  auto a = driver->svc_alloc(root, desc);
+  auto b = driver->svc_alloc(root, desc);
+  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, 600));
+  ASSERT_TRUE(driver->svc_destroy(root, a.value()).is_ok());
+  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, 600))
+      << "still referenced by service b";
+  ASSERT_TRUE(driver->svc_destroy(root, b.value()).is_ok());
+  EXPECT_FALSE(fabric->fabric_switch().vni_authorized(0, 600));
+}
+
+TEST_F(CxiFixture, EpAllocAnySvcScansServices) {
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  ASSERT_TRUE(driver->svc_alloc(root, desc).is_ok());
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  auto bob = kernel.spawn({.creds = Credentials{2000, 2000}});
+  // Alice finds her service without naming it; bob matches nothing (the
+  // default service only covers the default VNI).
+  EXPECT_TRUE(driver->ep_alloc_any_svc(alice->pid(), 500,
+                                       hsn::TrafficClass::kBestEffort)
+                  .is_ok());
+  EXPECT_EQ(driver->ep_alloc_any_svc(bob->pid(), 500,
+                                     hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(CxiFixture, CountersTrackDecisions) {
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  (void)driver->ep_alloc(alice->pid(), kDefaultSvcId, kDefaultVni,
+                         hsn::TrafficClass::kBestEffort);
+  (void)driver->ep_alloc(alice->pid(), kDefaultSvcId, 999,
+                         hsn::TrafficClass::kBestEffort);
+  const auto c = driver->counters();
+  EXPECT_EQ(c.ep_allocs_granted, 1u);
+  EXPECT_EQ(c.ep_allocs_denied, 1u);
+}
+
+TEST_F(CxiFixture, LibCxiWrapsDriver) {
+  LibCxi lib_root(*driver, root);
+  CxiServiceDesc desc;
+  desc.members = {{MemberType::kUid, 1000}};
+  desc.vnis = {500};
+  auto svc = lib_root.alloc_svc(desc);
+  ASSERT_TRUE(svc.is_ok());
+
+  auto alice = kernel.spawn({.creds = Credentials{1000, 1000}});
+  LibCxi lib_alice(*driver, alice->pid());
+  auto ep = lib_alice.alloc_endpoint(500);
+  ASSERT_TRUE(ep.is_ok());
+  EXPECT_TRUE(lib_alice.free_endpoint(ep.value()).is_ok());
+  EXPECT_TRUE(lib_root.destroy_svc(svc.value()).is_ok());
+}
+
+}  // namespace
+}  // namespace shs::cxi

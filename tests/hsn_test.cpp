@@ -1,0 +1,303 @@
+// hsn_test.cpp — fabric model: switch VNI enforcement, NIC queues, RMA,
+// and the timing model's bandwidth/latency behaviour.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hsn/fabric.hpp"
+
+namespace shs::hsn {
+namespace {
+
+/// Two-node fabric with both ports authorized for `vni`.
+std::unique_ptr<Fabric> make_fabric(Vni vni = 100, std::size_t nodes = 2) {
+  auto f = Fabric::create(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    EXPECT_TRUE(
+        f->fabric_switch().authorize_vni(static_cast<NicAddr>(i), vni)
+            .is_ok());
+  }
+  return f;
+}
+
+TEST(Switch, RoutesAuthorizedVni) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  ASSERT_TRUE(ep0.is_ok());
+  ASSERT_TRUE(ep1.is_ok());
+
+  auto t = f->nic(0).post_send(ep0.value(), 1, ep1.value(), /*tag=*/7,
+                               /*size=*/64, {}, /*vt=*/0);
+  ASSERT_TRUE(t.is_ok());
+  auto pkt = f->nic(1).wait_rx(ep1.value(), 1000);
+  ASSERT_TRUE(pkt.is_ok());
+  EXPECT_EQ(pkt.value().tag, 7u);
+  EXPECT_EQ(pkt.value().size_bytes, 64u);
+  EXPECT_GT(pkt.value().arrival_vt, 0);
+  EXPECT_EQ(f->fabric_switch().counters().delivered, 1u);
+}
+
+TEST(Switch, DropsWhenSrcUnauthorized) {
+  auto f = Fabric::create(2);
+  // Only the destination port is authorized.
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 100).is_ok());
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto t = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0);
+  EXPECT_EQ(t.code(), Code::kPermissionDenied);
+  EXPECT_EQ(f->fabric_switch().counters().dropped_src_unauthorized, 1u);
+  EXPECT_EQ(f->fabric_switch().counters().delivered, 0u);
+}
+
+TEST(Switch, DropsWhenDstUnauthorized) {
+  auto f = Fabric::create(2);
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 100).is_ok());
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto t = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0);
+  EXPECT_EQ(t.code(), Code::kPermissionDenied);
+  EXPECT_EQ(f->fabric_switch().counters().dropped_dst_unauthorized, 1u);
+}
+
+TEST(Switch, EnforcementOffRoutesEverything) {
+  auto f = Fabric::create(2);
+  f->fabric_switch().set_enforcement(false);
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto t = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0);
+  EXPECT_TRUE(t.is_ok());
+  EXPECT_TRUE(f->nic(1).wait_rx(ep1.value(), 1000).is_ok());
+}
+
+TEST(Switch, UnknownDestination) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto t = f->nic(0).post_send(ep0.value(), 55, 1, 1, 8, {}, 0);
+  EXPECT_EQ(t.code(), Code::kNotFound);
+  EXPECT_EQ(f->fabric_switch().counters().dropped_unknown_dst, 1u);
+}
+
+TEST(Switch, PerVniCounters) {
+  auto f = make_fabric(100);
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 200).is_ok());
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 200).is_ok());
+  auto a0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto a1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto b0 = f->nic(0).alloc_endpoint(200, TrafficClass::kBestEffort);
+  auto b1 = f->nic(1).alloc_endpoint(200, TrafficClass::kBestEffort);
+  (void)f->nic(0).post_send(a0.value(), 1, a1.value(), 1, 8, {}, 0);
+  (void)f->nic(0).post_send(b0.value(), 1, b1.value(), 1, 8, {}, 0);
+  (void)f->nic(0).post_send(b0.value(), 1, b1.value(), 1, 8, {}, 0);
+  EXPECT_EQ(f->fabric_switch().counters_for_vni(100).delivered, 1u);
+  EXPECT_EQ(f->fabric_switch().counters_for_vni(200).delivered, 2u);
+}
+
+TEST(Switch, RevokeStopsTraffic) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  ASSERT_TRUE(
+      f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0).is_ok());
+  ASSERT_TRUE(f->fabric_switch().revoke_vni(1, 100).is_ok());
+  EXPECT_EQ(f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+// -- NIC-level behaviour. ---------------------------------------------------
+
+TEST(Nic, VniZeroIsReserved) {
+  auto f = make_fabric();
+  EXPECT_EQ(f->nic(0).alloc_endpoint(0, TrafficClass::kBestEffort).code(),
+            Code::kInvalidArgument);
+}
+
+TEST(Nic, EndpointLimitEnforced) {
+  auto timing = TimingConfig{};
+  auto f = Fabric::create(1, timing);
+  NicLimits limits;
+  limits.max_endpoints = 4;
+  CassiniNic nic(10, f->switch_ptr(), f->timing(), limits);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(nic.alloc_endpoint(1, TrafficClass::kBestEffort).is_ok());
+  }
+  EXPECT_EQ(nic.alloc_endpoint(1, TrafficClass::kBestEffort).code(),
+            Code::kResourceExhausted);
+}
+
+TEST(Nic, FreedEndpointStopsReceiving) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  ASSERT_TRUE(f->nic(1).free_endpoint(ep1.value()).is_ok());
+  // The switch still routes (port authorized), but the NIC drops.
+  ASSERT_TRUE(
+      f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0).is_ok());
+  EXPECT_EQ(f->nic(1).counters().rx_unknown_ep, 1u);
+}
+
+TEST(Nic, VniMismatchDroppedAtNic) {
+  // Both ports authorized for both VNIs; the receiving *endpoint* is
+  // bound to a different VNI -> the NIC itself refuses the packet.
+  auto f = make_fabric(100);
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 200).is_ok());
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 200).is_ok());
+  auto attacker = f->nic(0).alloc_endpoint(200, TrafficClass::kBestEffort);
+  auto victim = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  ASSERT_TRUE(f->nic(0)
+                  .post_send(attacker.value(), 1, victim.value(), 1, 8, {}, 0)
+                  .is_ok());
+  EXPECT_EQ(f->nic(1).counters().rx_vni_mismatch, 1u);
+  EXPECT_EQ(f->nic(1).poll_rx(victim.value()).code(), Code::kUnavailable);
+}
+
+TEST(Nic, PayloadTravels) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  const char msg[] = "slingshot";
+  auto bytes = std::as_bytes(std::span(msg));
+  ASSERT_TRUE(f->nic(0)
+                  .post_send(ep0.value(), 1, ep1.value(), 1, sizeof(msg),
+                             bytes, 0)
+                  .is_ok());
+  auto pkt = f->nic(1).wait_rx(ep1.value(), 1000);
+  ASSERT_TRUE(pkt.is_ok());
+  ASSERT_EQ(pkt.value().payload.size(), sizeof(msg));
+  EXPECT_EQ(std::memcmp(pkt.value().payload.data(), msg, sizeof(msg)), 0);
+}
+
+TEST(Nic, WaitRxTimesOut) {
+  auto f = make_fabric();
+  auto ep = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  EXPECT_EQ(f->nic(0).wait_rx(ep.value(), 50).code(), Code::kTimeout);
+}
+
+// -- RMA. --------------------------------------------------------------------
+
+TEST(Rma, WriteReachesRegisteredMemory) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  std::vector<std::byte> target(64, std::byte{0});
+  auto mr = f->nic(1).register_mr(ep1.value(), target);
+  ASSERT_TRUE(mr.is_ok());
+
+  const char data[] = "rdma-write";
+  ASSERT_TRUE(f->nic(0)
+                  .rdma_write(ep0.value(), 1, mr.value(), /*offset=*/8,
+                              sizeof(data), std::as_bytes(std::span(data)),
+                              0, /*op_id=*/42)
+                  .is_ok());
+  auto ev = f->nic(0).wait_event(ep0.value(), 1000);
+  ASSERT_TRUE(ev.is_ok());
+  EXPECT_EQ(ev.value().type, Event::Type::kRdmaWriteComplete);
+  EXPECT_EQ(ev.value().op_id, 42u);
+  EXPECT_EQ(std::memcmp(target.data() + 8, data, sizeof(data)), 0);
+}
+
+TEST(Rma, ReadReturnsData) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  std::vector<std::byte> source(32);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    source[i] = static_cast<std::byte>(i);
+  }
+  auto mr = f->nic(1).register_mr(ep1.value(), source);
+  ASSERT_TRUE(f->nic(0)
+                  .rdma_read(ep0.value(), 1, mr.value(), 4, 8, 0, 7)
+                  .is_ok());
+  auto ev = f->nic(0).wait_event(ep0.value(), 1000);
+  ASSERT_TRUE(ev.is_ok());
+  EXPECT_EQ(ev.value().type, Event::Type::kRdmaReadComplete);
+  ASSERT_EQ(ev.value().data.size(), 8u);
+  EXPECT_EQ(ev.value().data[0], std::byte{4});
+  EXPECT_EQ(ev.value().data[7], std::byte{11});
+}
+
+TEST(Rma, WrongVniMrIsDenied) {
+  auto f = make_fabric(100);
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 200).is_ok());
+  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 200).is_ok());
+  auto attacker = f->nic(0).alloc_endpoint(200, TrafficClass::kBestEffort);
+  auto victim = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  std::vector<std::byte> target(64);
+  auto mr = f->nic(1).register_mr(victim.value(), target);
+  // The write rides VNI 200 but the MR belongs to VNI 100: denied.
+  ASSERT_TRUE(f->nic(0)
+                  .rdma_write(attacker.value(), 1, mr.value(), 0, 8, {}, 0, 9)
+                  .is_ok());
+  EXPECT_EQ(f->nic(1).counters().rma_denied, 1u);
+  EXPECT_EQ(f->nic(0).wait_event(attacker.value(), 100).code(),
+            Code::kTimeout);  // no ACK ever comes
+}
+
+TEST(Rma, OutOfBoundsDenied) {
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  std::vector<std::byte> target(16);
+  auto mr = f->nic(1).register_mr(ep1.value(), target);
+  ASSERT_TRUE(f->nic(0)
+                  .rdma_write(ep0.value(), 1, mr.value(), 12, 8, {}, 0, 1)
+                  .is_ok());
+  EXPECT_EQ(f->nic(1).counters().rma_denied, 1u);
+}
+
+TEST(Rma, MrDiesWithEndpoint) {
+  auto f = make_fabric();
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  std::vector<std::byte> target(16);
+  ASSERT_TRUE(f->nic(1).register_mr(ep1.value(), target).is_ok());
+  EXPECT_EQ(f->nic(1).mr_count(), 1u);
+  ASSERT_TRUE(f->nic(1).free_endpoint(ep1.value()).is_ok());
+  EXPECT_EQ(f->nic(1).mr_count(), 0u);
+}
+
+// -- Timing model. -----------------------------------------------------------
+
+TEST(Timing, SerializeTimeScalesWithSize) {
+  TimingModel tm({});
+  EXPECT_LT(tm.serialize_time(64), tm.serialize_time(4096));
+  EXPECT_LT(tm.serialize_time(4096), tm.serialize_time(1 << 20));
+  // 1 MiB at 200 Gbps ~= 42 us (plus per-frame headers).
+  EXPECT_NEAR(to_micros(tm.serialize_time(1 << 20)), 42.3, 1.0);
+}
+
+TEST(Timing, LargeTransfersApproachLineRate) {
+  // Send a window of 1 MiB messages back-to-back; arrival spacing must
+  // approach the serialization time (i.e. ~line rate), not the tx
+  // overhead.
+  auto f = make_fabric();
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  SimTime vt = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto r = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 1 << 20, {},
+                                 vt);
+    ASSERT_TRUE(r.is_ok());
+    vt = r.value();
+  }
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 8; ++i) {
+    auto p = f->nic(1).wait_rx(ep1.value(), 1000);
+    ASSERT_TRUE(p.is_ok());
+    arrivals.push_back(p.value().arrival_vt);
+  }
+  const double spacing_us =
+      to_micros(arrivals.back() - arrivals.front()) / 7.0;
+  EXPECT_NEAR(spacing_us, 42.3, 3.0);  // line-rate bound
+}
+
+TEST(Timing, TrafficClassPenaltyOrdering) {
+  TimingModel tm(TimingConfig{.jitter_amplitude = 0.0});
+  EXPECT_LT(tm.tc_penalty(TrafficClass::kDedicatedAccess),
+            tm.tc_penalty(TrafficClass::kBestEffort));
+  EXPECT_LT(tm.tc_penalty(TrafficClass::kLowLatency),
+            tm.tc_penalty(TrafficClass::kBulkData));
+}
+
+}  // namespace
+}  // namespace shs::hsn

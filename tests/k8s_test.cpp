@@ -1,0 +1,389 @@
+// k8s_test.cpp — control-plane semantics: API server store + watches +
+// two-phase deletion, and the job -> pod pipeline through scheduler and
+// kubelet with a fake runtime.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "k8s/api_server.hpp"
+#include "k8s/job_controller.hpp"
+#include "k8s/kubelet.hpp"
+#include "k8s/metacontroller.hpp"
+#include "k8s/scheduler.hpp"
+
+namespace shs::k8s {
+namespace {
+
+/// Deterministic runtime stand-in: fixed costs, scripted CNI behaviour.
+class FakeRuntime final : public PodRuntime {
+ public:
+  Result<SandboxInfo> create_sandbox(const Pod&) override {
+    ++sandboxes_created;
+    return SandboxInfo{next_inode_++, from_millis(10)};
+  }
+  Result<CniAddInfo> attach_networks(const Pod&) override {
+    ++attach_calls;
+    if (attach_unavailable_times > 0) {
+      --attach_unavailable_times;
+      return Result<CniAddInfo>(unavailable("VNI not served yet"));
+    }
+    if (fail_attach) {
+      return Result<CniAddInfo>(invalid_argument("CNI config broken"));
+    }
+    return CniAddInfo{granted_vni, from_millis(5)};
+  }
+  Result<SimDuration> pull_image(const Pod&) override {
+    return from_millis(10);
+  }
+  Result<SimDuration> start_container(const Pod&) override {
+    return from_millis(10);
+  }
+  Result<SimDuration> stop_container(const Pod&, SimDuration grace) override {
+    last_stop_grace = grace;
+    return from_millis(5);
+  }
+  Result<SimDuration> detach_networks(const Pod&) override {
+    ++detach_calls;
+    return from_millis(5);
+  }
+  Result<SimDuration> destroy_sandbox(const Pod&) override {
+    ++sandboxes_destroyed;
+    return from_millis(5);
+  }
+
+  int sandboxes_created = 0;
+  int sandboxes_destroyed = 0;
+  int attach_calls = 0;
+  int detach_calls = 0;
+  int attach_unavailable_times = 0;
+  bool fail_attach = false;
+  hsn::Vni granted_vni = 42;
+  SimDuration last_stop_grace = -1;
+
+ private:
+  linuxsim::NetNsInode next_inode_ = 9000;
+};
+
+/// A 2-node control plane wired to fake runtimes.
+struct ClusterFixture : ::testing::Test {
+  void SetUp() override {
+    api = std::make_unique<ApiServer>(loop);
+    jc = std::make_unique<JobController>(*api, Rng(1));
+    jc->start();
+    sched = std::make_unique<Scheduler>(
+        *api, std::vector<std::string>{"node-0", "node-1"}, Rng(2));
+    sched->start();
+    kubelet0 = std::make_unique<Kubelet>(*api, "node-0", rt0, Rng(3));
+    kubelet0->start();
+    kubelet1 = std::make_unique<Kubelet>(*api, "node-1", rt1, Rng(4));
+    kubelet1->start();
+  }
+
+  Uid submit(const std::string& name, int pods = 1, int ttl = -1,
+             const std::string& vni_ann = "", int grace_s = 5,
+             const std::string& spread = "") {
+    Job job;
+    job.meta.name = name;
+    job.spec.completions = pods;
+    job.spec.parallelism = pods;
+    job.spec.ttl_after_finished_s = ttl;
+    job.spec.pod_template.run_duration = from_millis(100);
+    job.spec.pod_template.termination_grace_s = grace_s;
+    job.spec.pod_template.spread_key = spread;
+    if (!vni_ann.empty()) job.meta.annotations[kVniAnnotation] = vni_ann;
+    return api->create_job(std::move(job)).value();
+  }
+
+  bool run_until(const std::function<bool()>& pred,
+                 SimDuration max = 120 * kSecond) {
+    const SimTime deadline = loop.now() + max;
+    while (loop.now() < deadline) {
+      if (pred()) return true;
+      loop.run_for(from_millis(25));
+    }
+    return pred();
+  }
+
+  sim::EventLoop loop;
+  std::unique_ptr<ApiServer> api;
+  FakeRuntime rt0, rt1;
+  std::unique_ptr<JobController> jc;
+  std::unique_ptr<Scheduler> sched;
+  std::unique_ptr<Kubelet> kubelet0, kubelet1;
+};
+
+// -- API server object store. -------------------------------------------------
+
+TEST(ApiServer, CreateRequiresName) {
+  sim::EventLoop loop;
+  ApiServer api(loop);
+  EXPECT_EQ(api.create_pod(Pod{}).code(), Code::kInvalidArgument);
+}
+
+TEST(ApiServer, NamesAreUniquePerNamespace) {
+  sim::EventLoop loop;
+  ApiServer api(loop);
+  Pod p;
+  p.meta.name = "x";
+  EXPECT_TRUE(api.create_pod(p).is_ok());
+  EXPECT_EQ(api.create_pod(p).code(), Code::kAlreadyExists);
+  p.meta.ns = "other";
+  EXPECT_TRUE(api.create_pod(p).is_ok());
+}
+
+TEST(ApiServer, WatchDeliversEventsAsync) {
+  sim::EventLoop loop;
+  ApiServer api(loop);
+  std::vector<WatchEventType> seen;
+  api.watch_pods([&](const WatchEvent<Pod>& ev) { seen.push_back(ev.type); });
+  Pod p;
+  p.meta.name = "w";
+  const Uid uid = api.create_pod(p).value();
+  EXPECT_TRUE(seen.empty()) << "watch events are not synchronous";
+  loop.run_until_idle();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], WatchEventType::kAdded);
+
+  auto live = api.get_pod(uid).value();
+  live.status.phase = PodPhase::kRunning;
+  ASSERT_TRUE(api.update_pod(live).is_ok());
+  loop.run_until_idle();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], WatchEventType::kModified);
+}
+
+TEST(ApiServer, TwoPhaseDeleteWaitsForFinalizers) {
+  sim::EventLoop loop;
+  ApiServer api(loop);
+  Pod p;
+  p.meta.name = "f";
+  const Uid uid = api.create_pod(p).value();
+  ASSERT_TRUE(api.add_pod_finalizer(uid, "t/guard").is_ok());
+  ASSERT_TRUE(api.delete_pod(uid).is_ok());
+  // Still present: the finalizer holds it.
+  ASSERT_TRUE(api.get_pod(uid).is_ok());
+  EXPECT_TRUE(api.get_pod(uid).value().meta.deletion_requested);
+  ASSERT_TRUE(api.remove_pod_finalizer(uid, "t/guard").is_ok());
+  EXPECT_EQ(api.get_pod(uid).code(), Code::kNotFound);
+}
+
+TEST(ApiServer, UpdateCannotResurrectDeletionState) {
+  sim::EventLoop loop;
+  ApiServer api(loop);
+  Pod p;
+  p.meta.name = "r";
+  const Uid uid = api.create_pod(p).value();
+  ASSERT_TRUE(api.add_pod_finalizer(uid, "t/guard").is_ok());
+  ASSERT_TRUE(api.delete_pod(uid).is_ok());
+  Pod stale = api.get_pod(uid).value();
+  stale.meta.deletion_requested = false;  // client tampering
+  stale.meta.finalizers.clear();
+  ASSERT_TRUE(api.update_pod(stale).is_ok());
+  EXPECT_TRUE(api.get_pod(uid).value().meta.deletion_requested);
+  EXPECT_TRUE(api.get_pod(uid).value().meta.has_finalizer("t/guard"));
+}
+
+TEST(ApiServer, ResourceVersionBumps) {
+  sim::EventLoop loop;
+  ApiServer api(loop);
+  Pod p;
+  p.meta.name = "rv";
+  const Uid uid = api.create_pod(p).value();
+  const auto v1 = api.get_pod(uid).value().meta.resource_version;
+  auto live = api.get_pod(uid).value();
+  ASSERT_TRUE(api.update_pod(live).is_ok());
+  EXPECT_GT(api.get_pod(uid).value().meta.resource_version, v1);
+}
+
+// -- Job pipeline. --------------------------------------------------------------
+
+TEST_F(ClusterFixture, JobRunsToCompletion) {
+  const Uid job = submit("echo-job");
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.complete;
+  })) << "job never completed";
+  const Job done = api->get_job(job).value();
+  EXPECT_EQ(done.status.succeeded, 1);
+  EXPECT_GT(done.status.start_vt, 0);
+  EXPECT_GE(done.status.completion_vt, done.status.start_vt);
+  EXPECT_EQ(rt0.sandboxes_created + rt1.sandboxes_created, 1);
+}
+
+TEST_F(ClusterFixture, AdmissionDelayIsPositiveAndBounded) {
+  const Uid job = submit("timing-job");
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.start_vt > 0;
+  }));
+  const Job j = api->get_job(job).value();
+  const SimDuration admission = j.status.start_vt - j.meta.creation_vt;
+  EXPECT_GT(admission, from_millis(30));  // pipeline stages cost time
+  EXPECT_LT(admission, 5 * kSecond);      // idle cluster: no queueing
+}
+
+TEST_F(ClusterFixture, TopologySpreadLandsOnDistinctNodes) {
+  const Uid job = submit("mpi", /*pods=*/2, -1, "", 5, /*spread=*/"osu");
+  ASSERT_TRUE(run_until([&] {
+    const auto pods = api->list_pods([&](const Pod& p) {
+      return p.meta.owner_uid == job &&
+             p.status.phase == PodPhase::kRunning;
+    });
+    return pods.size() == 2;
+  }));
+  const auto pods =
+      api->list_pods([&](const Pod& p) { return p.meta.owner_uid == job; });
+  ASSERT_EQ(pods.size(), 2u);
+  EXPECT_NE(pods[0].status.node, pods[1].status.node)
+      << "topology spread must place the two OSU ranks on distinct nodes";
+}
+
+TEST_F(ClusterFixture, TtlZeroDeletesJobAfterCompletion) {
+  const Uid job = submit("ephemeral", 1, /*ttl=*/0);
+  ASSERT_TRUE(run_until([&] { return !api->get_job(job).is_ok(); }))
+      << "job should be auto-deleted";
+  // All pods cleaned up as well.
+  EXPECT_TRUE(run_until([&] {
+    return api
+        ->list_pods([&](const Pod& p) { return p.meta.owner_uid == job; })
+        .empty();
+  }));
+  EXPECT_EQ(rt0.sandboxes_created + rt1.sandboxes_created,
+            rt0.sandboxes_destroyed + rt1.sandboxes_destroyed);
+}
+
+TEST_F(ClusterFixture, DeleteJobCascadesToPods) {
+  const Uid job = submit("long", 1);
+  // Make the pod long-running so deletion hits a live pod.
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.start_vt > 0;
+  }));
+  ASSERT_TRUE(api->delete_job(job).is_ok());
+  ASSERT_TRUE(run_until([&] { return !api->get_job(job).is_ok(); }));
+  EXPECT_TRUE(api->list_pods([&](const Pod& p) {
+                   return p.meta.owner_uid == job;
+                 }).empty());
+  EXPECT_EQ(rt0.detach_calls + rt1.detach_calls,
+            rt0.attach_calls + rt1.attach_calls);
+}
+
+TEST_F(ClusterFixture, CniUnavailableRetriesThenSucceeds) {
+  rt0.attach_unavailable_times = 2;
+  rt1.attach_unavailable_times = 2;
+  const Uid job = submit("waits-for-vni", 1, -1, "true");
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.complete;
+  })) << "pod should launch after CNI retries";
+  EXPECT_GE(rt0.attach_calls + rt1.attach_calls, 3);
+}
+
+TEST_F(ClusterFixture, CniHardFailureFailsPod) {
+  rt0.fail_attach = true;
+  rt1.fail_attach = true;
+  const Uid job = submit("broken-cni", 1);
+  ASSERT_TRUE(run_until([&] {
+    const auto pods = api->list_pods([&](const Pod& p) {
+      return p.meta.owner_uid == job &&
+             p.status.phase == PodPhase::kFailed;
+    });
+    return !pods.empty();
+  })) << "pod should fail when CNI ADD fails hard";
+}
+
+TEST_F(ClusterFixture, GraceCappedAt30sForVniPods) {
+  const Uid job = submit("vni-grace", 1, -1, "true", /*grace_s=*/300);
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.start_vt > 0;
+  }));
+  ASSERT_TRUE(api->delete_job(job).is_ok());
+  ASSERT_TRUE(run_until([&] { return !api->get_job(job).is_ok(); }));
+  const SimDuration grace =
+      std::max(rt0.last_stop_grace, rt1.last_stop_grace);
+  EXPECT_EQ(grace, from_seconds(30))
+      << "kubelet must cap VNI pods at the 30 s quarantine bound";
+}
+
+TEST_F(ClusterFixture, NonVniPodKeepsItsGrace) {
+  const Uid job = submit("normal-grace", 1, -1, "", /*grace_s=*/120);
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.start_vt > 0;
+  }));
+  ASSERT_TRUE(api->delete_job(job).is_ok());
+  ASSERT_TRUE(run_until([&] { return !api->get_job(job).is_ok(); }));
+  const SimDuration grace =
+      std::max(rt0.last_stop_grace, rt1.last_stop_grace);
+  EXPECT_EQ(grace, from_seconds(120));
+}
+
+TEST_F(ClusterFixture, ParallelJobCountsAllCompletions) {
+  const Uid job = submit("wide", /*pods=*/4);
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.complete;
+  }));
+  EXPECT_EQ(api->get_job(job).value().status.succeeded, 4);
+}
+
+// -- Metacontroller decoration. -------------------------------------------------
+
+TEST_F(ClusterFixture, DecoratorCreatesAndFinalizesChildren) {
+  int syncs = 0;
+  int finalizes = 0;
+  DecoratorController::Hooks hooks;
+  hooks.sync_job = [&](const Job& j) {
+    ++syncs;
+    VniObject child;
+    child.meta.name = j.meta.name + "-vni";
+    child.meta.ns = j.meta.ns;
+    child.vni = 1234;
+    child.bound_uid = j.meta.uid;
+    return Result<std::vector<VniObject>>(std::vector<VniObject>{child});
+  };
+  hooks.finalize_job = [&](const Job&) {
+    ++finalizes;
+    return Result<bool>(true);
+  };
+  DecoratorController dc(*api, std::move(hooks), Rng(7));
+  dc.start();
+
+  const Uid job = submit("decorated", 1, -1, "true");
+  ASSERT_TRUE(run_until([&] {
+    return !api->list_vni_objects([&](const VniObject& v) {
+                 return v.bound_uid == job;
+               }).empty();
+  })) << "decorator should create the VNI child";
+  EXPECT_EQ(syncs, 1);
+  EXPECT_EQ(api->list_vni_objects()[0].vni, 1234u);
+
+  ASSERT_TRUE(api->delete_job(job).is_ok());
+  ASSERT_TRUE(run_until([&] { return !api->get_job(job).is_ok(); }));
+  EXPECT_GE(finalizes, 1);
+  EXPECT_TRUE(run_until([&] { return api->list_vni_objects().empty(); }))
+      << "children must be removed after finalize";
+  dc.stop();
+}
+
+TEST_F(ClusterFixture, DecoratorIgnoresUnannotatedJobs) {
+  int syncs = 0;
+  DecoratorController::Hooks hooks;
+  hooks.sync_job = [&](const Job&) {
+    ++syncs;
+    return Result<std::vector<VniObject>>(std::vector<VniObject>{});
+  };
+  DecoratorController dc(*api, std::move(hooks), Rng(7));
+  dc.start();
+  const Uid job = submit("plain", 1);
+  ASSERT_TRUE(run_until([&] {
+    auto j = api->get_job(job);
+    return j.is_ok() && j.value().status.complete;
+  }));
+  EXPECT_EQ(syncs, 0);
+  dc.stop();
+}
+
+}  // namespace
+}  // namespace shs::k8s

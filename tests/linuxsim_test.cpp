@@ -1,0 +1,143 @@
+// linuxsim_test.cpp — namespace and credential semantics, including the
+// exact user-namespace behaviour that breaks UID-based authentication.
+#include <gtest/gtest.h>
+
+#include "linuxsim/kernel.hpp"
+
+namespace shs::linuxsim {
+namespace {
+
+TEST(Kernel, HostNetNsExistsWithStableInode) {
+  Kernel k;
+  ASSERT_NE(k.host_net_ns(), nullptr);
+  EXPECT_EQ(k.host_net_ns()->name(), "host");
+  EXPECT_GT(k.host_net_ns()->inode(), 0u);
+}
+
+TEST(Kernel, NetNsInodesAreUnique) {
+  Kernel k;
+  auto a = k.create_net_namespace("a");
+  auto b = k.create_net_namespace("b");
+  EXPECT_NE(a->inode(), b->inode());
+  EXPECT_NE(a->inode(), k.host_net_ns()->inode());
+  EXPECT_EQ(k.net_ns_count(), 3u);
+}
+
+TEST(Kernel, SpawnDefaultsToHostNamespaces) {
+  Kernel k;
+  auto p = k.spawn({});
+  EXPECT_EQ(p->net_ns()->inode(), k.host_net_ns()->inode());
+  EXPECT_EQ(p->user_ns(), nullptr);
+  EXPECT_EQ(p->host_uid(), kRootUid);
+}
+
+TEST(Kernel, ProcfsReportsNetNsInode) {
+  Kernel k;
+  auto ns = k.create_net_namespace("container");
+  auto p = k.spawn({.creds = {}, .user_ns = nullptr, .net_ns = ns});
+  auto inode = k.proc_net_ns_inode(p->pid());
+  ASSERT_TRUE(inode.is_ok());
+  EXPECT_EQ(inode.value(), ns->inode());
+}
+
+TEST(Kernel, ProcfsUnknownPidFails) {
+  Kernel k;
+  EXPECT_EQ(k.proc_net_ns_inode(9999).code(), shs::Code::kNotFound);
+  EXPECT_EQ(k.proc_host_creds(9999).code(), shs::Code::kNotFound);
+}
+
+TEST(Kernel, KillRemovesProcess) {
+  Kernel k;
+  auto p = k.spawn({});
+  const Pid pid = p->pid();
+  EXPECT_TRUE(k.kill(pid).is_ok());
+  EXPECT_EQ(k.find(pid), nullptr);
+  EXPECT_EQ(k.kill(pid).code(), shs::Code::kNotFound);
+}
+
+// -- User namespaces: the vulnerability precondition (Section III). --------
+
+TEST(UserNs, MapsContainerRootToUnprivilegedHostUid) {
+  Kernel k;
+  auto uns = k.create_user_namespace({{0, 100'000, 65'536}},
+                                     {{0, 100'000, 65'536}});
+  auto p = k.spawn({.creds = {0, 0}, .user_ns = uns, .net_ns = nullptr});
+  EXPECT_EQ(p->creds().uid, kRootUid);   // root *inside*
+  EXPECT_EQ(p->host_uid(), 100'000u);    // unprivileged on the host
+}
+
+TEST(UserNs, SetuidToAnyMappedIdSucceeds) {
+  // "users can freely change their UID and GID inside the container" —
+  // the core of the spoofing attack.
+  Kernel k;
+  auto uns = k.create_user_namespace({{0, 100'000, 65'536}},
+                                     {{0, 100'000, 65'536}});
+  auto p = k.spawn({.creds = {0, 0}, .user_ns = uns, .net_ns = nullptr});
+  EXPECT_TRUE(k.setuid(p->pid(), 1234).is_ok());
+  EXPECT_EQ(k.find(p->pid())->creds().uid, 1234u);
+  EXPECT_TRUE(k.setgid(p->pid(), 4321).is_ok());
+  EXPECT_EQ(k.find(p->pid())->creds().gid, 4321u);
+}
+
+TEST(UserNs, SetuidOutsideMappingFails) {
+  Kernel k;
+  auto uns = k.create_user_namespace({{0, 100'000, 1000}}, {{0, 100'000, 1000}});
+  auto p = k.spawn({.creds = {0, 0}, .user_ns = uns, .net_ns = nullptr});
+  EXPECT_EQ(k.setuid(p->pid(), 5000).code(), shs::Code::kPermissionDenied);
+}
+
+TEST(UserNs, UnmappedIdSurfacesAsOverflowUid) {
+  Kernel k;
+  auto uns = k.create_user_namespace({{0, 100'000, 10}}, {{0, 100'000, 10}});
+  auto p = k.spawn({.creds = {99, 99}, .user_ns = uns, .net_ns = nullptr});
+  EXPECT_EQ(p->host_uid(), kOverflowUid);
+  EXPECT_EQ(p->host_gid(), kOverflowGid);
+}
+
+TEST(HostNs, SetuidRequiresRoot) {
+  Kernel k;
+  auto p = k.spawn({.creds = {1000, 1000}, .user_ns = nullptr,
+                    .net_ns = nullptr});
+  EXPECT_EQ(k.setuid(p->pid(), 0).code(), shs::Code::kPermissionDenied);
+  auto root = k.spawn({});
+  EXPECT_TRUE(k.setuid(root->pid(), 1000).is_ok());
+}
+
+TEST(HostNs, HostCredsViaProcfs) {
+  Kernel k;
+  auto uns = k.create_user_namespace({{0, 200'000, 65'536}},
+                                     {{0, 200'000, 65'536}});
+  auto p = k.spawn({.creds = {55, 66}, .user_ns = uns, .net_ns = nullptr});
+  auto creds = k.proc_host_creds(p->pid());
+  ASSERT_TRUE(creds.is_ok());
+  EXPECT_EQ(creds.value().uid, 200'055u);
+  EXPECT_EQ(creds.value().gid, 200'066u);
+}
+
+// -- Network namespace device management. ----------------------------------
+
+TEST(NetNs, AttachDetachDevices) {
+  Kernel k;
+  auto ns = k.create_net_namespace("pod");
+  EXPECT_TRUE(ns->attach_device("eth0").is_ok());
+  EXPECT_EQ(ns->attach_device("eth0").code(), shs::Code::kAlreadyExists);
+  EXPECT_TRUE(ns->has_device("eth0"));
+  EXPECT_TRUE(ns->detach_device("eth0").is_ok());
+  EXPECT_EQ(ns->detach_device("eth0").code(), shs::Code::kNotFound);
+  EXPECT_FALSE(ns->has_device("eth0"));
+}
+
+TEST(NetNs, ProcessesSharingNamespaceSeeTheSameInode) {
+  // "two processes sharing one network namespace automatically share all
+  // Linux networking resources attached to that namespace" — the design
+  // rationale for netns-based authorization.
+  Kernel k;
+  auto ns = k.create_net_namespace("shared");
+  auto p1 = k.spawn({.creds = {}, .user_ns = nullptr, .net_ns = ns});
+  auto p2 = k.spawn({.creds = {}, .user_ns = nullptr, .net_ns = ns});
+  EXPECT_EQ(k.proc_net_ns_inode(p1->pid()).value(),
+            k.proc_net_ns_inode(p2->pid()).value());
+}
+
+}  // namespace
+}  // namespace shs::linuxsim

@@ -1,0 +1,146 @@
+// osu_property_test.cpp — parameterized sweeps over the OSU workloads:
+// for every message size, throughput must respect physical bounds (never
+// above line rate, never below the overhead-implied floor) and latency
+// must decompose into base + serialization.  These pin the calibration
+// that Figs 5-8 rely on.
+#include <gtest/gtest.h>
+
+#include "cxi/driver.hpp"
+#include "hsn/fabric.hpp"
+#include "mpi/comm.hpp"
+#include "ofi/domain.hpp"
+#include "osu/osu.hpp"
+
+namespace shs {
+namespace {
+
+/// Shared two-host world, rebuilt per test (cheap).
+struct OsuWorld {
+  OsuWorld() {
+    fabric = hsn::Fabric::create(2);
+    for (int i = 0; i < 2; ++i) {
+      kernels.push_back(std::make_unique<linuxsim::Kernel>());
+      drivers.push_back(std::make_unique<cxi::CxiDriver>(
+          *kernels[i], fabric->nic(i), fabric->switch_ptr(),
+          cxi::AuthMode::kNetnsExtended));
+      const auto pid = kernels[i]->spawn({})->pid();
+      ofi::Domain dom(*drivers[i], fabric->nic(i), fabric->timing(), pid);
+      endpoints.push_back(dom.open_endpoint(cxi::kDefaultVni).value());
+    }
+    comm = mpi::Communicator::create({endpoints[0].get(),
+                                      endpoints[1].get()});
+  }
+  std::unique_ptr<hsn::Fabric> fabric;
+  std::vector<std::unique_ptr<linuxsim::Kernel>> kernels;
+  std::vector<std::unique_ptr<cxi::CxiDriver>> drivers;
+  std::vector<std::unique_ptr<ofi::Endpoint>> endpoints;
+  std::unique_ptr<mpi::Communicator> comm;
+};
+
+class OsuSizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OsuSizeProperty, BandwidthWithinPhysicalBounds) {
+  OsuWorld world;
+  const std::uint64_t size = GetParam();
+  osu::BwOptions opts;
+  opts.iterations = 60;
+  opts.window = 16;
+  auto bw = osu::run_osu_bw(*world.comm, size, opts);
+  ASSERT_TRUE(bw.is_ok());
+
+  // Upper bound: the 200 Gbps line rate (25'000 MB/s), with margin for
+  // jitter.
+  EXPECT_LT(bw.value(), 25'500.0);
+  // Lower bound: per message the sender pays tx overhead + serialization,
+  // and each window pays one acknowledgement round trip (amortized over
+  // `window` messages).
+  const auto& cfg = world.fabric->timing()->config();
+  const double rtt_s = 2.0 * to_seconds(cfg.tx_overhead + cfg.hop_latency +
+                                        cfg.rx_overhead);
+  const double per_msg_s =
+      to_seconds(cfg.tx_overhead) +
+      to_seconds(world.fabric->timing()->serialize_time(size)) +
+      rtt_s / static_cast<double>(opts.window);
+  const double floor_mbps =
+      static_cast<double>(size) / per_msg_s / 1.0e6 * 0.85;
+  EXPECT_GT(bw.value(), floor_mbps) << "size " << size;
+}
+
+TEST_P(OsuSizeProperty, LatencyDecomposesIntoBasePlusSerialization) {
+  OsuWorld world;
+  const std::uint64_t size = GetParam();
+  osu::LatencyOptions opts;
+  opts.iterations = 120;
+  auto lat = osu::run_osu_latency(*world.comm, size, opts);
+  ASSERT_TRUE(lat.is_ok());
+
+  const auto& tm = *world.fabric->timing();
+  const auto& cfg = tm.config();
+  const double base_us = to_micros(cfg.tx_overhead + cfg.hop_latency +
+                                   cfg.rx_overhead);
+  const double ser_us = to_micros(tm.serialize_time(size));
+  // One-way latency ~= base + serialization (+ TC penalty + jitter).
+  EXPECT_NEAR(lat.value(), base_us + ser_us, (base_us + ser_us) * 0.15 + 0.5)
+      << "size " << size;
+}
+
+TEST_P(OsuSizeProperty, BandwidthScalesWithWindow) {
+  // More messages in flight can only help (or tie) small-message rates.
+  OsuWorld world;
+  const std::uint64_t size = GetParam();
+  osu::BwOptions narrow;
+  narrow.iterations = 40;
+  narrow.window = 2;
+  osu::BwOptions wide;
+  wide.iterations = 40;
+  wide.window = 32;
+  auto bw_narrow = osu::run_osu_bw(*world.comm, size, narrow);
+  OsuWorld world2;
+  auto bw_wide = osu::run_osu_bw(*world2.comm, size, wide);
+  ASSERT_TRUE(bw_narrow.is_ok());
+  ASSERT_TRUE(bw_wide.is_ok());
+  EXPECT_GT(bw_wide.value(), bw_narrow.value() * 0.95) << "size " << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, OsuSizeProperty,
+                         ::testing::Values(1, 8, 64, 512, 4096, 32768,
+                                           262144, 1048576));
+
+// ---------------------------------------------------------------------------
+// Determinism: identical seeds -> identical figures (the property the
+// whole reproduction leans on).
+
+class DeterminismProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DeterminismProperty, SameSeedSameThroughput) {
+  auto run_once = [&](std::uint64_t seed) {
+    auto fabric = hsn::Fabric::create(2, {}, seed);
+    linuxsim::Kernel k0, k1;
+    cxi::CxiDriver d0(k0, fabric->nic(0), fabric->switch_ptr(),
+                      cxi::AuthMode::kNetnsExtended);
+    cxi::CxiDriver d1(k1, fabric->nic(1), fabric->switch_ptr(),
+                      cxi::AuthMode::kNetnsExtended);
+    ofi::Domain dom0(d0, fabric->nic(0), fabric->timing(),
+                     k0.spawn({})->pid());
+    ofi::Domain dom1(d1, fabric->nic(1), fabric->timing(),
+                     k1.spawn({})->pid());
+    auto e0 = dom0.open_endpoint(cxi::kDefaultVni).value();
+    auto e1 = dom1.open_endpoint(cxi::kDefaultVni).value();
+    auto comm = mpi::Communicator::create({e0.get(), e1.get()});
+    osu::LatencyOptions opts;
+    opts.iterations = 100;
+    return osu::run_osu_latency(*comm, 1024, opts).value();
+  };
+  const double a = run_once(GetParam());
+  const double b = run_once(GetParam());
+  EXPECT_DOUBLE_EQ(a, b) << "same seed must give identical virtual time";
+  const double c = run_once(GetParam() + 1);
+  EXPECT_NE(a, c) << "different seeds must differ (jitter present)";
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, DeterminismProperty,
+                         ::testing::Values(100, 200, 300));
+
+}  // namespace
+}  // namespace shs

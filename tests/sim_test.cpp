@@ -1,0 +1,151 @@
+// sim_test.cpp — discrete-event loop semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.hpp"
+
+namespace shs::sim {
+namespace {
+
+TEST(EventLoop, StartsAtZeroAndIdle) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_TRUE(loop.idle());
+  EXPECT_EQ(loop.run_until_idle(), 0u);
+}
+
+TEST(EventLoop, ExecutesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(loop.run_until_idle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, EqualTimestampsRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { seen = loop.now(); });
+  });
+  loop.run_until_idle();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventLoop, PastTimestampsClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run_until_idle();
+  SimTime seen = -1;
+  loop.schedule_at(10, [&] { seen = loop.now(); });  // in the "past"
+  loop.run_until_idle();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(10, [&] { ++ran; });
+  loop.schedule_at(20, [&] { ++ran; });
+  loop.schedule_at(30, [&] { ++ran; });
+  EXPECT_EQ(loop.run_until(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.run_until(25), 0u);
+  EXPECT_EQ(loop.now(), 25);
+  loop.run_until_idle();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const auto id = loop.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // second cancel is a no-op
+  loop.run_until_idle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, PeriodicFiresRepeatedly) {
+  EventLoop loop;
+  int count = 0;
+  const auto id = loop.schedule_periodic(10, [&] { ++count; });
+  loop.run_until(55);
+  EXPECT_EQ(count, 5);  // at t=10,20,30,40,50
+  EXPECT_TRUE(loop.cancel(id));
+  loop.run_until(200);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventLoop, PeriodicCanCancelItself) {
+  EventLoop loop;
+  int count = 0;
+  EventLoop::TaskId id = EventLoop::kInvalidTask;
+  id = loop.schedule_periodic(10, [&] {
+    if (++count == 3) loop.cancel(id);
+  });
+  loop.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventLoop, NestedSchedulingWithinCallback) {
+  EventLoop loop;
+  std::vector<SimTime> times;
+  loop.schedule_at(10, [&] {
+    times.push_back(loop.now());
+    loop.schedule_after(5, [&] { times.push_back(loop.now()); });
+  });
+  loop.run_until_idle();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(EventLoop, StopInterruptsRun) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(10, [&] {
+    ++ran;
+    loop.stop();
+  });
+  loop.schedule_at(20, [&] { ++ran; });
+  loop.run_until_idle();
+  EXPECT_EQ(ran, 1);
+  loop.run_until_idle();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventLoop, PendingCountsLiveTasks) {
+  EventLoop loop;
+  const auto a = loop.schedule_at(10, [] {});
+  loop.schedule_at(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_until_idle();
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, MaxEventsBound) {
+  EventLoop loop;
+  int ran = 0;
+  for (int i = 0; i < 10; ++i) loop.schedule_at(i, [&] { ++ran; });
+  EXPECT_EQ(loop.run_until_idle(4), 4u);
+  EXPECT_EQ(ran, 4);
+}
+
+}  // namespace
+}  // namespace shs::sim

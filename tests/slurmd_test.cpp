@@ -1,0 +1,143 @@
+// slurmd_test.cpp — the Slurm-style dynamic CXI service path (Section
+// II-C's "daemon running as root" alternative) and its coexistence with
+// the Kubernetes path on one VNI registry.
+#include <gtest/gtest.h>
+
+#include "core/slurmd.hpp"
+#include "core/stack.hpp"
+
+namespace shs::core {
+namespace {
+
+struct SlurmFixture : ::testing::Test {
+  SlurmFixture() {
+    std::vector<SlurmDaemon::NodeRef> refs;
+    for (std::size_t i = 0; i < stack.node_count(); ++i) {
+      refs.push_back({stack.node(i).kernel.get(),
+                      stack.node(i).driver.get(),
+                      stack.node(i).root_pid});
+    }
+    slurmd = std::make_unique<SlurmDaemon>(stack.registry(), stack.loop(),
+                                           std::move(refs));
+  }
+
+  SlingshotStack stack;
+  std::unique_ptr<SlurmDaemon> slurmd;
+};
+
+TEST_F(SlurmFixture, UidStepGrantsVniToUser) {
+  auto step = slurmd->launch_step(101, {0, 1},
+                                  SlurmAuthScheme::kUidMember,
+                                  /*uid=*/1000);
+  ASSERT_TRUE(step.is_ok());
+  EXPECT_EQ(step.value().services.size(), 2u);
+  EXPECT_EQ(slurmd->active_steps(), 1u);
+
+  // The user's process can allocate on the step VNI on both nodes.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}}) {
+    auto& node = stack.node(n);
+    auto proc = node.kernel->spawn(
+        {.creds = linuxsim::Credentials{1000, 1000}});
+    auto ep = node.driver->ep_alloc_any_svc(
+        proc->pid(), step.value().vni, hsn::TrafficClass::kBestEffort);
+    EXPECT_TRUE(ep.is_ok()) << "node " << n;
+  }
+  // A different user cannot.
+  auto other = stack.node(0).kernel->spawn(
+      {.creds = linuxsim::Credentials{2000, 2000}});
+  EXPECT_EQ(stack.node(0)
+                .driver
+                ->ep_alloc_any_svc(other->pid(), step.value().vni,
+                                   hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(SlurmFixture, NetnsStepForContainerizedSteps) {
+  auto ns0 = stack.node(0).kernel->create_net_namespace("step-ns0");
+  auto ns1 = stack.node(1).kernel->create_net_namespace("step-ns1");
+  auto step = slurmd->launch_step(102, {0, 1},
+                                  SlurmAuthScheme::kNetnsMember, 0,
+                                  {ns0->inode(), ns1->inode()});
+  ASSERT_TRUE(step.is_ok());
+  auto inside = stack.node(0).kernel->spawn({.creds = {}, .net_ns = ns0});
+  EXPECT_TRUE(stack.node(0)
+                  .driver
+                  ->ep_alloc_any_svc(inside->pid(), step.value().vni,
+                                     hsn::TrafficClass::kBestEffort)
+                  .is_ok());
+  auto outside = stack.node(0).kernel->spawn({});
+  EXPECT_EQ(stack.node(0)
+                .driver
+                ->ep_alloc_any_svc(outside->pid(), step.value().vni,
+                                   hsn::TrafficClass::kBestEffort)
+                .code(),
+            Code::kPermissionDenied);
+}
+
+TEST_F(SlurmFixture, CompleteStepReleasesEverything) {
+  auto step = slurmd->launch_step(103, {0},
+                                  SlurmAuthScheme::kUidMember, 1000);
+  ASSERT_TRUE(step.is_ok());
+  const auto vni = step.value().vni;
+  EXPECT_EQ(stack.registry().allocated_count(), 1u);
+  ASSERT_TRUE(slurmd->complete_step(step.value()).is_ok());
+  EXPECT_EQ(slurmd->active_steps(), 0u);
+  EXPECT_EQ(stack.registry().allocated_count(), 0u);
+  EXPECT_EQ(stack.registry().quarantined_count(stack.loop().now()), 1u);
+  EXPECT_FALSE(stack.fabric().fabric_switch().vni_authorized(0, vni));
+}
+
+TEST_F(SlurmFixture, ValidationErrors) {
+  EXPECT_EQ(slurmd->launch_step(1, {}, SlurmAuthScheme::kUidMember, 1)
+                .code(),
+            Code::kInvalidArgument);
+  EXPECT_EQ(slurmd->launch_step(1, {99}, SlurmAuthScheme::kUidMember, 1)
+                .code(),
+            Code::kInvalidArgument);
+  EXPECT_EQ(slurmd
+                ->launch_step(1, {0, 1}, SlurmAuthScheme::kNetnsMember, 0,
+                              {123})  // one inode for two nodes
+                .code(),
+            Code::kInvalidArgument);
+}
+
+TEST_F(SlurmFixture, SlurmAndKubernetesShareTheVniPool) {
+  // The mutual-exclusivity requirement holds across orchestrators: a
+  // Slurm step and a Kubernetes job can never hold the same VNI.
+  auto step = slurmd->launch_step(104, {0},
+                                  SlurmAuthScheme::kUidMember, 1000);
+  ASSERT_TRUE(step.is_ok());
+
+  auto job = stack.submit_job({.name = "k8s-neighbour",
+                               .vni_annotation = "true",
+                               .pods = 1,
+                               .run_duration = 30 * kSecond});
+  ASSERT_TRUE(stack.wait_job_start(job.value()));
+  hsn::Vni job_vni = hsn::kInvalidVni;
+  for (const auto& pod : stack.pods_of_job(job.value())) {
+    if (pod.status.vni != hsn::kInvalidVni) job_vni = pod.status.vni;
+  }
+  ASSERT_NE(job_vni, hsn::kInvalidVni);
+  EXPECT_NE(job_vni, step.value().vni);
+  EXPECT_EQ(stack.registry().allocated_count(), 2u);
+}
+
+TEST_F(SlurmFixture, FailedLaunchRollsBack) {
+  // Exhaust the pool so acquire fails; nothing must leak.
+  db::Database tiny_db;
+  VniRegistry tiny(tiny_db, {.vni_min = 10, .vni_max = 10,
+                             .quarantine = kSecond});
+  std::vector<SlurmDaemon::NodeRef> refs{{stack.node(0).kernel.get(),
+                                          stack.node(0).driver.get(),
+                                          stack.node(0).root_pid}};
+  SlurmDaemon d(tiny, stack.loop(), std::move(refs));
+  auto first = d.launch_step(1, {0}, SlurmAuthScheme::kUidMember, 1);
+  ASSERT_TRUE(first.is_ok());
+  auto second = d.launch_step(2, {0}, SlurmAuthScheme::kUidMember, 1);
+  EXPECT_EQ(second.code(), Code::kResourceExhausted);
+  EXPECT_EQ(d.active_steps(), 1u);
+}
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,139 @@
+// soak_test.cpp — randomized churn against the full stack, then global
+// invariant checks.  This is the "does anything leak?" test: after an
+// arbitrary interleaving of job submissions, claim lifecycles, and
+// deletions, the cluster must return to a clean steady state:
+//   * no CXI service left on any node beyond the default service;
+//   * no allocated VNI in the registry (only expired/active quarantine);
+//   * no switch-port ACL entry beyond the default VNI;
+//   * no sandbox (netns/process) left in any node's runtime;
+//   * audit log internally consistent (every acquire has a release).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/stack.hpp"
+#include "util/rng.hpp"
+
+namespace shs::core {
+namespace {
+
+struct SoakCase {
+  std::uint64_t seed;
+  int operations;
+};
+
+class SoakProperty : public ::testing::TestWithParam<SoakCase> {};
+
+TEST_P(SoakProperty, ChurnLeavesNoResidue) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  StackConfig cfg;
+  cfg.seed = param.seed;
+  cfg.vni.quarantine = 2 * kSecond;  // fast recycling for the soak
+  SlingshotStack stack(cfg);
+
+  std::vector<k8s::Uid> live_jobs;
+  std::map<k8s::Uid, std::string> live_claims;  // uid -> name
+  int job_counter = 0;
+  int claim_counter = 0;
+
+  for (int op = 0; op < param.operations; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.40) {
+      // Submit a job: per-resource, claim-redeeming, or plain.
+      JobOptions options;
+      options.name = "soak-" + std::to_string(job_counter++);
+      options.pods = 1 + static_cast<int>(rng.uniform_u64(2));
+      options.run_duration = kSecond + static_cast<SimDuration>(
+                                           rng.uniform_u64(3 * kSecond));
+      const double kind = rng.uniform();
+      if (kind < 0.5) {
+        options.vni_annotation = "true";
+      } else if (kind < 0.8 && !live_claims.empty()) {
+        auto it = live_claims.begin();
+        std::advance(it, static_cast<long>(
+                             rng.uniform_u64(live_claims.size())));
+        options.vni_annotation = it->second;
+      }
+      auto job = stack.submit_job(options);
+      ASSERT_TRUE(job.is_ok());
+      live_jobs.push_back(job.value());
+    } else if (dice < 0.55) {
+      // Create a claim.
+      const std::string name = "claim-" + std::to_string(claim_counter++);
+      auto claim = stack.create_claim("default", name);
+      ASSERT_TRUE(claim.is_ok());
+      live_claims.emplace(claim.value(), name);
+    } else if (dice < 0.80 && !live_jobs.empty()) {
+      // Delete a random job.
+      const auto idx = rng.uniform_u64(live_jobs.size());
+      (void)stack.delete_job(live_jobs[idx]);
+      live_jobs.erase(live_jobs.begin() + static_cast<long>(idx));
+    } else if (!live_claims.empty()) {
+      // Delete a random claim (may stall until its users are gone —
+      // that's fine, we drain everything at the end).
+      auto it = live_claims.begin();
+      std::advance(it,
+                   static_cast<long>(rng.uniform_u64(live_claims.size())));
+      (void)stack.delete_claim(it->first);
+      live_claims.erase(it);
+    }
+    // Let the cluster make progress between operations.
+    stack.run_for(from_millis(200 + rng.uniform_u64(800)));
+  }
+
+  // Drain: delete everything that is left and wait for quiescence.
+  for (const auto job : live_jobs) (void)stack.delete_job(job);
+  for (const auto& [uid, name] : live_claims) (void)stack.delete_claim(uid);
+  const bool drained = stack.run_until(
+      [&] {
+        std::size_t alive = 0;
+        stack.api().visit_jobs([&](const k8s::Job&) { ++alive; });
+        stack.api().visit_vni_claims([&](const k8s::VniClaim&) { ++alive; });
+        return alive == 0;
+      },
+      10 * 60 * kSecond, from_millis(500));
+  ASSERT_TRUE(drained) << "cluster never quiesced";
+
+  // -- Invariants. -----------------------------------------------------------
+  // 1. No CXI service beyond the default one, on any node.
+  for (std::size_t n = 0; n < stack.node_count(); ++n) {
+    const auto services = stack.node(n).driver->svc_list();
+    EXPECT_EQ(services.size(), 1u) << "node " << n << " leaked services";
+    EXPECT_EQ(services.front().id, cxi::kDefaultSvcId);
+    // 2. No sandboxes (namespaces, processes) left behind.
+    EXPECT_EQ(stack.node(n).runtime->sandbox_count(), 0u)
+        << "node " << n << " leaked sandboxes";
+    // 3. No endpoints left on the NIC.
+    EXPECT_EQ(stack.fabric().nic(stack.node(n).nic).endpoint_count(), 0u);
+  }
+  // 4. No allocated VNIs (quarantined entries are fine — they expire).
+  EXPECT_EQ(stack.registry().allocated_count(), 0u) << "leaked VNIs";
+  // 5. Switch ACLs: only the default VNI remains authorized.
+  for (std::size_t n = 0; n < stack.node_count(); ++n) {
+    for (hsn::Vni v = cfg.vni.vni_min; v < cfg.vni.vni_min + 50; ++v) {
+      EXPECT_FALSE(stack.fabric().fabric_switch().vni_authorized(
+          static_cast<hsn::NicAddr>(n), v))
+          << "VNI " << v << " still authorized on node " << n;
+    }
+  }
+  // 6. Audit-log consistency: acquires and releases balance.
+  int acquires = 0;
+  int releases = 0;
+  for (const auto& rec : stack.registry().audit_log()) {
+    if (rec.op == "acquire") ++acquires;
+    if (rec.op == "release") ++releases;
+  }
+  EXPECT_EQ(acquires, releases) << "unbalanced audit log";
+  // 7. All VNI CRD instances are gone.
+  EXPECT_TRUE(stack.api().list_vni_objects().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChurnSweep, SoakProperty,
+                         ::testing::Values(SoakCase{11, 30},
+                                           SoakCase{22, 30},
+                                           SoakCase{33, 50},
+                                           SoakCase{44, 50}));
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,223 @@
+// util_test.cpp — unit tests for the shared utility layer.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace shs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoryHelpersCarryCodeAndMessage) {
+  const Status s = permission_denied("nope");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Code::kPermissionDenied);
+  EXPECT_EQ(s.message(), "nope");
+  EXPECT_EQ(s.to_string(), "PERMISSION_DENIED: nope");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_EQ(code_name(Code::kOk), "OK");
+  EXPECT_EQ(code_name(Code::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(code_name(Code::kAborted), "ABORTED");
+  EXPECT_EQ(code_name(Code::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(not_found("missing"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Code::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, JitterBounded) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double j = rng.jitter(0.05);
+    EXPECT_GE(j, 0.95);
+    EXPECT_LE(j, 1.05);
+  }
+}
+
+TEST(Rng, NormalRoughMoments) {
+  Rng rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(3);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(10), 10.9, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSet, EmptyIsSafe) {
+  SampleSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SampleSet, BoxplotFiveNumberSummary) {
+  SampleSet s;
+  for (int i = 1; i <= 9; ++i) s.add(i);
+  s.add(100.0);  // outlier
+  const BoxplotStats b = s.boxplot();
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+  EXPECT_GT(b.q3, b.median);
+  EXPECT_GT(b.median, b.q1);
+  EXPECT_EQ(b.n_outliers, 1u);
+  EXPECT_LE(b.whisker_hi, 9.0);
+}
+
+TEST(SampleSet, MergeCombines) {
+  SampleSet a, b;
+  a.add(1);
+  b.add(3);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Units
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(to_micros(kMillisecond), 1000.0);
+  EXPECT_EQ(from_micros(2.5), 2500);
+}
+
+TEST(Units, DataRateTransferTime) {
+  const DataRate r = DataRate::gbps(200.0);
+  EXPECT_EQ(r.bps(), 200'000'000'000ULL);
+  // 25 GB/s: 1 MiB should take ~41.9 us.
+  const SimDuration t = r.transfer_time(1 << 20);
+  EXPECT_NEAR(to_micros(t), 41.9, 0.3);
+}
+
+TEST(Units, FormatSizeMatchesOsuLabels) {
+  EXPECT_EQ(format_size(1), "1 B");
+  EXPECT_EQ(format_size(512), "512 B");
+  EXPECT_EQ(format_size(1024), "1 kB");
+  EXPECT_EQ(format_size(512 * 1024), "512 kB");
+  EXPECT_EQ(format_size(1024 * 1024), "1 MB");
+}
+
+TEST(Units, FormatMmss) {
+  EXPECT_EQ(format_mmss(0), "00:00");
+  EXPECT_EQ(format_mmss(65 * kSecond), "01:05");
+  EXPECT_EQ(format_mmss(600 * kSecond), "10:00");
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"x", "y", "z"}, "/"), "x/y/z");
+  EXPECT_EQ(join({}, "/"), "");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  hello\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("vni:true", "vni:"));
+  EXPECT_FALSE(starts_with("vn", "vni"));
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("%s-%d", "pod", 7), "pod-7");
+  EXPECT_EQ(strfmt("%05u", 42u), "00042");
+}
+
+}  // namespace
+}  // namespace shs

@@ -1,0 +1,209 @@
+// vni_endpoint_test.cpp — /sync and /finalize webhook semantics for both
+// VNI ownership models (Per-Resource and Claims), idempotency, and
+// endpoint unavailability.
+#include <gtest/gtest.h>
+
+#include "core/vni_endpoint.hpp"
+
+namespace shs::core {
+namespace {
+
+k8s::Job make_job(const std::string& name, const std::string& vni_ann,
+                  k8s::Uid uid, const std::string& ns = "default") {
+  k8s::Job job;
+  job.meta.name = name;
+  job.meta.ns = ns;
+  job.meta.uid = uid;
+  if (!vni_ann.empty()) {
+    job.meta.annotations[k8s::kVniAnnotation] = vni_ann;
+  }
+  return job;
+}
+
+k8s::VniClaim make_claim(const std::string& name, k8s::Uid uid,
+                         const std::string& ns = "default") {
+  k8s::VniClaim claim;
+  claim.meta.name = name;
+  claim.meta.ns = ns;
+  claim.meta.uid = uid;
+  claim.spec.claim_name = name;
+  return claim;
+}
+
+struct EndpointFixture : ::testing::Test {
+  db::Database database;
+  sim::EventLoop loop;
+  VniRegistry registry{database, {.vni_min = 200, .vni_max = 299,
+                                  .quarantine = 30 * kSecond}};
+  VniEndpoint endpoint{registry, loop};
+};
+
+// -- Per-Resource model (vni: true). -----------------------------------------
+
+TEST_F(EndpointFixture, SyncJobPerResourceCreatesOwningChild) {
+  const auto job = make_job("j1", "true", 11);
+  auto children = endpoint.sync_job(job);
+  ASSERT_TRUE(children.is_ok());
+  ASSERT_EQ(children.value().size(), 1u);
+  const k8s::VniObject& child = children.value()[0];
+  EXPECT_EQ(child.meta.name, "j1-vni");
+  EXPECT_EQ(child.bound_kind, "Job");
+  EXPECT_EQ(child.bound_uid, 11u);
+  EXPECT_FALSE(child.virtual_instance);
+  EXPECT_GE(child.vni, 200u);
+  EXPECT_EQ(registry.allocated_count(), 1u);
+}
+
+TEST_F(EndpointFixture, SyncJobIsIdempotent) {
+  const auto job = make_job("j1", "true", 11);
+  auto first = endpoint.sync_job(job);
+  auto second = endpoint.sync_job(job);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value()[0].vni, second.value()[0].vni);
+  EXPECT_EQ(registry.allocated_count(), 1u);
+}
+
+TEST_F(EndpointFixture, DistinctJobsGetDistinctVnis) {
+  auto a = endpoint.sync_job(make_job("a", "true", 1));
+  auto b = endpoint.sync_job(make_job("b", "true", 2));
+  EXPECT_NE(a.value()[0].vni, b.value()[0].vni);
+}
+
+TEST_F(EndpointFixture, FinalizeJobReleasesVni) {
+  const auto job = make_job("j1", "true", 11);
+  auto children = endpoint.sync_job(job);
+  const hsn::Vni vni = children.value()[0].vni;
+  auto fin = endpoint.finalize_job(job);
+  ASSERT_TRUE(fin.is_ok());
+  EXPECT_TRUE(fin.value());
+  EXPECT_EQ(registry.allocated_count(), 0u);
+  EXPECT_EQ(registry.quarantined_count(loop.now()), 1u);
+  (void)vni;
+}
+
+TEST_F(EndpointFixture, FinalizeIsIdempotent) {
+  const auto job = make_job("j1", "true", 11);
+  (void)endpoint.sync_job(job);
+  EXPECT_TRUE(endpoint.finalize_job(job).value());
+  EXPECT_TRUE(endpoint.finalize_job(job).value());
+}
+
+TEST_F(EndpointFixture, JobWithoutAnnotationYieldsNoChildren) {
+  auto children = endpoint.sync_job(make_job("plain", "", 5));
+  ASSERT_TRUE(children.is_ok());
+  EXPECT_TRUE(children.value().empty());
+  EXPECT_EQ(registry.allocated_count(), 0u);
+}
+
+// -- Claims model. ------------------------------------------------------------
+
+TEST_F(EndpointFixture, SyncClaimAcquiresVni) {
+  auto children = endpoint.sync_claim(make_claim("team-claim", 77));
+  ASSERT_TRUE(children.is_ok());
+  ASSERT_EQ(children.value().size(), 1u);
+  EXPECT_EQ(children.value()[0].bound_kind, "VniClaim");
+  EXPECT_FALSE(children.value()[0].virtual_instance);
+  EXPECT_EQ(registry.allocated_count(), 1u);
+}
+
+TEST_F(EndpointFixture, RedeemingJobGetsVirtualChildAndBecomesUser) {
+  auto claim_children = endpoint.sync_claim(make_claim("team-claim", 77));
+  const hsn::Vni claim_vni = claim_children.value()[0].vni;
+
+  const auto job = make_job("worker", "team-claim", 12);
+  auto children = endpoint.sync_job(job);
+  ASSERT_TRUE(children.is_ok());
+  ASSERT_EQ(children.value().size(), 1u);
+  EXPECT_TRUE(children.value()[0].virtual_instance);
+  EXPECT_EQ(children.value()[0].vni, claim_vni);
+  EXPECT_EQ(children.value()[0].claim_name, "team-claim");
+  EXPECT_EQ(registry.users(claim_vni).size(), 1u);
+  // Only the claim's acquisition counts as an allocation.
+  EXPECT_EQ(registry.allocated_count(), 1u);
+}
+
+TEST_F(EndpointFixture, RedeemingUnknownClaimFails) {
+  // "Jobs will fail to launch if no VNI claim with the annotated name has
+  // been found."
+  auto children = endpoint.sync_job(make_job("worker", "missing-claim", 9));
+  EXPECT_EQ(children.code(), Code::kNotFound);
+}
+
+TEST_F(EndpointFixture, ClaimsAreNamespaced) {
+  (void)endpoint.sync_claim(make_claim("shared", 1, "ns-a"));
+  // Same claim name in another namespace is invisible.
+  auto children =
+      endpoint.sync_job(make_job("worker", "shared", 2, "ns-b"));
+  EXPECT_EQ(children.code(), Code::kNotFound);
+}
+
+TEST_F(EndpointFixture, MultipleJobsShareTheClaimVni) {
+  auto claim_children = endpoint.sync_claim(make_claim("c", 1));
+  const hsn::Vni vni = claim_children.value()[0].vni;
+  auto j1 = endpoint.sync_job(make_job("j1", "c", 2));
+  auto j2 = endpoint.sync_job(make_job("j2", "c", 3));
+  EXPECT_EQ(j1.value()[0].vni, vni);
+  EXPECT_EQ(j2.value()[0].vni, vni);
+  EXPECT_EQ(registry.users(vni).size(), 2u);
+}
+
+TEST_F(EndpointFixture, ClaimDeletionStallsWhileUsersRemain) {
+  // "we track all jobs using a VNI claim and only allow VNI claim
+  // deletion if all users of that claim have terminated their jobs."
+  const auto claim = make_claim("c", 1);
+  (void)endpoint.sync_claim(claim);
+  const auto job = make_job("j1", "c", 2);
+  (void)endpoint.sync_job(job);
+
+  auto fin = endpoint.finalize_claim(claim);
+  ASSERT_TRUE(fin.is_ok());
+  EXPECT_FALSE(fin.value()) << "claim must not finalize while j1 uses it";
+
+  // Job finishes -> user removed -> claim may finalize.
+  EXPECT_TRUE(endpoint.finalize_job(job).value());
+  auto fin2 = endpoint.finalize_claim(claim);
+  ASSERT_TRUE(fin2.is_ok());
+  EXPECT_TRUE(fin2.value());
+  EXPECT_EQ(registry.allocated_count(), 0u);
+}
+
+TEST_F(EndpointFixture, FinalizeJobOfDeadClaimSucceeds) {
+  const auto claim = make_claim("c", 1);
+  (void)endpoint.sync_claim(claim);
+  const auto job = make_job("j1", "c", 2);
+  (void)endpoint.sync_job(job);
+  (void)endpoint.finalize_job(job);
+  (void)endpoint.finalize_claim(claim);
+  // Finalizing the job again after the claim is gone must not error.
+  EXPECT_TRUE(endpoint.finalize_job(job).value());
+}
+
+// -- Availability injection. --------------------------------------------------
+
+TEST_F(EndpointFixture, UnavailableEndpointFailsEverything) {
+  endpoint.set_available(false);
+  EXPECT_EQ(endpoint.sync_job(make_job("j", "true", 1)).code(),
+            Code::kUnavailable);
+  EXPECT_EQ(endpoint.sync_claim(make_claim("c", 2)).code(),
+            Code::kUnavailable);
+  EXPECT_EQ(endpoint.finalize_job(make_job("j", "true", 1)).code(),
+            Code::kUnavailable);
+  endpoint.set_available(true);
+  EXPECT_TRUE(endpoint.sync_job(make_job("j", "true", 1)).is_ok());
+}
+
+TEST_F(EndpointFixture, CountersTrackCalls) {
+  (void)endpoint.sync_job(make_job("j", "true", 1));
+  (void)endpoint.finalize_job(make_job("j", "true", 1));
+  (void)endpoint.sync_claim(make_claim("c", 2));
+  const auto& c = endpoint.counters();
+  EXPECT_EQ(c.sync_job, 1u);
+  EXPECT_EQ(c.finalize_job, 1u);
+  EXPECT_EQ(c.sync_claim, 1u);
+  EXPECT_EQ(c.acquisitions, 2u);
+  EXPECT_EQ(c.releases, 1u);
+}
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,180 @@
+// vni_registry_test.cpp — VNI database semantics: exclusivity, the 30 s
+// quarantine, user tracking, audit log, concurrency.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "core/vni_registry.hpp"
+
+namespace shs::core {
+namespace {
+
+struct RegistryFixture : ::testing::Test {
+  db::Database database;
+  VniRegistryConfig small_cfg{.vni_min = 100, .vni_max = 104,
+                              .quarantine = 30 * kSecond};
+};
+
+TEST_F(RegistryFixture, AcquireGrantsDistinctVnis) {
+  VniRegistry reg(database, small_cfg);
+  auto a = reg.acquire("job/a", 0);
+  auto b = reg.acquire("job/b", 0);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_GE(a.value(), 100u);
+  EXPECT_LE(b.value(), 104u);
+  EXPECT_EQ(reg.allocated_count(), 2u);
+}
+
+TEST_F(RegistryFixture, AcquireIsIdempotentPerOwner) {
+  VniRegistry reg(database, small_cfg);
+  auto first = reg.acquire("job/a", 0);
+  auto again = reg.acquire("job/a", 5 * kSecond);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(first.value(), again.value());
+  EXPECT_EQ(reg.allocated_count(), 1u);
+}
+
+TEST_F(RegistryFixture, PoolExhaustion) {
+  VniRegistry reg(database, small_cfg);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(reg.acquire("job/" + std::to_string(i), 0).is_ok());
+  }
+  EXPECT_EQ(reg.acquire("job/overflow", 0).code(),
+            Code::kResourceExhausted);
+}
+
+TEST_F(RegistryFixture, FindByOwner) {
+  VniRegistry reg(database, small_cfg);
+  auto v = reg.acquire("job/a", 0);
+  auto found = reg.find_by_owner("job/a");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ(found.value(), v.value());
+  EXPECT_EQ(reg.find_by_owner("job/unknown").code(), Code::kNotFound);
+}
+
+TEST_F(RegistryFixture, QuarantineBlocksReuseFor30s) {
+  // "To avoid reusing still-active VNIs, we only hand out a VNI after it
+  // has been released for more than 30 seconds."
+  VniRegistryConfig one{.vni_min = 100, .vni_max = 100,
+                        .quarantine = 30 * kSecond};
+  VniRegistry reg(database, one);
+  auto v = reg.acquire("job/a", 0);
+  ASSERT_TRUE(v.is_ok());
+  ASSERT_TRUE(reg.release("job/a", 10 * kSecond).is_ok());
+  EXPECT_EQ(reg.quarantined_count(10 * kSecond), 1u);
+
+  // Inside the window: the only VNI is quarantined -> exhausted.
+  EXPECT_EQ(reg.acquire("job/b", 20 * kSecond).code(),
+            Code::kResourceExhausted);
+  EXPECT_EQ(reg.acquire("job/b", 39 * kSecond).code(),
+            Code::kResourceExhausted);
+
+  // After the window the VNI is reusable.
+  auto again = reg.acquire("job/b", 41 * kSecond);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value(), v.value());
+}
+
+TEST_F(RegistryFixture, ReleaseIsIdempotent) {
+  VniRegistry reg(database, small_cfg);
+  ASSERT_TRUE(reg.acquire("job/a", 0).is_ok());
+  EXPECT_TRUE(reg.release("job/a", 1 * kSecond).is_ok());
+  EXPECT_TRUE(reg.release("job/a", 2 * kSecond).is_ok());
+  EXPECT_TRUE(reg.release("job/never-existed", 0).is_ok());
+}
+
+TEST_F(RegistryFixture, UsersAddRemoveIdempotent) {
+  VniRegistry reg(database, small_cfg);
+  auto v = reg.acquire("claim/c", 0);
+  ASSERT_TRUE(v.is_ok());
+  ASSERT_TRUE(reg.add_user(v.value(), "job/1", 0).is_ok());
+  ASSERT_TRUE(reg.add_user(v.value(), "job/1", 0).is_ok());  // idempotent
+  ASSERT_TRUE(reg.add_user(v.value(), "job/2", 0).is_ok());
+  EXPECT_EQ(reg.users(v.value()),
+            (std::vector<std::string>{"job/1", "job/2"}));
+  ASSERT_TRUE(reg.remove_user(v.value(), "job/1", 0).is_ok());
+  ASSERT_TRUE(reg.remove_user(v.value(), "job/1", 0).is_ok());  // idempotent
+  EXPECT_EQ(reg.users(v.value()), std::vector<std::string>{"job/2"});
+}
+
+TEST_F(RegistryFixture, AddUserToUnallocatedVniFails) {
+  VniRegistry reg(database, small_cfg);
+  EXPECT_EQ(reg.add_user(100, "job/x", 0).code(),
+            Code::kFailedPrecondition);
+}
+
+TEST_F(RegistryFixture, ReleaseDropsRemainingUsers) {
+  VniRegistry reg(database, small_cfg);
+  auto v = reg.acquire("claim/c", 0);
+  ASSERT_TRUE(reg.add_user(v.value(), "job/1", 0).is_ok());
+  ASSERT_TRUE(reg.release("claim/c", kSecond).is_ok());
+  EXPECT_TRUE(reg.users(v.value()).empty());
+}
+
+TEST_F(RegistryFixture, AuditLogRecordsEverything) {
+  // "we keep a log for all VNI allocation and release requests, as well
+  // as VNI user addition and removal requests."
+  VniRegistry reg(database, small_cfg);
+  auto v = reg.acquire("job/a", kSecond);
+  ASSERT_TRUE(reg.add_user(v.value(), "user/x", 2 * kSecond).is_ok());
+  ASSERT_TRUE(reg.remove_user(v.value(), "user/x", 3 * kSecond).is_ok());
+  ASSERT_TRUE(reg.release("job/a", 4 * kSecond).is_ok());
+  const auto log = reg.audit_log();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0].op, "acquire");
+  EXPECT_EQ(log[1].op, "add_user");
+  EXPECT_EQ(log[2].op, "remove_user");
+  EXPECT_EQ(log[3].op, "release");
+  EXPECT_EQ(log[0].vni, v.value());
+  EXPECT_EQ(log[0].ts, kSecond);
+  EXPECT_EQ(log[3].ts, 4 * kSecond);
+}
+
+TEST_F(RegistryFixture, ConcurrentAcquisitionIsExclusive) {
+  // The TOCTOU test at VNI-registry level: many threads acquire at once;
+  // no VNI may be granted twice.
+  VniRegistryConfig wide{.vni_min = 1, .vni_max = 10'000,
+                         .quarantine = 30 * kSecond};
+  VniRegistry reg(database, wide);
+  constexpr int kThreads = 8;
+  constexpr int kPer = 20;
+  std::vector<std::vector<hsn::Vni>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &got, t] {
+      for (int i = 0; i < kPer; ++i) {
+        auto v = reg.acquire(
+            "job/" + std::to_string(t) + "-" + std::to_string(i), 0);
+        EXPECT_TRUE(v.is_ok());
+        if (v.is_ok()) got[t].push_back(v.value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<hsn::Vni> all;
+  for (const auto& per : got) {
+    for (const auto v : per) {
+      EXPECT_TRUE(all.insert(v).second) << "VNI " << v << " double-granted";
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPer));
+}
+
+TEST_F(RegistryFixture, ExpiredQuarantineRowsAreGarbageCollected) {
+  VniRegistryConfig one{.vni_min = 100, .vni_max = 101,
+                        .quarantine = 30 * kSecond};
+  VniRegistry reg(database, one);
+  ASSERT_TRUE(reg.acquire("job/a", 0).is_ok());
+  ASSERT_TRUE(reg.release("job/a", 0).is_ok());
+  // After expiry, acquiring garbage-collects the quarantine row.
+  ASSERT_TRUE(reg.acquire("job/b", 31 * kSecond).is_ok());
+  EXPECT_EQ(reg.quarantined_count(31 * kSecond), 0u);
+  EXPECT_EQ(reg.allocated_count(), 1u);
+}
+
+}  // namespace
+}  // namespace shs::core

@@ -1,0 +1,180 @@
+// webhook_codec_test.cpp — the JSON wire format between the VNI
+// controller (Metacontroller) and the VNI endpoint: round trips,
+// escaping, malformed-input rejection, and payload codecs.
+#include <gtest/gtest.h>
+
+#include "core/webhook_codec.hpp"
+
+namespace shs::core::webhook {
+namespace {
+
+// -- JSON value layer ---------------------------------------------------------
+
+TEST(Json, DumpPrimitives) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DumpNested) {
+  const Json j(JsonObject{
+      {"a", Json(JsonArray{Json(std::int64_t{1}), Json(std::int64_t{2})})},
+      {"b", Json(JsonObject{{"c", Json(true)}})},
+  });
+  EXPECT_EQ(j.dump(), "{\"a\":[1,2],\"b\":{\"c\":true}}");
+}
+
+TEST(Json, EscapesQuotesAndBackslashes) {
+  const Json j(std::string("say \"hi\" \\ bye"));
+  EXPECT_EQ(j.dump(), "\"say \\\"hi\\\" \\\\ bye\"");
+  auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().as_string(), "say \"hi\" \\ bye");
+}
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").value().is_null());
+  EXPECT_TRUE(Json::parse("true").value().as_bool());
+  EXPECT_FALSE(Json::parse("false").value().as_bool());
+  EXPECT_EQ(Json::parse("123").value().as_int(), 123);
+  EXPECT_EQ(Json::parse("-7").value().as_int(), -7);
+  EXPECT_EQ(Json::parse("\"x\"").value().as_string(), "x");
+}
+
+TEST(Json, ParseWithWhitespace) {
+  auto j = Json::parse("  { \"k\" :  [ 1 , 2 ]  }  ");
+  ASSERT_TRUE(j.is_ok());
+  ASSERT_TRUE(j.value().is_object());
+  EXPECT_EQ(j.value().find("k")->as_array().size(), 2u);
+}
+
+TEST(Json, RoundTripArbitraryNesting) {
+  const std::string text =
+      "{\"m\":{\"n\":[{\"deep\":true},null,-5,\"s\"]},\"z\":0}";
+  auto j = Json::parse(text);
+  ASSERT_TRUE(j.is_ok());
+  // dump() is canonical (sorted object keys), so re-parse and compare.
+  auto j2 = Json::parse(j.value().dump());
+  ASSERT_TRUE(j2.is_ok());
+  EXPECT_EQ(j.value().dump(), j2.value().dump());
+}
+
+TEST(Json, RejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "nul", "\"open", "1 2",
+        "{\"a\" 1}", "[1 2]", "-"}) {
+    EXPECT_EQ(Json::parse(bad).code(), Code::kInvalidArgument)
+        << "input: " << bad;
+  }
+}
+
+TEST(Json, FindOnNonObjectIsNull) {
+  EXPECT_EQ(Json(std::int64_t{1}).find("x"), nullptr);
+  EXPECT_EQ(Json(JsonObject{}).find("x"), nullptr);
+}
+
+// -- Payload codecs ------------------------------------------------------------
+
+k8s::Job sample_job() {
+  k8s::Job job;
+  job.meta.name = "solver";
+  job.meta.ns = "tenant-a";
+  job.meta.uid = 77;
+  job.meta.annotations[k8s::kVniAnnotation] = "true";
+  job.meta.annotations["team"] = "hpc \"alpha\"";  // escaping exercised
+  job.meta.deletion_requested = true;
+  return job;
+}
+
+TEST(Codec, JobRoundTrip) {
+  const auto wire = encode_job(sample_job()).dump();
+  auto parsed = Json::parse(wire);
+  ASSERT_TRUE(parsed.is_ok());
+  auto job = decode_job(parsed.value());
+  ASSERT_TRUE(job.is_ok());
+  EXPECT_EQ(job.value().meta.name, "solver");
+  EXPECT_EQ(job.value().meta.ns, "tenant-a");
+  EXPECT_EQ(job.value().meta.uid, 77u);
+  EXPECT_EQ(job.value().meta.annotation(k8s::kVniAnnotation), "true");
+  EXPECT_EQ(job.value().meta.annotation("team"), "hpc \"alpha\"");
+  EXPECT_TRUE(job.value().meta.deletion_requested);
+}
+
+TEST(Codec, DecodeJobRejectsWrongKind) {
+  k8s::VniClaim claim;
+  claim.meta.name = "c";
+  claim.meta.uid = 1;
+  EXPECT_EQ(decode_job(encode_claim(claim)).code(),
+            Code::kInvalidArgument);
+}
+
+TEST(Codec, ClaimRoundTrip) {
+  k8s::VniClaim claim;
+  claim.meta.name = "team-claim";
+  claim.meta.ns = "workflow";
+  claim.meta.uid = 9;
+  claim.spec.claim_name = "pipeline";
+  const auto wire = encode_claim(claim).dump();
+  auto decoded = decode_claim(Json::parse(wire).value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().meta.name, "team-claim");
+  EXPECT_EQ(decoded.value().spec.claim_name, "pipeline");
+}
+
+TEST(Codec, ChildrenRoundTrip) {
+  std::vector<k8s::VniObject> children(2);
+  children[0].meta.name = "solver-vni";
+  children[0].meta.ns = "tenant-a";
+  children[0].vni = 1024;
+  children[0].bound_kind = "Job";
+  children[0].bound_name = "solver";
+  children[0].bound_uid = 77;
+  children[1].meta.name = "redeemer-vni";
+  children[1].vni = 1024;
+  children[1].virtual_instance = true;
+  children[1].claim_name = "pipeline";
+
+  const auto wire = encode_children(children).dump();
+  auto decoded = decode_children(Json::parse(wire).value());
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0].vni, 1024u);
+  EXPECT_EQ(decoded.value()[0].bound_kind, "Job");
+  EXPECT_EQ(decoded.value()[0].bound_uid, 77u);
+  EXPECT_FALSE(decoded.value()[0].virtual_instance);
+  EXPECT_TRUE(decoded.value()[1].virtual_instance);
+  EXPECT_EQ(decoded.value()[1].claim_name, "pipeline");
+}
+
+TEST(Codec, EmptyChildrenRoundTrip) {
+  auto decoded = decode_children(
+      Json::parse(encode_children({}).dump()).value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(Codec, FinalizedRoundTrip) {
+  EXPECT_TRUE(decode_finalized(
+                  Json::parse(encode_finalized(true).dump()).value())
+                  .value());
+  EXPECT_FALSE(decode_finalized(
+                   Json::parse(encode_finalized(false).dump()).value())
+                   .value());
+  EXPECT_EQ(decode_finalized(Json(JsonObject{})).code(),
+            Code::kInvalidArgument);
+}
+
+TEST(Codec, DecodeChildrenRejectsGarbage) {
+  EXPECT_EQ(decode_children(Json(JsonObject{})).code(),
+            Code::kInvalidArgument);
+  EXPECT_EQ(decode_children(
+                Json(JsonObject{{"attachments",
+                                 Json(JsonArray{Json(JsonObject{})})}}))
+                .code(),
+            Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace shs::core::webhook
