@@ -14,7 +14,7 @@ SlingshotStack::SlingshotStack(StackConfig config)
     : config_(config), master_rng_(config.seed) {
   api_ = std::make_unique<k8s::ApiServer>(loop_, config_.k8s_params);
   fabric_ = hsn::Fabric::create(config_.nodes, config_.timing,
-                                master_rng_.next());
+                                master_rng_.next(), config_.topology);
   db_ = std::make_unique<db::Database>();
   registry_ = std::make_unique<VniRegistry>(*db_, config_.vni);
   endpoint_ = std::make_unique<VniEndpoint>(*registry_, loop_);
@@ -26,9 +26,10 @@ SlingshotStack::SlingshotStack(StackConfig config)
     node->name = strfmt("node-%zu", i);
     node->nic = static_cast<hsn::NicAddr>(i);
     node->kernel = std::make_unique<linuxsim::Kernel>();
+    // Each node's driver programs VNI ACLs on its *own* edge switch.
     node->driver = std::make_unique<cxi::CxiDriver>(
-        *node->kernel, fabric_->nic(node->nic), fabric_->switch_ptr(),
-        config_.auth_mode);
+        *node->kernel, fabric_->nic(node->nic),
+        fabric_->switch_for(node->nic), config_.auth_mode);
     node->runtime = std::make_unique<cri::ContainerRuntime>(
         *node->kernel, node->name, api_->params(), master_rng_.fork());
     node->bridge_cni = std::make_shared<cri::BridgeCni>(
@@ -50,8 +51,12 @@ SlingshotStack::SlingshotStack(StackConfig config)
   job_controller_ =
       std::make_unique<k8s::JobController>(*api_, master_rng_.fork());
   job_controller_->start();
-  scheduler_ = std::make_unique<k8s::Scheduler>(*api_, node_names,
-                                                master_rng_.fork());
+  std::unordered_map<std::string, std::uint32_t> node_switch;
+  for (const auto& node : nodes_) {
+    node_switch[node->name] = fabric_->home_switch(node->nic);
+  }
+  scheduler_ = std::make_unique<k8s::Scheduler>(
+      *api_, node_names, master_rng_.fork(), std::move(node_switch));
   scheduler_->start();
 
   // The real VNI Endpoint is an HTTP service; the hooks round-trip every

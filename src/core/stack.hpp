@@ -46,6 +46,9 @@ struct StackConfig {
   cxi::AuthMode auth_mode = cxi::AuthMode::kNetnsExtended;
   k8s::K8sParams k8s_params{};
   hsn::TimingConfig timing{};
+  /// Fabric wiring: the paper's single switch by default; fat-tree or
+  /// dragonfly for 64-256 node scale-out scenarios.
+  hsn::TopologyConfig topology{};
   VniRegistryConfig vni{};
   std::uint64_t seed = 0x5005;
   /// Install the CXI CNI plugin into the chain.  Disabling it models a
@@ -103,6 +106,9 @@ class SlingshotStack {
     return nodes_.size();
   }
   [[nodiscard]] VniRegistry& registry() noexcept { return *registry_; }
+  [[nodiscard]] const k8s::Scheduler& scheduler() const noexcept {
+    return *scheduler_;
+  }
   [[nodiscard]] VniEndpoint& vni_endpoint() noexcept { return *endpoint_; }
   [[nodiscard]] db::Database& database() noexcept { return *db_; }
   [[nodiscard]] const StackConfig& config() const noexcept { return config_; }

@@ -22,6 +22,8 @@ Status drop_status(DropReason r) {
           "switch: destination port not authorized for VNI");
     case DropReason::kUnknownDestination:
       return not_found("switch: no NIC at destination address");
+    case DropReason::kNoRoute:
+      return unavailable("switch: no route to destination switch");
     case DropReason::kNone:
       break;
   }

@@ -1,18 +1,80 @@
 #include "hsn/fabric.hpp"
 
+#include <cstdlib>
+
+#include "util/log.hpp"
+
 namespace shs::hsn {
 
+namespace {
+constexpr const char* kTag = "fabric";
+}  // namespace
+
 std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       TopologyConfig topology) {
   auto fabric = std::unique_ptr<Fabric>(new Fabric());
+  fabric->topology_ = topology;
   fabric->timing_ = std::make_shared<TimingModel>(config, seed);
-  fabric->switch_ = std::make_shared<RosettaSwitch>(fabric->timing_);
+
+  TopologyPlan plan = TopologyPlan::build(topology, nodes, seed);
+  fabric->nic_home_ = std::make_shared<const std::vector<SwitchId>>(
+      std::move(plan.nic_home));
+
+  fabric->switches_.reserve(plan.switch_count);
+  for (std::size_t i = 0; i < plan.switch_count; ++i) {
+    fabric->switches_.push_back(std::make_shared<RosettaSwitch>(
+        fabric->timing_, static_cast<SwitchId>(i)));
+  }
+  for (const TopologyPlan::PlannedLink& link : plan.links) {
+    const Status st = fabric->switches_.at(link.from)->add_uplink(
+        *fabric->switches_.at(link.to), link.rate, link.latency);
+    if (!st.is_ok()) {
+      // A rejected link means the TopologyPlan violated its own
+      // invariants (duplicate or self link).  Failing here is a
+      // construction-time bug report; proceeding would degrade into
+      // silent kNoRoute drops mid-simulation.
+      SHS_ERROR(kTag) << "uplink " << link.from << " -> " << link.to
+                      << " failed: " << st;
+      std::abort();
+    }
+  }
+  for (std::size_t i = 0; i < plan.switch_count; ++i) {
+    fabric->switches_[i]->set_forwarding(fabric->nic_home_,
+                                         std::move(plan.next_hop[i]));
+  }
+
+  // NICs attach last, each to its edge switch, so forwarding state is
+  // complete before the first packet can possibly route.
   fabric->nics_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<NicAddr>(i);
     fabric->nics_.push_back(std::make_unique<CassiniNic>(
-        static_cast<NicAddr>(i), fabric->switch_, fabric->timing_));
+        addr, fabric->switches_.at((*fabric->nic_home_)[i]),
+        fabric->timing_));
   }
+  SHS_DEBUG(kTag) << topology_kind_name(topology.kind) << " fabric: "
+                  << nodes << " nodes across " << plan.switch_count
+                  << " switches";
   return fabric;
+}
+
+SwitchCounters Fabric::total_counters() const {
+  SwitchCounters totals;
+  for (const auto& sw : switches_) totals += sw->counters();
+  return totals;
+}
+
+SwitchCounters Fabric::total_counters_for_vni(Vni vni) const {
+  SwitchCounters totals;
+  for (const auto& sw : switches_) {
+    totals += sw->counters_for_vni(vni);
+  }
+  return totals;
+}
+
+std::uint64_t Fabric::cross_switch_bytes() const {
+  return total_counters().bytes_forwarded;
 }
 
 }  // namespace shs::hsn

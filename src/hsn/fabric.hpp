@@ -1,5 +1,7 @@
-// fabric.hpp — topology builder: N nodes, one Cassini NIC each, one
-// Rosetta switch (the paper's testbed is two OpenCUBE nodes on one switch).
+// fabric.hpp — topology builder: N nodes, one Cassini NIC each, wired
+// into one of the supported switch topologies (the paper's testbed is two
+// OpenCUBE nodes on a single Rosetta switch; fat-tree and dragonfly plans
+// scale the same stack to rack-and-beyond clusters).
 #pragma once
 
 #include <cstddef>
@@ -9,27 +11,71 @@
 #include "hsn/cassini_nic.hpp"
 #include "hsn/rosetta_switch.hpp"
 #include "hsn/timing.hpp"
+#include "hsn/topology.hpp"
 
 namespace shs::hsn {
 
-/// Owns the switch, timing model, and per-node NICs.
+/// Owns the switches, inter-switch links, timing model, and per-node NICs.
 class Fabric {
  public:
-  /// Builds a fabric of `nodes` NICs (addresses 0..nodes-1).
+  /// Builds a fabric of `nodes` NICs (addresses 0..nodes-1) wired per
+  /// `topology` (default: the paper's single switch).
   static std::unique_ptr<Fabric> create(std::size_t nodes,
                                         TimingConfig config = {},
-                                        std::uint64_t seed = 0x51e6);
+                                        std::uint64_t seed = 0x51e6,
+                                        TopologyConfig topology = {});
 
-  [[nodiscard]] RosettaSwitch& fabric_switch() noexcept { return *switch_; }
+  /// Switch 0 — *the* switch on a single-switch fabric; the first edge
+  /// switch otherwise (kept for the paper-testbed call sites).
+  [[nodiscard]] RosettaSwitch& fabric_switch() noexcept {
+    return *switches_.front();
+  }
   [[nodiscard]] const RosettaSwitch& fabric_switch() const noexcept {
-    return *switch_;
+    return *switches_.front();
   }
   [[nodiscard]] std::shared_ptr<RosettaSwitch> switch_ptr() const noexcept {
-    return switch_;
+    return switches_.front();
   }
   [[nodiscard]] std::shared_ptr<TimingModel> timing() const noexcept {
     return timing_;
   }
+
+  // -- Topology introspection.
+  [[nodiscard]] const TopologyConfig& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] std::size_t switch_count() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] RosettaSwitch& switch_at(std::size_t i) {
+    return *switches_.at(i);
+  }
+  /// Edge switch hosting NIC `addr` (kInvalidSwitch if out of range).
+  [[nodiscard]] SwitchId home_switch(NicAddr addr) const noexcept {
+    return addr < nic_home_->size() ? (*nic_home_)[addr] : kInvalidSwitch;
+  }
+  /// Shared pointer to the edge switch of NIC `addr` — what a node's CXI
+  /// driver must program VNI ACLs against.
+  [[nodiscard]] std::shared_ptr<RosettaSwitch> switch_for(
+      NicAddr addr) const {
+    const SwitchId home = home_switch(addr);
+    return home == kInvalidSwitch ? nullptr : switches_.at(home);
+  }
+
+  /// Toggles VNI enforcement on every switch.  The VNI checks are edge
+  /// properties (source edge checks the sender, destination edge the
+  /// receiver), so a consistent fabric-wide state must reach all
+  /// switches — toggling just one leaves cross-switch traffic checked
+  /// at the other edge.
+  void set_enforcement(bool on) noexcept {
+    for (auto& sw : switches_) sw->set_enforcement(on);
+  }
+
+  // -- Fabric-wide accounting (sums across all switches).
+  [[nodiscard]] SwitchCounters total_counters() const;
+  [[nodiscard]] SwitchCounters total_counters_for_vni(Vni vni) const;
+  /// Bytes that crossed inter-switch links (0 on a single switch).
+  [[nodiscard]] std::uint64_t cross_switch_bytes() const;
 
   /// NIC at fabric address `addr` (must be < node_count()).
   [[nodiscard]] CassiniNic& nic(NicAddr addr) { return *nics_.at(addr); }
@@ -43,8 +89,10 @@ class Fabric {
 
  private:
   Fabric() = default;
+  TopologyConfig topology_;
   std::shared_ptr<TimingModel> timing_;
-  std::shared_ptr<RosettaSwitch> switch_;
+  std::shared_ptr<const std::vector<SwitchId>> nic_home_;
+  std::vector<std::shared_ptr<RosettaSwitch>> switches_;
   std::vector<std::unique_ptr<CassiniNic>> nics_;
 };
 

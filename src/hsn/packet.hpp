@@ -37,9 +37,14 @@ struct Packet {
   std::uint64_t mr_offset = 0;
 
   /// Virtual timestamps: when the sender injected the packet and when the
-  /// fabric delivered it (computed by the switch's timing model).
+  /// fabric delivered it (computed by the switch's timing model).  On a
+  /// multi-switch fabric `inject_vt` advances at every inter-switch hop
+  /// (it is the ingress time at the current switch).
   SimTime inject_vt = 0;
   SimTime arrival_vt = 0;
+
+  /// Inter-switch hops taken so far (0 = delivered by the ingress switch).
+  std::uint8_t hops = 0;
 
   std::vector<std::byte> payload;
 };
@@ -50,12 +55,34 @@ struct SwitchCounters {
   std::uint64_t dropped_src_unauthorized = 0;
   std::uint64_t dropped_dst_unauthorized = 0;
   std::uint64_t dropped_unknown_dst = 0;
+  std::uint64_t dropped_no_route = 0;  ///< no uplink / TTL exhausted
   std::uint64_t bytes_delivered = 0;
+  /// Transit traffic handed to an inter-switch uplink by this switch.
+  std::uint64_t forwarded = 0;
+  std::uint64_t bytes_forwarded = 0;
 
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
     return dropped_src_unauthorized + dropped_dst_unauthorized +
-           dropped_unknown_dst;
+           dropped_unknown_dst + dropped_no_route;
   }
+
+  SwitchCounters& operator+=(const SwitchCounters& c) noexcept {
+    delivered += c.delivered;
+    dropped_src_unauthorized += c.dropped_src_unauthorized;
+    dropped_dst_unauthorized += c.dropped_dst_unauthorized;
+    dropped_unknown_dst += c.dropped_unknown_dst;
+    dropped_no_route += c.dropped_no_route;
+    bytes_delivered += c.bytes_delivered;
+    forwarded += c.forwarded;
+    bytes_forwarded += c.bytes_forwarded;
+    return *this;
+  }
+};
+
+/// Per-uplink transit accounting (directed link).
+struct LinkCounters {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
 };
 
 }  // namespace shs::hsn

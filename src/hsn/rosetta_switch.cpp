@@ -11,16 +11,22 @@ namespace {
 constexpr const char* kTag = "rosetta";
 }
 
-RosettaSwitch::RosettaSwitch(std::shared_ptr<TimingModel> timing)
-    : timing_(std::move(timing)) {}
+RosettaSwitch::RosettaSwitch(std::shared_ptr<TimingModel> timing, SwitchId id)
+    : id_(id), timing_(std::move(timing)) {}
 
 Status RosettaSwitch::connect(NicAddr addr, DeliveryFn deliver) {
+  if (!deliver) {
+    // admit() discriminates local delivery from transit forwarding by
+    // the truthiness of the copied-out callback, so an empty one must
+    // never reach the port table.
+    return invalid_argument("delivery callback must be non-empty");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (ports_.contains(addr)) {
     return already_exists(strfmt("port %u already connected", addr));
   }
   ports_.emplace(addr, Port{std::move(deliver), {}, 0});
-  SHS_DEBUG(kTag) << "NIC connected at port " << addr;
+  SHS_DEBUG(kTag) << "NIC connected at switch " << id_ << " port " << addr;
   return Status::ok();
 }
 
@@ -30,6 +36,33 @@ Status RosettaSwitch::disconnect(NicAddr addr) {
     return not_found(strfmt("port %u not connected", addr));
   }
   return Status::ok();
+}
+
+Status RosettaSwitch::add_uplink(RosettaSwitch& peer, DataRate rate,
+                                 SimDuration latency) {
+  if (&peer == this) {
+    return invalid_argument("uplink needs a distinct peer switch");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SwitchId peer_id = peer.id();
+  if (uplinks_.contains(peer_id)) {
+    return already_exists(strfmt("uplink to switch %u already exists",
+                                 peer_id));
+  }
+  Uplink up;
+  up.peer = &peer;
+  up.rate = rate;
+  up.latency = latency;
+  uplinks_.emplace(peer_id, std::move(up));
+  return Status::ok();
+}
+
+void RosettaSwitch::set_forwarding(
+    std::shared_ptr<const std::vector<SwitchId>> nic_home,
+    std::unordered_map<SwitchId, SwitchId> next_hop) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nic_home_ = std::move(nic_home);
+  next_hop_ = std::move(next_hop);
 }
 
 Status RosettaSwitch::authorize_vni(NicAddr port, Vni vni) {
@@ -72,22 +105,72 @@ bool RosettaSwitch::enforcement() const noexcept {
   return enforce_;
 }
 
+SimTime RosettaSwitch::schedule_egress_locked(
+    SimTime at_egress, int prio, SimTime (&free_vt)[kNumTrafficClasses],
+    std::uint64_t size_bytes, DataRate rate) {
+  SimTime start = at_egress;
+  for (int c = 0; c <= prio; ++c) {
+    start = std::max(start, free_vt[c]);
+  }
+  bool lower_priority_in_flight = false;
+  for (int c = prio + 1; c < kNumTrafficClasses; ++c) {
+    if (free_vt[c] > start) {
+      lower_priority_in_flight = true;
+    }
+  }
+  if (lower_priority_in_flight) {
+    start += timing_->serialize_time(timing_->config().frame_bytes, rate);
+  }
+  free_vt[prio] = start + timing_->serialize_time(size_bytes, rate);
+  return start;
+}
+
 RouteResult RosettaSwitch::route(Packet&& p) {
+  return admit(std::move(p), /*check_src=*/true, kMaxFabricHops);
+}
+
+RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
   DeliveryFn deliver;
+  RosettaSwitch* next = nullptr;
   RouteResult result;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& vni_counters = per_vni_[p.vni];
 
-    const auto src_it = ports_.find(p.src);
+    // Resolve the destination first (unknown-destination outranks the
+    // authorization drops, as in the single-switch model).
     const auto dst_it = ports_.find(p.dst);
-    if (dst_it == ports_.end()) {
-      ++totals_.dropped_unknown_dst;
-      ++vni_counters.dropped_unknown_dst;
-      result.reason = DropReason::kUnknownDestination;
-      return result;
+    const bool local = dst_it != ports_.end();
+    Uplink* up = nullptr;
+    if (!local) {
+      const SwitchId home =
+          nic_home_ && p.dst < nic_home_->size() ? (*nic_home_)[p.dst]
+                                                 : kInvalidSwitch;
+      if (home == kInvalidSwitch || home == id_) {
+        // Either an address outside the fabric plan or a NIC that should
+        // be here but is not connected.
+        ++totals_.dropped_unknown_dst;
+        ++vni_counters.dropped_unknown_dst;
+        result.reason = DropReason::kUnknownDestination;
+        return result;
+      }
+      const auto nh_it = next_hop_.find(home);
+      const auto up_it = nh_it == next_hop_.end()
+                             ? uplinks_.end()
+                             : uplinks_.find(nh_it->second);
+      if (ttl <= 0 || up_it == uplinks_.end()) {
+        ++totals_.dropped_no_route;
+        ++vni_counters.dropped_no_route;
+        result.reason = DropReason::kNoRoute;
+        SHS_DEBUG(kTag) << "switch " << id_ << " has no route toward NIC "
+                        << p.dst << " (ttl " << ttl << ")";
+        return result;
+      }
+      up = &up_it->second;
     }
-    if (enforce_) {
+
+    if (check_src && enforce_) {
+      const auto src_it = ports_.find(p.src);
       if (src_it == ports_.end() || !src_it->second.vnis.contains(p.vni)) {
         ++totals_.dropped_src_unauthorized;
         ++vni_counters.dropped_src_unauthorized;
@@ -96,7 +179,11 @@ RouteResult RosettaSwitch::route(Packet&& p) {
                         << " unauthorized for VNI " << p.vni;
         return result;
       }
-      if (!dst_it->second.vnis.contains(p.vni)) {
+    }
+
+    const int prio = static_cast<int>(p.tc);  // 0 = highest priority
+    if (local) {
+      if (enforce_ && !dst_it->second.vnis.contains(p.vni)) {
         ++totals_.dropped_dst_unauthorized;
         ++vni_counters.dropped_dst_unauthorized;
         result.reason = DropReason::kDstNotAuthorized;
@@ -104,46 +191,53 @@ RouteResult RosettaSwitch::route(Packet&& p) {
                         << " unauthorized for VNI " << p.vni;
         return result;
       }
-    }
 
-    // Cut-through timing with per-class priority scheduling: the packet
-    // reaches the egress port after one hop latency; it then waits for
-    // all queued traffic of its own or higher priority, plus at most one
-    // in-flight *frame* of lower-priority traffic (frame-granular
-    // preemption).  A single same-class flow already paced by its sender
-    // sees no extra delay; incast congestion queues; bulk traffic cannot
-    // stall low-latency traffic by more than one frame.
-    Port& dst_port = dst_it->second;
-    const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
-    const int prio = static_cast<int>(p.tc);  // 0 = highest priority
-    SimTime start = at_egress;
-    for (int c = 0; c <= prio; ++c) {
-      start = std::max(start, dst_port.egress_free_vt[c]);
-    }
-    bool lower_priority_in_flight = false;
-    for (int c = prio + 1; c < kNumTrafficClasses; ++c) {
-      if (dst_port.egress_free_vt[c] > start) {
-        lower_priority_in_flight = true;
-      }
-    }
-    if (lower_priority_in_flight) {
-      start += timing_->serialize_time(timing_->config().frame_bytes);
-    }
-    dst_port.egress_free_vt[prio] =
-        start + timing_->serialize_time(p.size_bytes);
-    p.arrival_vt = start;
+      // Cut-through timing with per-class priority scheduling: the packet
+      // reaches the egress port after one hop latency; it then waits for
+      // all queued traffic of its own or higher priority, plus at most one
+      // in-flight *frame* of lower-priority traffic (frame-granular
+      // preemption).  A single same-class flow already paced by its sender
+      // sees no extra delay; incast congestion queues; bulk traffic cannot
+      // stall low-latency traffic by more than one frame.
+      Port& dst_port = dst_it->second;
+      const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
+      p.arrival_vt =
+          schedule_egress_locked(at_egress, prio, dst_port.egress_free_vt,
+                                 p.size_bytes, timing_->config().link_rate);
 
-    ++totals_.delivered;
-    totals_.bytes_delivered += p.size_bytes;
-    ++vni_counters.delivered;
-    vni_counters.bytes_delivered += p.size_bytes;
+      ++totals_.delivered;
+      totals_.bytes_delivered += p.size_bytes;
+      ++vni_counters.delivered;
+      vni_counters.bytes_delivered += p.size_bytes;
 
-    result.delivered = true;
-    result.arrival_vt = p.arrival_vt;
-    deliver = dst_port.deliver;  // copy out; invoke outside the lock
+      result.delivered = true;
+      result.arrival_vt = p.arrival_vt;
+      deliver = dst_port.deliver;  // copy out; invoke outside the lock
+    } else {
+      // Transit: traverse this switch, then serialize onto the uplink
+      // (per-link, per-class horizon), then fly the link's latency.
+      Uplink& link = *up;
+      const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
+      const SimTime start = schedule_egress_locked(
+          at_egress, prio, link.egress_free_vt, p.size_bytes, link.rate);
+      p.inject_vt =
+          start + timing_->serialize_time(p.size_bytes, link.rate) +
+          link.latency;
+      ++p.hops;
+      ++link.counters.packets;
+      link.counters.bytes += p.size_bytes;
+      ++totals_.forwarded;
+      totals_.bytes_forwarded += p.size_bytes;
+      ++vni_counters.forwarded;
+      vni_counters.bytes_forwarded += p.size_bytes;
+      next = link.peer;  // forward outside the lock
+    }
   }
-  deliver(std::move(p));
-  return result;
+  if (deliver) {
+    deliver(std::move(p));
+    return result;
+  }
+  return next->admit(std::move(p), /*check_src=*/false, ttl - 1);
 }
 
 SwitchCounters RosettaSwitch::counters() const {
@@ -160,6 +254,17 @@ SwitchCounters RosettaSwitch::counters_for_vni(Vni vni) const {
 std::size_t RosettaSwitch::connected_ports() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return ports_.size();
+}
+
+std::size_t RosettaSwitch::uplink_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return uplinks_.size();
+}
+
+LinkCounters RosettaSwitch::uplink_counters(SwitchId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = uplinks_.find(peer);
+  return it == uplinks_.end() ? LinkCounters{} : it->second.counters;
 }
 
 }  // namespace shs::hsn

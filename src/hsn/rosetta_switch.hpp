@@ -7,6 +7,16 @@
 // timing with egress-port contention and per-traffic-class queueing
 // penalties, and per-VNI delivery/drop accounting used by the isolation
 // tests.
+//
+// Multi-switch fabrics: switches are wired together with directed uplinks
+// (each carrying its own per-link, per-traffic-class virtual-time
+// bandwidth horizon) and a next-hop table produced by the TopologyPlan.
+// A packet enters at its source NIC's edge switch, which performs the
+// *source* VNI check; transit switches forward hop-by-hop along the
+// minimal route; the destination's edge switch performs the *destination*
+// VNI check and final egress-port scheduling.  VNI enforcement thus stays
+// an edge property, as on real Slingshot, while inter-switch contention
+// is modeled per link.
 #pragma once
 
 #include <functional>
@@ -14,6 +24,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "hsn/packet.hpp"
 #include "hsn/timing.hpp"
@@ -28,6 +39,7 @@ enum class DropReason : std::uint8_t {
   kSrcNotAuthorized,   ///< sender port lacks VNI access
   kDstNotAuthorized,   ///< receiver port lacks VNI access
   kUnknownDestination, ///< no NIC connected at the destination address
+  kNoRoute,            ///< no uplink toward the destination / TTL exceeded
 };
 
 struct RouteResult {
@@ -36,17 +48,42 @@ struct RouteResult {
   SimTime arrival_vt = 0;  ///< valid when delivered
 };
 
-/// The switch.  Thread-safe: NIC threads route concurrently.
+/// Hop budget for one packet (any minimal route in the supported
+/// topologies traverses at most 4 switches — dragonfly: source edge,
+/// local gateway, remote-group gateway, destination edge — i.e. 3
+/// inter-switch hops; the slack guards against forwarding-table bugs
+/// turning into infinite recursion).
+constexpr int kMaxFabricHops = 8;
+
+/// One switch.  Thread-safe: NIC threads route concurrently.
 class RosettaSwitch {
  public:
   /// Callback a NIC registers to accept delivered packets.
   using DeliveryFn = std::function<void(Packet&&)>;
 
-  explicit RosettaSwitch(std::shared_ptr<TimingModel> timing);
+  explicit RosettaSwitch(std::shared_ptr<TimingModel> timing,
+                         SwitchId id = 0);
+
+  [[nodiscard]] SwitchId id() const noexcept { return id_; }
 
   /// Connects a NIC at fabric address `addr`.  Fails if taken.
   Status connect(NicAddr addr, DeliveryFn deliver);
   Status disconnect(NicAddr addr);
+
+  // -- Topology wiring (done by the Fabric before any NIC attaches; not
+  //    safe against concurrent routing).
+
+  /// Adds a directed uplink to `peer` with its own rate/latency and
+  /// per-traffic-class bandwidth horizon.  Fails if a link to that peer
+  /// already exists.  The reference is non-owning: the Fabric owns every
+  /// switch and keeps peers alive for the fabric's lifetime (owning
+  /// pointers here would form A<->B cycles and leak the whole topology).
+  Status add_uplink(RosettaSwitch& peer, DataRate rate,
+                    SimDuration latency);
+  /// Installs the NIC-home map (shared, immutable) and this switch's
+  /// next-hop table: destination edge switch -> neighbor switch id.
+  void set_forwarding(std::shared_ptr<const std::vector<SwitchId>> nic_home,
+                      std::unordered_map<SwitchId, SwitchId> next_hop);
 
   /// Fabric-manager plane: grants/revokes VNI access on a port.  In the
   /// real system the fabric manager programs this; in ours the CXI driver
@@ -60,14 +97,19 @@ class RosettaSwitch {
   void set_enforcement(bool on) noexcept;
   [[nodiscard]] bool enforcement() const noexcept;
 
-  /// Routes `p` from its src port.  Computes `arrival_vt` from the timing
-  /// model (hop latency + egress contention + TC penalty) and invokes the
-  /// destination NIC's delivery callback, or drops.
+  /// Routes `p` from its src port (which must be local to this switch).
+  /// Computes `arrival_vt` from the timing model (per-hop latency,
+  /// per-link serialization, egress contention, TC penalty) and invokes
+  /// the destination NIC's delivery callback — possibly after forwarding
+  /// through peer switches — or drops.
   RouteResult route(Packet&& p);
 
   [[nodiscard]] SwitchCounters counters() const;
   [[nodiscard]] SwitchCounters counters_for_vni(Vni vni) const;
   [[nodiscard]] std::size_t connected_ports() const;
+  [[nodiscard]] std::size_t uplink_count() const;
+  /// Transit accounting for the uplink toward `peer` (zeroes if absent).
+  [[nodiscard]] LinkCounters uplink_counters(SwitchId peer) const;
 
  private:
   struct Port {
@@ -79,11 +121,36 @@ class RosettaSwitch {
     /// traffic (preemption is frame-granular, as on Rosetta).
     SimTime egress_free_vt[kNumTrafficClasses] = {0, 0, 0, 0};
   };
+  /// A directed inter-switch link with its own virtual-time bandwidth
+  /// accounting (same priority model as NIC-facing egress ports).
+  /// `peer` is non-owning; see add_uplink.
+  struct Uplink {
+    RosettaSwitch* peer = nullptr;
+    DataRate rate;
+    SimDuration latency = 0;
+    SimTime egress_free_vt[kNumTrafficClasses] = {0, 0, 0, 0};
+    LinkCounters counters;
+  };
 
+  /// Ingress processing shared by route() (check_src = true) and
+  /// hop-by-hop forwarding from a peer switch (check_src = false).
+  RouteResult admit(Packet&& p, bool check_src, int ttl);
+
+  /// Priority-scheduled egress: earliest start for a packet of `prio`
+  /// given the per-class horizons, charging frame-granular preemption of
+  /// lower-priority in-flight traffic.  Caller holds mutex_.
+  SimTime schedule_egress_locked(SimTime at_egress, int prio,
+                                 SimTime (&free_vt)[kNumTrafficClasses],
+                                 std::uint64_t size_bytes, DataRate rate);
+
+  const SwitchId id_;
   std::shared_ptr<TimingModel> timing_;
   mutable std::mutex mutex_;
   bool enforce_ = true;
   std::unordered_map<NicAddr, Port> ports_;
+  std::unordered_map<SwitchId, Uplink> uplinks_;
+  std::shared_ptr<const std::vector<SwitchId>> nic_home_;
+  std::unordered_map<SwitchId, SwitchId> next_hop_;
   SwitchCounters totals_;
   std::unordered_map<Vni, SwitchCounters> per_vni_;
 };

@@ -3,12 +3,17 @@
 namespace shs::hsn {
 
 SimDuration TimingModel::serialize_time(std::uint64_t bytes) const noexcept {
+  return serialize_time(bytes, config_.link_rate);
+}
+
+SimDuration TimingModel::serialize_time(std::uint64_t bytes,
+                                        DataRate rate) const noexcept {
   // Each frame adds a small header on the wire; model it as 32 bytes.
   constexpr std::uint64_t kFrameHeader = 32;
   const std::uint64_t frames =
       bytes == 0 ? 1 : (bytes + config_.frame_bytes - 1) / config_.frame_bytes;
   const std::uint64_t wire_bytes = bytes + frames * kFrameHeader;
-  return config_.link_rate.transfer_time(wire_bytes);
+  return rate.transfer_time(wire_bytes);
 }
 
 SimDuration TimingModel::hop_latency(TrafficClass tc) {

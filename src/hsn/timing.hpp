@@ -58,6 +58,11 @@ class TimingModel {
   /// Serialization time of `bytes` on the link (segmented per frame).
   [[nodiscard]] SimDuration serialize_time(std::uint64_t bytes) const noexcept;
 
+  /// Same framing model at an explicit rate (inter-switch links may run
+  /// at a different rate than the NIC edge links).
+  [[nodiscard]] SimDuration serialize_time(std::uint64_t bytes,
+                                           DataRate rate) const noexcept;
+
   /// One-hop latency for `tc`, with jitter.
   SimDuration hop_latency(TrafficClass tc);
 

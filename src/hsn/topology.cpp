@@ -1,0 +1,149 @@
+#include "hsn/topology.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace shs::hsn {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+TopologyPlan build_single(std::size_t nodes) {
+  TopologyPlan plan;
+  plan.kind = TopologyKind::kSingleSwitch;
+  plan.switch_count = 1;
+  plan.nic_home.assign(nodes, 0);
+  plan.next_hop.resize(1);
+  return plan;
+}
+
+TopologyPlan build_fat_tree(const TopologyConfig& config, std::size_t nodes,
+                            std::uint64_t seed) {
+  const std::size_t npsw = std::max<std::size_t>(1, config.nodes_per_switch);
+  const std::size_t leaves = std::max<std::size_t>(1, ceil_div(nodes, npsw));
+  TopologyPlan plan;
+  plan.kind = TopologyKind::kFatTree;
+  plan.nic_home.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    plan.nic_home[i] = static_cast<SwitchId>(i / npsw);
+  }
+  if (leaves == 1) {
+    // Degenerates to a single switch; no spine layer needed.
+    plan.switch_count = 1;
+    plan.next_hop.resize(1);
+    return plan;
+  }
+  const std::size_t spines = std::max<std::size_t>(1, config.spines);
+  plan.switch_count = leaves + spines;
+  plan.next_hop.resize(plan.switch_count);
+
+  for (std::size_t l = 0; l < leaves; ++l) {
+    for (std::size_t s = 0; s < spines; ++s) {
+      const auto leaf = static_cast<SwitchId>(l);
+      const auto spine = static_cast<SwitchId>(leaves + s);
+      plan.links.push_back({leaf, spine, config.link_rate,
+                            config.link_latency});
+      plan.links.push_back({spine, leaf, config.link_rate,
+                            config.link_latency});
+    }
+  }
+
+  // Minimal routing: leaf -> spine -> leaf.  The spine for a (src, dst)
+  // leaf pair is a deterministic hash of the pair and the fabric seed,
+  // so one fabric always picks the same path (reproducible runs) while
+  // different seeds genuinely reshuffle which pairs collide on a spine
+  // (an additive salt would only relabel spines, leaving the contention
+  // structure seed-independent).
+  for (std::size_t l = 0; l < leaves; ++l) {
+    for (std::size_t d = 0; d < leaves; ++d) {
+      if (l == d) continue;
+      const std::uint64_t pair_key =
+          seed ^ (static_cast<std::uint64_t>(l) << 32 |
+                  static_cast<std::uint64_t>(d));
+      const std::size_t spine =
+          leaves + static_cast<std::size_t>(Rng(pair_key).next() % spines);
+      plan.next_hop[l][static_cast<SwitchId>(d)] =
+          static_cast<SwitchId>(spine);
+      plan.next_hop[spine][static_cast<SwitchId>(d)] =
+          static_cast<SwitchId>(d);
+    }
+  }
+  return plan;
+}
+
+TopologyPlan build_dragonfly(const TopologyConfig& config,
+                             std::size_t nodes) {
+  const std::size_t npsw = std::max<std::size_t>(1, config.nodes_per_switch);
+  const std::size_t a = std::max<std::size_t>(1, config.switches_per_group);
+  const std::size_t edge = std::max<std::size_t>(1, ceil_div(nodes, npsw));
+  const std::size_t groups = ceil_div(edge, a);
+  TopologyPlan plan;
+  plan.kind = TopologyKind::kDragonfly;
+  // Round up to whole groups so every gateway index exists (trailing
+  // switches simply host no NICs).
+  plan.switch_count = groups * a;
+  plan.nic_home.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    plan.nic_home[i] = static_cast<SwitchId>(i / npsw);
+  }
+  plan.next_hop.resize(plan.switch_count);
+
+  // Group-local links: all-to-all within each group.
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < a; ++i) {
+      for (std::size_t j = 0; j < a; ++j) {
+        if (i == j) continue;
+        plan.links.push_back({static_cast<SwitchId>(g * a + i),
+                              static_cast<SwitchId>(g * a + j),
+                              config.link_rate, config.link_latency});
+      }
+    }
+  }
+  // Global links: for each ordered group pair (g, h) the gateway switch
+  // in g is `h % a`, so global ports spread evenly across the group.
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t h = 0; h < groups; ++h) {
+      if (g == h) continue;
+      plan.links.push_back({static_cast<SwitchId>(g * a + h % a),
+                            static_cast<SwitchId>(h * a + g % a),
+                            config.link_rate, config.global_link_latency});
+    }
+  }
+
+  // Dimension-order minimal routing: local hop to the gateway, global hop
+  // to the destination group, local hop to the destination switch.
+  for (std::size_t s = 0; s < plan.switch_count; ++s) {
+    const std::size_t gs = s / a;
+    for (std::size_t d = 0; d < plan.switch_count; ++d) {
+      if (s == d) continue;
+      const std::size_t gd = d / a;
+      SwitchId next;
+      if (gs == gd) {
+        next = static_cast<SwitchId>(d);  // same group: direct local link
+      } else {
+        const std::size_t gateway = gs * a + gd % a;
+        next = s == gateway
+                   ? static_cast<SwitchId>(gd * a + gs % a)  // global hop
+                   : static_cast<SwitchId>(gateway);         // toward gateway
+      }
+      plan.next_hop[s][static_cast<SwitchId>(d)] = next;
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+TopologyPlan TopologyPlan::build(const TopologyConfig& config,
+                                 std::size_t nodes, std::uint64_t seed) {
+  switch (config.kind) {
+    case TopologyKind::kSingleSwitch: return build_single(nodes);
+    case TopologyKind::kFatTree: return build_fat_tree(config, nodes, seed);
+    case TopologyKind::kDragonfly: return build_dragonfly(config, nodes);
+  }
+  return build_single(nodes);
+}
+
+}  // namespace shs::hsn

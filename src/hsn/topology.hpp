@@ -1,0 +1,80 @@
+// topology.hpp — fabric topology planning.
+//
+// The paper's testbed is two nodes on one Rosetta switch; production
+// Slingshot fabrics wire many switches into fat-tree or dragonfly
+// topologies.  A TopologyPlan turns a TopologyConfig + node count into
+// the concrete switch graph the Fabric instantiates:
+//   * which edge switch each NIC attaches to,
+//   * the directed inter-switch links (each with its own rate/latency,
+//     so per-link virtual-time accounting stays honest under contention),
+//   * a per-switch next-hop table realizing minimal routing (fat-tree:
+//     deterministic spine selection; dragonfly: dimension-order
+//     local -> global -> local).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hsn/types.hpp"
+#include "util/units.hpp"
+
+namespace shs::hsn {
+
+enum class TopologyKind : std::uint8_t {
+  kSingleSwitch = 0,  ///< the paper's testbed: every NIC on one switch
+  kFatTree,           ///< 2-level: leaf switches under a spine layer
+  kDragonfly,         ///< groups of switches, all-to-all global links
+};
+
+constexpr std::string_view topology_kind_name(TopologyKind k) noexcept {
+  switch (k) {
+    case TopologyKind::kSingleSwitch: return "single-switch";
+    case TopologyKind::kFatTree: return "fat-tree";
+    case TopologyKind::kDragonfly: return "dragonfly";
+  }
+  return "UNKNOWN";
+}
+
+struct TopologyConfig {
+  TopologyKind kind = TopologyKind::kSingleSwitch;
+  /// NICs per edge (leaf / group-local) switch.  Ignored by single-switch.
+  std::size_t nodes_per_switch = 16;
+  /// Fat-tree: spine switches above the leaf layer.
+  std::size_t spines = 2;
+  /// Dragonfly: switches per group (`a` in the canonical parametrization).
+  std::size_t switches_per_group = 4;
+  /// Inter-switch (leaf-spine / group-local) link characteristics.
+  DataRate link_rate = DataRate::gbps(200.0);
+  SimDuration link_latency = from_micros(0.30);
+  /// Dragonfly global (optical, inter-group) links are longer.
+  SimDuration global_link_latency = from_micros(1.20);
+};
+
+/// The instantiated wiring for one fabric.  `build` is total: degenerate
+/// configurations are clamped (zero counts become one) rather than
+/// rejected, so Fabric::create never fails on topology grounds.
+struct TopologyPlan {
+  struct PlannedLink {
+    SwitchId from = 0;
+    SwitchId to = 0;
+    DataRate rate;
+    SimDuration latency = 0;
+  };
+
+  TopologyKind kind = TopologyKind::kSingleSwitch;
+  std::size_t switch_count = 1;
+  /// NicAddr -> edge switch hosting that NIC (index == address).
+  std::vector<SwitchId> nic_home;
+  /// Directed inter-switch links.
+  std::vector<PlannedLink> links;
+  /// next_hop[s][home] = neighbor switch on the minimal route from switch
+  /// `s` toward the edge switch `home`.  Absent key means unreachable.
+  std::vector<std::unordered_map<SwitchId, SwitchId>> next_hop;
+
+  static TopologyPlan build(const TopologyConfig& config, std::size_t nodes,
+                            std::uint64_t seed);
+};
+
+}  // namespace shs::hsn

@@ -11,6 +11,12 @@ namespace shs::hsn {
 using NicAddr = std::uint32_t;
 constexpr NicAddr kInvalidNic = 0xffffffffu;
 
+/// Identifier of one Rosetta switch within a multi-switch fabric (edge
+/// switches first, then spines / padding switches, as laid out by the
+/// TopologyPlan).
+using SwitchId = std::uint32_t;
+constexpr SwitchId kInvalidSwitch = 0xffffffffu;
+
 /// Virtual Network ID — an unsigned integer naming a layer-2 isolation
 /// domain (Section II-C).  The Rosetta switch only routes a packet if both
 /// the sender and receiver port are authorized for the packet's VNI.

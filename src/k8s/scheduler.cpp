@@ -10,10 +10,29 @@ namespace shs::k8s {
 
 namespace {
 constexpr const char* kTag = "scheduler";
-}
 
-Scheduler::Scheduler(ApiServer& api, std::vector<std::string> nodes, Rng rng)
-    : api_(api), nodes_(std::move(nodes)), rng_(rng) {}
+// Score weights: a spread-group collision on a node dominates everything;
+// leaving the group's switch costs less than a node collision but more
+// than any realistic load imbalance.
+constexpr int kNodeCollisionWeight = 1'000'000;
+constexpr int kCrossSwitchWeight = 10'000;
+
+// Pseudo-switch for nodes absent from the node->switch map.  Distinct
+// from every real switch id so a partially-populated map cannot alias
+// unmapped nodes with the real switch 0 (they only alias each other).
+constexpr std::uint32_t kUnknownSwitch = 0xffffffffu;
+}  // namespace
+
+Scheduler::Scheduler(ApiServer& api, std::vector<std::string> nodes, Rng rng,
+                     std::unordered_map<std::string, std::uint32_t>
+                         node_switch)
+    : api_(api), nodes_(std::move(nodes)), rng_(rng),
+      node_switch_(std::move(node_switch)) {
+  node_switch_ids_.reserve(nodes_.size());
+  for (const std::string& n : nodes_) {
+    node_switch_ids_.push_back(switch_of(n));
+  }
+}
 
 Scheduler::~Scheduler() { stop(); }
 
@@ -30,11 +49,17 @@ void Scheduler::stop() {
   }
 }
 
+std::uint32_t Scheduler::switch_of(const std::string& node) const {
+  const auto it = node_switch_.find(node);
+  return it == node_switch_.end() ? kUnknownSwitch : it->second;
+}
+
 void Scheduler::cycle() {
   if (nodes_.empty()) return;
 
   // One pass over pods: collect pending work and per-node load counts
-  // (bound pods per node, plus per (spread_key, node) counts).
+  // (bound pods per node, plus per-(spread_key, node) membership and
+  // the set of switches each spread group already occupies).
   struct PendingPod {
     Uid uid = kNoUid;
     std::string spread_key;
@@ -42,6 +67,8 @@ void Scheduler::cycle() {
   std::vector<PendingPod> pending;
   std::unordered_map<std::string, int> bound;
   std::unordered_map<std::string, int> spread;  // key: spread_key + '\1' + node
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>>
+      group_switches;
   api_.visit_pods([&](const Pod& p) {
     if (p.status.node.empty()) {
       if (p.status.phase == PodPhase::kPending &&
@@ -53,26 +80,55 @@ void Scheduler::cycle() {
     ++bound[p.status.node];
     if (!p.spec.spread_key.empty()) {
       ++spread[p.spec.spread_key + '\1' + p.status.node];
+      group_switches[p.spec.spread_key].insert(switch_of(p.status.node));
     }
   });
+  // Decisions from earlier cycles whose deferred bind write has not
+  // landed yet still look unbound above — fold them in, or a spread
+  // group bound across several cycles would splinter across switches.
+  for (const auto& [uid, decided] : in_flight_) {
+    ++bound[decided.node];
+    if (!decided.spread_key.empty()) {
+      ++spread[decided.spread_key + '\1' + decided.node];
+      group_switches[decided.spread_key].insert(switch_of(decided.node));
+    }
+  }
 
   const int quota = api_.params().binds_per_cycle;
   int issued = 0;
   for (const PendingPod& p : pending) {
     if (issued >= quota) break;
-    // Topology spread dominates; total load breaks ties; round-robin
-    // breaks remaining ties.
+    // Switches the pod's spread group already occupies: a bind leaves
+    // this set when it is non-null and lacks the candidate's switch.
+    // Looked up once per pod (the set only mutates after the node loop),
+    // and used for both the scoring penalty and the telemetry so the two
+    // can never drift apart.
+    const std::unordered_set<std::uint32_t>* group_set = nullptr;
+    if (!p.spread_key.empty()) {
+      const auto it = group_switches.find(p.spread_key);
+      if (it != group_switches.end()) group_set = &it->second;
+    }
+    // Topology spread dominates; staying on the group's switch comes
+    // next; total load breaks ties; round-robin breaks remaining ties.
     const std::string* best = nullptr;
+    std::uint32_t best_switch = 0;
+    bool best_crosses = false;
     int best_score = std::numeric_limits<int>::max();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      const std::string& n = nodes_[(rr_ + i) % nodes_.size()];
+      const std::size_t idx = (rr_ + i) % nodes_.size();
+      const std::string& n = nodes_[idx];
       int score = bound[n];
+      bool crosses = false;
       if (!p.spread_key.empty()) {
-        score += spread[p.spread_key + '\1' + n] * 1'000'000;
+        score += spread[p.spread_key + '\1' + n] * kNodeCollisionWeight;
+        crosses = group_set && !group_set->contains(node_switch_ids_[idx]);
+        if (crosses) score += kCrossSwitchWeight;
       }
       if (score < best_score) {
         best_score = score;
         best = &n;
+        best_switch = node_switch_ids_[idx];
+        best_crosses = crosses;
       }
     }
     rr_ = (rr_ + 1) % nodes_.size();
@@ -80,9 +136,13 @@ void Scheduler::cycle() {
     const std::string node = *best;
     // Account this decision so later binds in the same cycle spread too.
     ++bound[node];
-    if (!p.spread_key.empty()) ++spread[p.spread_key + '\1' + node];
+    if (!p.spread_key.empty()) {
+      if (best_crosses) ++cross_switch_binds_;
+      ++spread[p.spread_key + '\1' + node];
+      group_switches[p.spread_key].insert(best_switch);
+    }
 
-    in_flight_.insert(p.uid);
+    in_flight_.emplace(p.uid, InFlightBind{node, p.spread_key});
     ++issued;
     ++binds_;
     const Uid uid = p.uid;

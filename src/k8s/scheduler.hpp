@@ -1,13 +1,18 @@
 // scheduler.hpp — binds pending pods to nodes.
 //
-// Implements the one placement feature the paper's evaluation needs:
+// Implements the placement features the paper's evaluation needs:
 // topology-spread constraints ("spread the two involved containers onto
-// the two nodes", Section IV-A).  Pods sharing a non-empty
-// `spec.spread_key` are placed on distinct nodes where possible;
-// everything else balances by bound-pod count.
+// the two nodes", Section IV-A) plus fabric-topology awareness for
+// multi-switch clusters.  Pods sharing a non-empty `spec.spread_key` are
+// placed on distinct nodes where possible, and — when the cluster spans
+// several switches — preferentially on nodes attached to a switch that
+// already hosts members of the same group, so tightly coupled ranks stay
+// one hop apart; everything else balances by bound-pod count.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -20,7 +25,12 @@ inline constexpr const char* kKubeletFinalizer = "shs.io/kubelet";
 
 class Scheduler {
  public:
-  Scheduler(ApiServer& api, std::vector<std::string> nodes, Rng rng);
+  /// `node_switch` maps node name -> fabric switch id; empty means "no
+  /// topology knowledge" (every node counts as the same switch).  Nodes
+  /// missing from a non-empty map share an "unknown" pseudo-switch
+  /// distinct from every real one.
+  Scheduler(ApiServer& api, std::vector<std::string> nodes, Rng rng,
+            std::unordered_map<std::string, std::uint32_t> node_switch = {});
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -29,16 +39,36 @@ class Scheduler {
   void stop();
 
   [[nodiscard]] std::size_t binds_issued() const noexcept { return binds_; }
+  /// Binds whose spread group already had members on a different switch
+  /// (telemetry for the scale-out bench).
+  [[nodiscard]] std::size_t cross_switch_binds() const noexcept {
+    return cross_switch_binds_;
+  }
 
  private:
   void cycle();
+  [[nodiscard]] std::uint32_t switch_of(const std::string& node) const;
+
+  /// A bind decision whose deferred API write has not landed yet.  The
+  /// node/group are remembered so later cycles see the decision in their
+  /// load and same-switch accounting (the pod object still looks
+  /// unbound until the write fires).
+  struct InFlightBind {
+    std::string node;
+    std::string spread_key;
+  };
 
   ApiServer& api_;
   std::vector<std::string> nodes_;
   Rng rng_;
+  std::unordered_map<std::string, std::uint32_t> node_switch_;
+  /// switch_of(nodes_[i]), precomputed in the constructor so the scoring
+  /// loop never does a by-name map lookup.
+  std::vector<std::uint32_t> node_switch_ids_;
   sim::EventLoop::TaskId task_ = sim::EventLoop::kInvalidTask;
-  std::unordered_set<Uid> in_flight_;  ///< bind decisions not yet applied
+  std::unordered_map<Uid, InFlightBind> in_flight_;
   std::size_t binds_ = 0;
+  std::size_t cross_switch_binds_ = 0;
   std::size_t rr_ = 0;  ///< round-robin tiebreaker
 };
 

@@ -62,7 +62,7 @@ TEST(Switch, DropsWhenDstUnauthorized) {
 
 TEST(Switch, EnforcementOffRoutesEverything) {
   auto f = Fabric::create(2);
-  f->fabric_switch().set_enforcement(false);
+  f->set_enforcement(false);
   auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto t = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0);

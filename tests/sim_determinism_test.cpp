@@ -1,0 +1,124 @@
+// sim_determinism_test.cpp — EventLoop determinism properties the whole
+// control-plane model depends on: equal-timestamp events fire in
+// insertion order, a periodic task can cancel itself from inside its own
+// callback, and two runs of an identical randomized schedule produce
+// identical event traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace shs::sim {
+namespace {
+
+TEST(EventLoopDeterminism, EqualTimestampsFireInInsertionOrder) {
+  // Randomized schedule over a handful of timestamps so collisions are
+  // plentiful; the property must hold regardless of submission pattern.
+  Rng rng(0xdead);
+  EventLoop loop;
+  std::vector<std::pair<SimTime, int>> trace;
+  std::vector<std::pair<SimTime, int>> expected;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.uniform_u64(8)) * kMillisecond;
+    expected.emplace_back(t, i);
+    loop.schedule_at(t, [&trace, t, i] { trace.emplace_back(t, i); });
+  }
+  // Insertion order is the tie-breaker: a stable sort by time over the
+  // submission sequence is exactly the required execution order.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  loop.run_until_idle();
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(EventLoopDeterminism, PeriodicCancelFromOwnCallbackStopsFiring) {
+  EventLoop loop;
+  int fired = 0;
+  EventLoop::TaskId id = EventLoop::kInvalidTask;
+  id = loop.schedule_periodic(kMillisecond, [&] {
+    ++fired;
+    EXPECT_TRUE(loop.cancel(id));
+  });
+  loop.run_for(100 * kMillisecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.idle());
+
+  // Cancelling from the callback of a *later* firing also works (the
+  // re-armed queue entry must not resurrect the task).
+  int count = 0;
+  EventLoop::TaskId id2 = EventLoop::kInvalidTask;
+  id2 = loop.schedule_periodic(kMillisecond, [&] {
+    if (++count == 3) EXPECT_TRUE(loop.cancel(id2));
+  });
+  loop.run_for(100 * kMillisecond);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(loop.idle());
+}
+
+/// One randomized workload: immediate events, delayed events, nested
+/// scheduling from inside callbacks, self-cancelling periodics — all
+/// driven by a seeded Rng.  Returns the (time, label) execution trace.
+std::vector<std::pair<SimTime, int>> run_workload(std::uint64_t seed) {
+  Rng rng(seed);
+  EventLoop loop;
+  auto trace = std::make_shared<std::vector<std::pair<SimTime, int>>>();
+  int label = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int id = label++;
+    const SimDuration delay =
+        static_cast<SimDuration>(rng.uniform_u64(10)) * kMillisecond;
+    switch (rng.uniform_u64(3)) {
+      case 0:
+        loop.schedule_after(delay, [&loop, trace, id] {
+          trace->emplace_back(loop.now(), id);
+        });
+        break;
+      case 1:
+        // Nested: the callback schedules a follow-up event.
+        loop.schedule_after(delay, [&loop, trace, id] {
+          trace->emplace_back(loop.now(), id);
+          loop.schedule_after(kMillisecond, [&loop, trace, id] {
+            trace->emplace_back(loop.now(), 10'000 + id);
+          });
+        });
+        break;
+      default: {
+        auto fired = std::make_shared<int>(0);
+        auto task = std::make_shared<EventLoop::TaskId>(
+            EventLoop::kInvalidTask);
+        *task = loop.schedule_periodic(
+            std::max<SimDuration>(delay, kMillisecond),
+            [&loop, trace, id, fired, task] {
+              trace->emplace_back(loop.now(), 20'000 + id);
+              if (++*fired == 3) loop.cancel(*task);
+            });
+        break;
+      }
+    }
+  }
+  loop.run_until(kSecond);
+  EXPECT_TRUE(loop.idle());
+  return *trace;
+}
+
+TEST(EventLoopDeterminism, IdenticalSchedulesProduceIdenticalTraces) {
+  const auto a = run_workload(0x5eed);
+  const auto b = run_workload(0x5eed);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+
+  // A different seed really does produce a different schedule (guards
+  // against the workload collapsing to something seed-independent).
+  const auto c = run_workload(0x07e4);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace shs::sim

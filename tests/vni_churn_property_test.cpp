@@ -1,0 +1,146 @@
+// vni_churn_property_test.cpp — randomized interleaved acquire/release
+// churn across many owners, checked against an independent reference
+// model: a quarantined VNI is never re-issued inside its quarantine
+// window, no VNI is ever double-allocated, exhaustion only happens when
+// the model says the pool is truly dry, and the audit log accounts for
+// every single transition.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/vni_registry.hpp"
+#include "util/rng.hpp"
+
+namespace shs::core {
+namespace {
+
+struct ChurnModel {
+  std::map<std::string, hsn::Vni> held;       // owner -> vni
+  std::map<hsn::Vni, SimTime> released_at;    // last release, if any
+  std::size_t fresh_acquires = 0;
+  std::size_t releases = 0;
+
+  [[nodiscard]] bool vni_available(hsn::Vni v, SimTime now,
+                                   SimDuration quarantine) const {
+    for (const auto& [owner, held_vni] : held) {
+      if (held_vni == v) return false;
+    }
+    const auto it = released_at.find(v);
+    return it == released_at.end() || now - it->second >= quarantine;
+  }
+
+  [[nodiscard]] std::size_t free_count(const VniRegistryConfig& cfg,
+                                       SimTime now) const {
+    std::size_t n = 0;
+    for (hsn::Vni v = cfg.vni_min; v <= cfg.vni_max; ++v) {
+      if (vni_available(v, now, cfg.quarantine)) ++n;
+    }
+    return n;
+  }
+};
+
+TEST(VniChurn, RandomizedChurnNeverViolatesQuarantineOrExclusivity) {
+  db::Database database;
+  const VniRegistryConfig cfg{.vni_min = 100, .vni_max = 119,
+                              .quarantine = 30 * kSecond};
+  VniRegistry reg(database, cfg);
+  ChurnModel model;
+  Rng rng(0xc193);
+
+  constexpr int kOwners = 40;
+  constexpr int kOps = 3000;
+  SimTime now = 0;
+  for (int op = 0; op < kOps; ++op) {
+    now += static_cast<SimDuration>(rng.uniform_u64(2 * kSecond));
+    const std::string owner =
+        "job/" + std::to_string(rng.uniform_u64(kOwners));
+    const bool holds = model.held.contains(owner);
+
+    if (holds && rng.uniform() < 0.6) {
+      // Release into quarantine.
+      const hsn::Vni v = model.held[owner];
+      ASSERT_TRUE(reg.release(owner, now).is_ok());
+      model.held.erase(owner);
+      model.released_at[v] = now;
+      ++model.releases;
+      continue;
+    }
+
+    auto got = reg.acquire(owner, now);
+    if (holds) {
+      // Idempotent re-acquisition: same VNI, no new allocation.
+      ASSERT_TRUE(got.is_ok()) << "op " << op;
+      EXPECT_EQ(got.value(), model.held[owner]);
+      continue;
+    }
+    if (got.is_ok()) {
+      const hsn::Vni v = got.value();
+      EXPECT_GE(v, cfg.vni_min);
+      EXPECT_LE(v, cfg.vni_max);
+      // Exclusivity: nobody else may hold it.
+      for (const auto& [other, held_vni] : model.held) {
+        EXPECT_NE(held_vni, v) << "VNI " << v << " double-issued to "
+                               << owner << " and " << other;
+      }
+      // Quarantine: if it was ever released, the full window elapsed.
+      const auto rel = model.released_at.find(v);
+      if (rel != model.released_at.end()) {
+        EXPECT_GE(now - rel->second, cfg.quarantine)
+            << "VNI " << v << " re-issued " << to_seconds(now - rel->second)
+            << " s after release (quarantine "
+            << to_seconds(cfg.quarantine) << " s)";
+      }
+      model.held[owner] = v;
+      ++model.fresh_acquires;
+    } else {
+      // Exhaustion must only happen when the model agrees the pool is dry.
+      EXPECT_EQ(got.code(), Code::kResourceExhausted) << "op " << op;
+      EXPECT_EQ(model.free_count(cfg, now), 0u)
+          << "registry said exhausted with free VNIs at op " << op;
+    }
+  }
+
+  // Make sure the run exercised real churn, not a degenerate walk.
+  EXPECT_GT(model.fresh_acquires, 100u);
+  EXPECT_GT(model.releases, 100u);
+  EXPECT_EQ(reg.allocated_count(), model.held.size());
+
+  // -- Audit accounting: one record per transition, none missing.
+  const auto log = reg.audit_log();
+  std::size_t audited_acquires = 0;
+  std::size_t audited_releases = 0;
+  SimTime last_ts = 0;
+  std::map<std::string, hsn::Vni> replay;  // owner -> vni
+  for (const VniAuditRecord& rec : log) {
+    EXPECT_GE(rec.ts, last_ts) << "audit log out of order";
+    last_ts = rec.ts;
+    if (rec.op == "acquire") {
+      ++audited_acquires;
+      EXPECT_FALSE(replay.contains(rec.detail))
+          << rec.detail << " acquired twice without a release";
+      replay[rec.detail] = rec.vni;
+    } else if (rec.op == "release") {
+      ++audited_releases;
+      ASSERT_TRUE(replay.contains(rec.detail))
+          << rec.detail << " released without an acquire";
+      EXPECT_EQ(replay[rec.detail], rec.vni);
+      replay.erase(rec.detail);
+    }
+  }
+  EXPECT_EQ(audited_acquires, model.fresh_acquires);
+  EXPECT_EQ(audited_releases, model.releases);
+  // Replaying the audit log reproduces the registry's final state.
+  EXPECT_EQ(replay.size(), reg.allocated_count());
+  for (const auto& [owner, vni] : replay) {
+    auto found = reg.find_by_owner(owner);
+    ASSERT_TRUE(found.is_ok()) << owner;
+    EXPECT_EQ(found.value(), vni) << owner;
+  }
+  EXPECT_EQ(replay, model.held);
+}
+
+}  // namespace
+}  // namespace shs::core
