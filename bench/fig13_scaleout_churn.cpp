@@ -209,19 +209,24 @@ ChurnResult run_churn(const char* label, core::StackConfig cfg,
 }  // namespace
 }  // namespace shs::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace shs;
   using namespace shs::bench;
+  const std::string json_path =
+      json_flag(argc, argv, "BENCH_fig13_scaleout_churn.json");
   print_header("Fig 13",
                "scale-out VNI churn on multi-switch fabrics "
                "(fig13,<topology>,<field>,...)");
 
   bool ok = true;
-  const auto check = [&ok](const ChurnResult& r) {
+  std::vector<std::pair<std::string, ChurnResult>> results;
+  const auto check = [&ok, &results](const char* label,
+                                     const ChurnResult& r) {
     ok &= r.admitted == r.submitted && r.submitted > 0;
     ok &= r.violations == 0;
     ok &= r.probe_attempts > 0;
     ok &= r.cross_switch_bytes > 0;
+    results.emplace_back(label, r);
   };
 
   {
@@ -230,8 +235,8 @@ int main() {
     cfg.topology.kind = hsn::TopologyKind::kFatTree;
     cfg.topology.nodes_per_switch = 8;  // 8 leaves
     cfg.topology.spines = 2;
-    check(run_churn("fat-tree-64", cfg, /*waves=*/20, /*jobs_per_wave=*/8,
-                    /*seed=*/0xf13a));
+    check("fat-tree-64", run_churn("fat-tree-64", cfg, /*waves=*/20,
+                                   /*jobs_per_wave=*/8, /*seed=*/0xf13a));
   }
   {
     core::StackConfig cfg;
@@ -239,8 +244,8 @@ int main() {
     cfg.topology.kind = hsn::TopologyKind::kDragonfly;
     cfg.topology.nodes_per_switch = 8;   // 16 edge switches
     cfg.topology.switches_per_group = 4; // 4 groups
-    check(run_churn("dragonfly-128", cfg, /*waves=*/15,
-                    /*jobs_per_wave=*/8, /*seed=*/0xd12a));
+    check("dragonfly-128", run_churn("dragonfly-128", cfg, /*waves=*/15,
+                                     /*jobs_per_wave=*/8, /*seed=*/0xd12a));
   }
   {
     core::StackConfig cfg;
@@ -248,10 +253,37 @@ int main() {
     cfg.topology.kind = hsn::TopologyKind::kDragonfly;
     cfg.topology.nodes_per_switch = 8;   // 32 edge switches
     cfg.topology.switches_per_group = 4; // 8 groups
-    check(run_churn("dragonfly-256", cfg, /*waves=*/10,
-                    /*jobs_per_wave=*/12, /*seed=*/0xd256));
+    check("dragonfly-256", run_churn("dragonfly-256", cfg, /*waves=*/10,
+                                     /*jobs_per_wave=*/12, /*seed=*/0xd256));
   }
 
   std::printf("fig13,summary,%s\n", ok ? "PASS" : "FAIL");
+  if (!json_path.empty()) {
+    std::vector<std::string> rows;
+    for (const auto& [label, r] : results) {
+      JsonObject row;
+      row.add("topology", label)
+          .add("submitted", static_cast<std::uint64_t>(r.submitted))
+          .add("admitted", static_cast<std::uint64_t>(r.admitted))
+          .add("admission_ms_mean", r.admission_ms.mean())
+          .add("admission_ms_p50", r.admission_ms.percentile(50))
+          .add("admission_ms_p90", r.admission_ms.percentile(90))
+          .add("admission_ms_p99", r.admission_ms.percentile(99))
+          .add("cross_switch_bytes", r.cross_switch_bytes)
+          .add("delivered_bytes", r.delivered_bytes)
+          .add("probe_attempts", r.probe_attempts)
+          .add("violations", r.violations)
+          .add("switches", static_cast<std::uint64_t>(r.switches))
+          .add("cross_switch_binds",
+               static_cast<std::uint64_t>(r.cross_switch_binds))
+          .add("virtual_s", r.virtual_s);
+      rows.push_back(row.str());
+    }
+    JsonObject doc;
+    doc.add("bench", "fig13_scaleout_churn")
+        .add("pass", ok)
+        .raw("results", json_array(rows));
+    if (!write_json(json_path, doc.str())) ok = false;
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,265 @@
+// fig14_adaptive_routing.cpp — beyond the paper: adaptive congestion-aware
+// routing under an adversarial hotspot.
+//
+// Slingshot's Rosetta switches route adaptively; the paper's isolation
+// claims implicitly assume hot links do not capture the fabric.  This
+// bench drives the pathological pattern static minimal routing is worst
+// at, on both multi-switch topologies:
+//   * fat-tree: every NIC on leaf 0 bursts to a NIC on leaf 1 — static
+//     minimal hashes the whole (leaf 0, leaf 1) aggregate onto ONE spine
+//     while the others idle;
+//   * dragonfly: every NIC in group 0 bursts to group 1 — minimal routes
+//     all share the single global link between the two groups.
+// Each RoutingPolicy (minimal / valiant / ugal) replays the identical
+// pattern on a fresh fabric with identical seeds and flat timing, so the
+// per-packet delivery latencies are directly comparable.  A cross-tenant
+// probe from an unauthorized port runs alongside (must be refused: zero
+// isolation violations regardless of policy — detours never bypass edge
+// VNI enforcement).
+//
+// CSV rows: fig14,<topology>,<policy>,<p50_us>,<p99_us>,<mean_us>,
+//           nonminimal,<n>,peak_lag_us,<l>,violations,<v>
+// Acceptance (also enforced when run under ctest): UGAL p99 delivery
+// latency at least 20 % below static minimal on both topologies, zero
+// violations everywhere.
+//
+//   usage: fig14_adaptive_routing [packets_per_src=64] [--json[=path]]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace shs::bench {
+namespace {
+
+constexpr hsn::Vni kTenantVni = 42;
+constexpr std::uint64_t kPacketBytes = 64 * 1024;
+
+struct HotspotResult {
+  std::string topology;
+  std::string policy;
+  SampleSet latency_us;
+  std::uint64_t delivered = 0;
+  std::uint64_t nonminimal = 0;
+  double peak_lag_us = 0;
+  std::uint64_t probe_attempts = 0;
+  std::uint64_t violations = 0;
+};
+
+/// Deterministic timing so the policy comparison is exact.
+hsn::TimingConfig flat_timing() {
+  hsn::TimingConfig t;
+  t.jitter_amplitude = 0.0;
+  t.run_bias_amplitude = 0.0;
+  return t;
+}
+
+/// Replays the hotspot on a fresh fabric: every NIC in `sources` sends
+/// `packets_per_src` bulk packets to its paired NIC in `sinks`, plus an
+/// unauthorized probe NIC attempts to inject into the tenant's VNI.
+HotspotResult run_hotspot(const char* topology_label,
+                          const hsn::TopologyConfig& topo,
+                          std::size_t nodes,
+                          const std::vector<hsn::NicAddr>& sources,
+                          const std::vector<hsn::NicAddr>& sinks,
+                          hsn::NicAddr probe_addr, int packets_per_src,
+                          std::uint64_t seed) {
+  HotspotResult result;
+  result.topology = topology_label;
+  result.policy = std::string(routing_policy_name(topo.routing));
+
+  auto fabric = hsn::Fabric::create(nodes, flat_timing(), seed, topo);
+  for (const hsn::NicAddr a : sources) {
+    if (!fabric->switch_for(a)->authorize_vni(a, kTenantVni).is_ok()) {
+      std::abort();
+    }
+  }
+  for (const hsn::NicAddr a : sinks) {
+    if (!fabric->switch_for(a)->authorize_vni(a, kTenantVni).is_ok()) {
+      std::abort();
+    }
+  }
+  // The probe NIC is deliberately NOT authorized.
+
+  std::vector<hsn::EndpointId> src_eps;
+  std::vector<hsn::EndpointId> dst_eps;
+  for (const hsn::NicAddr a : sources) {
+    src_eps.push_back(fabric->nic(a)
+                          .alloc_endpoint(kTenantVni,
+                                          hsn::TrafficClass::kBulkData)
+                          .value());
+  }
+  for (const hsn::NicAddr a : sinks) {
+    dst_eps.push_back(fabric->nic(a)
+                          .alloc_endpoint(kTenantVni,
+                                          hsn::TrafficClass::kBulkData)
+                          .value());
+  }
+
+  // The burst: round-robin over sources so all flows contend at once
+  // (every packet injected at local virtual time 0; the NIC's own TX
+  // horizon serializes per-sender traffic identically for every policy).
+  for (int k = 0; k < packets_per_src; ++k) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      auto sent = fabric->nic(sources[s])
+                      .post_send(src_eps[s], sinks[s % sinks.size()],
+                                 dst_eps[s % sinks.size()],
+                                 /*tag=*/static_cast<std::uint64_t>(k),
+                                 kPacketBytes, {}, /*vt=*/0);
+      if (!sent.is_ok()) ++result.violations;  // tenant traffic refused
+    }
+  }
+
+  // Unauthorized probe into the tenant VNI: the source edge switch must
+  // refuse it no matter which routing policy is active.
+  {
+    auto& probe = fabric->nic(probe_addr);
+    auto probe_ep =
+        probe.alloc_endpoint(kTenantVni, hsn::TrafficClass::kBulkData);
+    if (probe_ep.is_ok()) {
+      ++result.probe_attempts;
+      auto stolen = probe.post_send(probe_ep.value(), sinks[0], dst_eps[0],
+                                    /*tag=*/999, 4096, {}, /*vt=*/0);
+      if (stolen.is_ok()) ++result.violations;
+      (void)probe.free_endpoint(probe_ep.value());
+    }
+  }
+
+  // Drain the sinks: every delivered packet carries its fabric arrival
+  // time; delivery latency is that arrival (all injections happened at
+  // virtual time 0).
+  for (std::size_t d = 0; d < sinks.size(); ++d) {
+    while (true) {
+      auto pkt = fabric->nic(sinks[d]).poll_rx(dst_eps[d]);
+      if (!pkt.is_ok()) break;
+      ++result.delivered;
+      result.latency_us.add(to_micros(pkt.value().arrival_vt));
+    }
+  }
+
+  result.nonminimal = fabric->total_counters().routed_nonminimal;
+  result.peak_lag_us = to_micros(fabric->peak_uplink_lag());
+  std::printf("fig14,%s,%s,%.1f,%.1f,%.1f,nonminimal,%llu,peak_lag_us,"
+              "%.1f,violations,%llu\n",
+              result.topology.c_str(), result.policy.c_str(),
+              result.latency_us.percentile(50),
+              result.latency_us.percentile(99), result.latency_us.mean(),
+              static_cast<unsigned long long>(result.nonminimal),
+              result.peak_lag_us,
+              static_cast<unsigned long long>(result.violations));
+  return result;
+}
+
+/// All three policies over one topology; returns per-policy results.
+std::vector<HotspotResult> sweep_policies(
+    const char* label, hsn::TopologyConfig topo, std::size_t nodes,
+    const std::vector<hsn::NicAddr>& sources,
+    const std::vector<hsn::NicAddr>& sinks, hsn::NicAddr probe,
+    int packets_per_src, std::uint64_t seed) {
+  std::vector<HotspotResult> results;
+  for (const auto policy :
+       {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
+        hsn::RoutingPolicy::kUgal}) {
+    topo.routing = policy;
+    results.push_back(run_hotspot(label, topo, nodes, sources, sinks,
+                                  probe, packets_per_src, seed));
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace shs::bench
+
+int main(int argc, char** argv) {
+  using namespace shs;
+  using namespace shs::bench;
+  const std::string json_path =
+      json_flag(argc, argv, "BENCH_fig14_adaptive_routing.json");
+  const int packets_per_src = argc > 1 ? std::atoi(argv[1]) : 64;
+
+  print_header("Fig 14",
+               "adaptive routing under an adversarial hotspot "
+               "(fig14,<topology>,<policy>,p50_us,p99_us,mean_us,...)");
+
+  std::vector<HotspotResult> all;
+
+  {
+    // 32 nodes on 4 leaves (8 per leaf) under 4 spines.  Leaf 0 -> leaf 1
+    // is the hot aggregate; NIC 16 (leaf 2) is the unauthorized probe.
+    hsn::TopologyConfig topo;
+    topo.kind = hsn::TopologyKind::kFatTree;
+    topo.nodes_per_switch = 8;
+    topo.spines = 4;
+    std::vector<hsn::NicAddr> sources;
+    std::vector<hsn::NicAddr> sinks;
+    for (hsn::NicAddr a = 0; a < 8; ++a) sources.push_back(a);
+    for (hsn::NicAddr a = 8; a < 16; ++a) sinks.push_back(a);
+    const auto r = sweep_policies("fat-tree-32", topo, 32, sources, sinks,
+                                  /*probe=*/16, packets_per_src, 0xf14a);
+    all.insert(all.end(), r.begin(), r.end());
+  }
+  {
+    // 64 nodes on 16 edge switches (4 per switch), 4 switches per group
+    // -> 4 groups.  Group 0 -> group 1 is the hot aggregate (all minimal
+    // routes share one global link); NIC 32 (group 2) is the probe.
+    hsn::TopologyConfig topo;
+    topo.kind = hsn::TopologyKind::kDragonfly;
+    topo.nodes_per_switch = 4;
+    topo.switches_per_group = 4;
+    std::vector<hsn::NicAddr> sources;
+    std::vector<hsn::NicAddr> sinks;
+    for (hsn::NicAddr a = 0; a < 16; ++a) sources.push_back(a);
+    for (hsn::NicAddr a = 16; a < 32; ++a) sinks.push_back(a);
+    const auto r = sweep_policies("dragonfly-64", topo, 64, sources, sinks,
+                                  /*probe=*/32, packets_per_src, 0xd14a);
+    all.insert(all.end(), r.begin(), r.end());
+  }
+
+  // Acceptance: UGAL >= 20 % lower p99 than static minimal per topology,
+  // nothing dropped, zero isolation violations anywhere.
+  bool ok = true;
+  for (const char* label : {"fat-tree-32", "dragonfly-64"}) {
+    double minimal_p99 = 0;
+    double ugal_p99 = 0;
+    for (const auto& r : all) {
+      if (r.topology != label) continue;
+      ok &= r.violations == 0;
+      ok &= r.probe_attempts == 1;
+      ok &= r.delivered > 0;
+      if (r.policy == "minimal") minimal_p99 = r.latency_us.percentile(99);
+      if (r.policy == "ugal") ugal_p99 = r.latency_us.percentile(99);
+    }
+    const double speedup =
+        minimal_p99 > 0 ? 1.0 - ugal_p99 / minimal_p99 : 0.0;
+    std::printf("fig14,%s,ugal_vs_minimal_p99_reduction,%.3f\n", label,
+                speedup);
+    ok &= speedup >= 0.20;
+  }
+  std::printf("fig14,summary,%s\n", ok ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::vector<std::string> rows;
+    for (const auto& r : all) {
+      JsonObject row;
+      row.add("topology", r.topology)
+          .add("policy", r.policy)
+          .add("p50_us", r.latency_us.percentile(50))
+          .add("p99_us", r.latency_us.percentile(99))
+          .add("mean_us", r.latency_us.mean())
+          .add("delivered", r.delivered)
+          .add("routed_nonminimal", r.nonminimal)
+          .add("peak_uplink_lag_us", r.peak_lag_us)
+          .add("violations", r.violations);
+      rows.push_back(row.str());
+    }
+    JsonObject doc;
+    doc.add("bench", "fig14_adaptive_routing")
+        .add("packets_per_source", packets_per_src)
+        .add("pass", ok)
+        .raw("results", json_array(rows));
+    if (!write_json(json_path, doc.str())) ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -6,15 +6,19 @@
 // iteration count is configurable because the modeled fabric converges
 // with far fewer (the mean is analytic; jitter gives the bands).
 //
-//   usage: fig5_osu_bw [runs=10] [iters=300] [window=32]
+//   usage: fig5_osu_bw [runs=10] [iters=300] [window=32] [--json[=path]]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "harness.hpp"
 
 using namespace shs;
 
 int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::json_flag(argc, argv, "BENCH_fig5_osu_bw.json");
   const int runs = argc > 1 ? std::atoi(argv[1]) : 10;
   const int iters = argc > 2 ? std::atoi(argv[2]) : 300;
   const int window = argc > 3 ? std::atoi(argv[3]) : 32;
@@ -28,6 +32,7 @@ int main(int argc, char** argv) {
   opts.iterations = iters;
   opts.window = window;
 
+  std::vector<std::string> json_rows;
   for (const auto series : {bench::Series::kVniTrue, bench::Series::kVniFalse,
                             bench::Series::kHost}) {
     // size -> per-run samples
@@ -47,11 +52,27 @@ int main(int argc, char** argv) {
                   bench::series_name(series),
                   static_cast<unsigned long long>(size),
                   format_size(size).c_str(), band.mean, band.p10, band.p90);
+      bench::JsonObject row;
+      row.add("series", bench::series_name(series))
+          .add("size_bytes", static_cast<std::uint64_t>(size))
+          .add("mbps_mean", band.mean)
+          .add("mbps_p10", band.p10)
+          .add("mbps_p90", band.p90);
+      json_rows.push_back(row.str());
     }
   }
 
   std::printf("\n# shape check: all three series overlap; throughput rises "
               "from ~3 MB/s (1 B) to ~24-25 GB/s (1 MB, 200 Gbps line "
               "rate)\n");
+  if (!json_path.empty()) {
+    bench::JsonObject doc;
+    doc.add("bench", "fig5_osu_bw")
+        .add("runs", runs)
+        .add("iterations", iters)
+        .add("window", window)
+        .raw("results", bench::json_array(json_rows));
+    if (!bench::write_json(json_path, doc.str())) return 1;
+  }
   return 0;
 }

@@ -14,7 +14,10 @@
 // Output convention: every bench prints CSV rows
 //     <figure>,<series>,<x>,<y...>
 // plus a human-readable summary, so the figures can be re-plotted
-// directly from the captured stdout.
+// directly from the captured stdout.  Passing `--json[=path]` makes a
+// bench additionally write its results as a JSON artifact (default
+// BENCH_<bench>.json) — what the CI bench-smoke job uploads to seed the
+// perf trajectory.
 #pragma once
 
 #include <cstdio>
@@ -233,6 +236,114 @@ struct Band {
 
 inline Band band_of(const SampleSet& samples) {
   return {samples.mean(), samples.percentile(10), samples.percentile(90)};
+}
+
+// ---------------------------------------------------------------------------
+// JSON artifacts (CI perf trajectory)
+
+/// Scans argv for `--json` / `--json=<path>`, removes it, and returns the
+/// requested output path ("" when the flag is absent; `default_path` for
+/// the bare form).  Removal keeps the positional-argument parsing of the
+/// individual benches untouched.
+inline std::string json_flag(int& argc, char** argv,
+                             const char* default_path) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      path = default_path;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      if (path.empty()) path = default_path;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal JSON object builder — enough for flat benchmark records and
+/// arrays of them; no external dependency.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return raw(key, buf);
+  }
+  JsonObject& add(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& add(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& add(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonObject& add(const std::string& key, const std::string& v) {
+    return raw(key, '"' + json_escape(v) + '"');
+  }
+  JsonObject& add(const std::string& key, const char* v) {
+    return add(key, std::string(v));
+  }
+  /// Nested object / array, pre-rendered.
+  JsonObject& raw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"' + json_escape(key) + "\":" + rendered;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return '{' + body_ + '}'; }
+
+ private:
+  std::string body_;
+};
+
+inline std::string json_array(const std::vector<std::string>& rendered) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (i > 0) out += ',';
+    out += rendered[i];
+  }
+  return out + ']';
+}
+
+/// Writes `content` to `path` (stdout note included so CI logs show where
+/// the artifact landed).  Returns false on I/O failure.
+inline bool write_json(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write JSON artifact %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(content.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("# JSON artifact written to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace shs::bench

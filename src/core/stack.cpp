@@ -57,6 +57,10 @@ SlingshotStack::SlingshotStack(StackConfig config)
   }
   scheduler_ = std::make_unique<k8s::Scheduler>(
       *api_, node_names, master_rng_.fork(), std::move(node_switch));
+  // Bind telemetry: when a spread group must straddle switches, record
+  // how congested the inter-switch links are at that moment.
+  scheduler_->set_congestion_probe(
+      [this] { return fabric_->max_uplink_lag(loop_.now()); });
   scheduler_->start();
 
   // The real VNI Endpoint is an HTTP service; the hooks round-trip every

@@ -47,7 +47,9 @@ struct StackConfig {
   k8s::K8sParams k8s_params{};
   hsn::TimingConfig timing{};
   /// Fabric wiring: the paper's single switch by default; fat-tree or
-  /// dragonfly for 64-256 node scale-out scenarios.
+  /// dragonfly for 64-256 node scale-out scenarios.  `topology.routing`
+  /// selects the fabric-wide routing policy (static minimal, Valiant, or
+  /// adaptive UGAL — see hsn::RoutingPolicy).
   hsn::TopologyConfig topology{};
   VniRegistryConfig vni{};
   std::uint64_t seed = 0x5005;

@@ -1,5 +1,6 @@
 #include "hsn/fabric.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/log.hpp"
@@ -17,16 +18,18 @@ std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
   fabric->topology_ = topology;
   fabric->timing_ = std::make_shared<TimingModel>(config, seed);
 
-  TopologyPlan plan = TopologyPlan::build(topology, nodes, seed);
+  auto plan = std::make_shared<TopologyPlan>(
+      TopologyPlan::build(topology, nodes, seed));
   fabric->nic_home_ = std::make_shared<const std::vector<SwitchId>>(
-      std::move(plan.nic_home));
+      std::move(plan->nic_home));
+  plan->nic_home.clear();  // switches read the shared nic_home_ instead
 
-  fabric->switches_.reserve(plan.switch_count);
-  for (std::size_t i = 0; i < plan.switch_count; ++i) {
+  fabric->switches_.reserve(plan->switch_count);
+  for (std::size_t i = 0; i < plan->switch_count; ++i) {
     fabric->switches_.push_back(std::make_shared<RosettaSwitch>(
-        fabric->timing_, static_cast<SwitchId>(i)));
+        fabric->timing_, static_cast<SwitchId>(i), seed));
   }
-  for (const TopologyPlan::PlannedLink& link : plan.links) {
+  for (const TopologyPlan::PlannedLink& link : plan->links) {
     const Status st = fabric->switches_.at(link.from)->add_uplink(
         *fabric->switches_.at(link.to), link.rate, link.latency);
     if (!st.is_ok()) {
@@ -39,9 +42,10 @@ std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
       std::abort();
     }
   }
-  for (std::size_t i = 0; i < plan.switch_count; ++i) {
-    fabric->switches_[i]->set_forwarding(fabric->nic_home_,
-                                         std::move(plan.next_hop[i]));
+  const std::shared_ptr<const TopologyPlan> shared_plan = plan;
+  fabric->plan_ = shared_plan;
+  for (std::size_t i = 0; i < shared_plan->switch_count; ++i) {
+    fabric->switches_[i]->set_forwarding(fabric->nic_home_, shared_plan);
   }
 
   // NICs attach last, each to its edge switch, so forwarding state is
@@ -54,8 +58,9 @@ std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
         fabric->timing_));
   }
   SHS_DEBUG(kTag) << topology_kind_name(topology.kind) << " fabric: "
-                  << nodes << " nodes across " << plan.switch_count
-                  << " switches";
+                  << nodes << " nodes across " << shared_plan->switch_count
+                  << " switches, " << routing_policy_name(topology.routing)
+                  << " routing";
   return fabric;
 }
 
@@ -75,6 +80,22 @@ SwitchCounters Fabric::total_counters_for_vni(Vni vni) const {
 
 std::uint64_t Fabric::cross_switch_bytes() const {
   return total_counters().bytes_forwarded;
+}
+
+SimDuration Fabric::max_uplink_lag(SimTime at) const {
+  SimDuration worst = 0;
+  for (const auto& sw : switches_) {
+    worst = std::max(worst, sw->max_uplink_lag(at));
+  }
+  return worst;
+}
+
+SimDuration Fabric::peak_uplink_lag() const {
+  SimDuration worst = 0;
+  for (const auto& sw : switches_) {
+    worst = std::max(worst, sw->peak_uplink_lag());
+  }
+  return worst;
 }
 
 }  // namespace shs::hsn

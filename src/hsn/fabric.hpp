@@ -44,6 +44,12 @@ class Fabric {
   [[nodiscard]] const TopologyConfig& topology() const noexcept {
     return topology_;
   }
+  [[nodiscard]] RoutingPolicy routing_policy() const noexcept {
+    return topology_.routing;
+  }
+  /// The instantiated plan (next hops, candidates, hop distances) shared
+  /// with every switch.  Its nic_home vector is cleared — use home_switch.
+  [[nodiscard]] const TopologyPlan& plan() const noexcept { return *plan_; }
   [[nodiscard]] std::size_t switch_count() const noexcept {
     return switches_.size();
   }
@@ -77,6 +83,15 @@ class Fabric {
   /// Bytes that crossed inter-switch links (0 on a single switch).
   [[nodiscard]] std::uint64_t cross_switch_bytes() const;
 
+  // -- Congestion telemetry (see RosettaSwitch::uplink_queue_lag).
+  /// Worst current queue lag across every inter-switch uplink at virtual
+  /// time `at` — the fabric-wide congestion snapshot the scheduler's bind
+  /// telemetry samples.
+  [[nodiscard]] SimDuration max_uplink_lag(SimTime at) const;
+  /// Worst queue lag any uplink ever saw at forward time (high-water
+  /// mark over the fabric's lifetime).
+  [[nodiscard]] SimDuration peak_uplink_lag() const;
+
   /// NIC at fabric address `addr` (must be < node_count()).
   [[nodiscard]] CassiniNic& nic(NicAddr addr) { return *nics_.at(addr); }
   [[nodiscard]] const CassiniNic& nic(NicAddr addr) const {
@@ -92,6 +107,7 @@ class Fabric {
   TopologyConfig topology_;
   std::shared_ptr<TimingModel> timing_;
   std::shared_ptr<const std::vector<SwitchId>> nic_home_;
+  std::shared_ptr<const TopologyPlan> plan_;
   std::vector<std::shared_ptr<RosettaSwitch>> switches_;
   std::vector<std::unique_ptr<CassiniNic>> nics_;
 };

@@ -46,6 +46,12 @@ struct Packet {
   /// Inter-switch hops taken so far (0 = delivered by the ingress switch).
   std::uint8_t hops = 0;
 
+  /// Valiant/UGAL detour marker: intermediate switch this packet must
+  /// traverse before heading to its destination (kInvalidSwitch = route
+  /// minimally).  Set by the source edge switch's routing decision and
+  /// cleared when the packet reaches the intermediate.
+  SwitchId via_switch = kInvalidSwitch;
+
   std::vector<std::byte> payload;
 };
 
@@ -60,6 +66,10 @@ struct SwitchCounters {
   /// Transit traffic handed to an inter-switch uplink by this switch.
   std::uint64_t forwarded = 0;
   std::uint64_t bytes_forwarded = 0;
+  /// Packets this switch (as source edge) sent on a non-minimal Valiant
+  /// detour — adaptive-routing telemetry (0 under kMinimal; under kUgal
+  /// it counts only packets whose estimated minimal delay lost).
+  std::uint64_t routed_nonminimal = 0;
 
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
     return dropped_src_unauthorized + dropped_dst_unauthorized +
@@ -75,6 +85,7 @@ struct SwitchCounters {
     bytes_delivered += c.bytes_delivered;
     forwarded += c.forwarded;
     bytes_forwarded += c.bytes_forwarded;
+    routed_nonminimal += c.routed_nonminimal;
     return *this;
   }
 };
@@ -83,6 +94,10 @@ struct SwitchCounters {
 struct LinkCounters {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
+  /// Worst queue lag observed at forward time: how far the link's
+  /// bandwidth horizon was ahead of the packet's arrival (the congestion
+  /// signal adaptive routing steers by).
+  SimDuration peak_queue_lag = 0;
 };
 
 }  // namespace shs::hsn

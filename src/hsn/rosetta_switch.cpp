@@ -11,8 +11,10 @@ namespace {
 constexpr const char* kTag = "rosetta";
 }
 
-RosettaSwitch::RosettaSwitch(std::shared_ptr<TimingModel> timing, SwitchId id)
-    : id_(id), timing_(std::move(timing)) {}
+RosettaSwitch::RosettaSwitch(std::shared_ptr<TimingModel> timing, SwitchId id,
+                             std::uint64_t seed)
+    : id_(id), timing_(std::move(timing)),
+      route_rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))) {}
 
 Status RosettaSwitch::connect(NicAddr addr, DeliveryFn deliver) {
   if (!deliver) {
@@ -59,10 +61,10 @@ Status RosettaSwitch::add_uplink(RosettaSwitch& peer, DataRate rate,
 
 void RosettaSwitch::set_forwarding(
     std::shared_ptr<const std::vector<SwitchId>> nic_home,
-    std::unordered_map<SwitchId, SwitchId> next_hop) {
+    std::shared_ptr<const TopologyPlan> plan) {
   std::lock_guard<std::mutex> lock(mutex_);
   nic_home_ = std::move(nic_home);
-  next_hop_ = std::move(next_hop);
+  plan_ = std::move(plan);
 }
 
 Status RosettaSwitch::authorize_vni(NicAddr port, Vni vni) {
@@ -125,6 +127,156 @@ SimTime RosettaSwitch::schedule_egress_locked(
   return start;
 }
 
+SimDuration RosettaSwitch::lag_of(const Uplink& up, SimTime at,
+                                  int prio) noexcept {
+  SimTime busy = 0;
+  for (int c = 0; c <= prio; ++c) {
+    busy = std::max(busy, up.egress_free_vt[c]);
+  }
+  return busy > at ? busy - at : 0;
+}
+
+SwitchId RosettaSwitch::static_next_locked(SwitchId target) const {
+  if (!plan_ || id_ >= plan_->next_hop.size()) return kInvalidSwitch;
+  const auto& table = plan_->next_hop[id_];
+  const auto it = table.find(target);
+  return it == table.end() ? kInvalidSwitch : it->second;
+}
+
+SwitchId RosettaSwitch::least_lag_candidate_locked(const Packet& p,
+                                                   SwitchId target,
+                                                   SimDuration* lag_out) {
+  if (lag_out != nullptr) *lag_out = 0;
+  if (!plan_ || id_ >= plan_->candidates.size()) {
+    return static_next_locked(target);
+  }
+  const auto& table = plan_->candidates[id_];
+  const auto it = table.find(target);
+  if (it == table.end() || it->second.empty()) {
+    return static_next_locked(target);
+  }
+  const int prio = static_cast<int>(p.tc);
+  SwitchId best = kInvalidSwitch;
+  SimDuration best_lag = 0;
+  for (const SwitchId cand : it->second) {
+    const auto up_it = uplinks_.find(cand);
+    if (up_it == uplinks_.end()) continue;
+    const SimDuration lag = lag_of(up_it->second, p.inject_vt, prio);
+    // Candidates arrive in ascending switch-id order; strict < keeps the
+    // first (lowest-id) of equally idle links — the deterministic
+    // tie-break.
+    if (best == kInvalidSwitch || lag < best_lag) {
+      best = cand;
+      best_lag = lag;
+    }
+  }
+  if (lag_out != nullptr) *lag_out = best_lag;
+  return best == kInvalidSwitch ? static_next_locked(target) : best;
+}
+
+SwitchId RosettaSwitch::pick_intermediate_locked(SwitchId home) {
+  if (!plan_ || plan_->group_of.empty() || id_ >= plan_->group_of.size() ||
+      home >= plan_->group_of.size()) {
+    return kInvalidSwitch;
+  }
+  const SwitchId g_src = plan_->group_of[id_];
+  const SwitchId g_dst = plan_->group_of[home];
+  if (g_src == g_dst) return kInvalidSwitch;  // local traffic: no detour
+  const auto groups = static_cast<SwitchId>(plan_->group_of.back() + 1);
+  if (groups < 3) return kInvalidSwitch;
+  const auto per_group =
+      static_cast<SwitchId>(plan_->group_of.size() / groups);
+  // Uniform over the groups that are neither the source's nor the
+  // destination's, then uniform over that group's switches.
+  auto g = static_cast<SwitchId>(route_rng_.uniform_u64(groups - 2));
+  const SwitchId lo = std::min(g_src, g_dst);
+  const SwitchId hi = std::max(g_src, g_dst);
+  if (g >= lo) ++g;
+  if (g >= hi) ++g;
+  return static_cast<SwitchId>(
+      g * per_group + route_rng_.uniform_u64(per_group));
+}
+
+SimDuration RosettaSwitch::estimate_delay_locked(const Packet& p,
+                                                 SimDuration first_hop_lag,
+                                                 int hops,
+                                                 DataRate rate) const {
+  // Queue lag on the first link, plus each hop's fall-through latency and
+  // this packet's serialization.  Uses the *configured* hop latency (no
+  // jitter draw: the estimate must not perturb the timing RNG stream).
+  const SimDuration per_hop =
+      timing_->config().hop_latency + timing_->serialize_time(p.size_bytes,
+                                                              rate);
+  return first_hop_lag + static_cast<SimDuration>(hops) * per_hop;
+}
+
+SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
+  const RoutingPolicy policy = plan_ ? plan_->routing
+                                     : RoutingPolicy::kMinimal;
+  switch (policy) {
+    case RoutingPolicy::kMinimal:
+      return static_next_locked(home);
+
+    case RoutingPolicy::kValiant: {
+      // Dragonfly: random intermediate in a third group.  The detour is
+      // recorded on the packet; transit switches route minimally toward
+      // it, then minimally home.
+      const SwitchId via = pick_intermediate_locked(home);
+      if (via != kInvalidSwitch) {
+        p.via_switch = via;
+        ++totals_.routed_nonminimal;
+        ++per_vni_[p.vni].routed_nonminimal;
+        return static_next_locked(via);
+      }
+      // Fat-tree (or no eligible third group): uniform random among the
+      // minimal candidates — random spine selection.
+      if (plan_ && id_ < plan_->candidates.size()) {
+        const auto it = plan_->candidates[id_].find(home);
+        if (it != plan_->candidates[id_].end() && !it->second.empty()) {
+          return it->second[route_rng_.uniform_u64(it->second.size())];
+        }
+      }
+      return static_next_locked(home);
+    }
+
+    case RoutingPolicy::kUgal: {
+      // Minimal estimate: the least-congested minimal candidate.
+      SimDuration min_lag = 0;
+      const SwitchId min_next =
+          least_lag_candidate_locked(p, home, &min_lag);
+      const SwitchId via = pick_intermediate_locked(home);
+      if (via == kInvalidSwitch) {
+        // Fat-tree / same group: congestion-aware spine selection is the
+        // whole decision.
+        return min_next;
+      }
+      const SwitchId via_next = static_next_locked(via);
+      const auto via_up = uplinks_.find(via_next);
+      const auto min_up = uplinks_.find(min_next);
+      if (via_next == kInvalidSwitch || via_up == uplinks_.end() ||
+          min_up == uplinks_.end()) {
+        return min_next;
+      }
+      const int prio = static_cast<int>(p.tc);
+      const SimDuration est_min = estimate_delay_locked(
+          p, min_lag, plan_->hops_between(id_, home), min_up->second.rate);
+      const SimDuration est_val = estimate_delay_locked(
+          p, lag_of(via_up->second, p.inject_vt, prio),
+          plan_->hops_between(id_, via) + plan_->hops_between(via, home),
+          via_up->second.rate);
+      // Strict <: ties go minimal, so an idle fabric never detours.
+      if (est_val < est_min) {
+        p.via_switch = via;
+        ++totals_.routed_nonminimal;
+        ++per_vni_[p.vni].routed_nonminimal;
+        return via_next;
+      }
+      return min_next;
+    }
+  }
+  return static_next_locked(home);
+}
+
 RouteResult RosettaSwitch::route(Packet&& p) {
   return admit(std::move(p), /*check_src=*/true, kMaxFabricHops);
 }
@@ -141,11 +293,10 @@ RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
     // authorization drops, as in the single-switch model).
     const auto dst_it = ports_.find(p.dst);
     const bool local = dst_it != ports_.end();
-    Uplink* up = nullptr;
+    SwitchId home = kInvalidSwitch;
     if (!local) {
-      const SwitchId home =
-          nic_home_ && p.dst < nic_home_->size() ? (*nic_home_)[p.dst]
-                                                 : kInvalidSwitch;
+      home = nic_home_ && p.dst < nic_home_->size() ? (*nic_home_)[p.dst]
+                                                    : kInvalidSwitch;
       if (home == kInvalidSwitch || home == id_) {
         // Either an address outside the fabric plan or a NIC that should
         // be here but is not connected.
@@ -154,19 +305,6 @@ RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
         result.reason = DropReason::kUnknownDestination;
         return result;
       }
-      const auto nh_it = next_hop_.find(home);
-      const auto up_it = nh_it == next_hop_.end()
-                             ? uplinks_.end()
-                             : uplinks_.find(nh_it->second);
-      if (ttl <= 0 || up_it == uplinks_.end()) {
-        ++totals_.dropped_no_route;
-        ++vni_counters.dropped_no_route;
-        result.reason = DropReason::kNoRoute;
-        SHS_DEBUG(kTag) << "switch " << id_ << " has no route toward NIC "
-                        << p.dst << " (ttl " << ttl << ")";
-        return result;
-      }
-      up = &up_it->second;
     }
 
     if (check_src && enforce_) {
@@ -179,6 +317,36 @@ RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
                         << " unauthorized for VNI " << p.vni;
         return result;
       }
+    }
+
+    Uplink* up = nullptr;
+    if (!local) {
+      // The packet's current target: its Valiant intermediate while the
+      // detour is pending, its destination's edge switch afterwards.
+      SwitchId target = home;
+      if (p.via_switch != kInvalidSwitch) {
+        if (p.via_switch == id_) {
+          p.via_switch = kInvalidSwitch;  // detour complete; head home
+        } else {
+          target = p.via_switch;
+        }
+      }
+      // The policy decision happens once, at the source edge (after the
+      // VNI check, so dropped packets never consume the routing RNG);
+      // transit switches follow static minimal routes toward the target.
+      const SwitchId nh = check_src ? choose_route_locked(p, home)
+                                    : static_next_locked(target);
+      const auto up_it =
+          nh == kInvalidSwitch ? uplinks_.end() : uplinks_.find(nh);
+      if (ttl <= 0 || up_it == uplinks_.end()) {
+        ++totals_.dropped_no_route;
+        ++vni_counters.dropped_no_route;
+        result.reason = DropReason::kNoRoute;
+        SHS_DEBUG(kTag) << "switch " << id_ << " has no route toward NIC "
+                        << p.dst << " (ttl " << ttl << ")";
+        return result;
+      }
+      up = &up_it->second;
     }
 
     const int prio = static_cast<int>(p.tc);  // 0 = highest priority
@@ -218,6 +386,9 @@ RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
       // (per-link, per-class horizon), then fly the link's latency.
       Uplink& link = *up;
       const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
+      link.counters.peak_queue_lag =
+          std::max(link.counters.peak_queue_lag,
+                   lag_of(link, at_egress, prio));
       const SimTime start = schedule_egress_locked(
           at_egress, prio, link.egress_free_vt, p.size_bytes, link.rate);
       p.inject_vt =
@@ -265,6 +436,33 @@ LinkCounters RosettaSwitch::uplink_counters(SwitchId peer) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = uplinks_.find(peer);
   return it == uplinks_.end() ? LinkCounters{} : it->second.counters;
+}
+
+SimDuration RosettaSwitch::uplink_queue_lag(SwitchId peer, SimTime at,
+                                            TrafficClass tc) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = uplinks_.find(peer);
+  return it == uplinks_.end()
+             ? 0
+             : lag_of(it->second, at, static_cast<int>(tc));
+}
+
+SimDuration RosettaSwitch::max_uplink_lag(SimTime at) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SimDuration worst = 0;
+  for (const auto& entry : uplinks_) {
+    worst = std::max(worst, lag_of(entry.second, at, kNumTrafficClasses - 1));
+  }
+  return worst;
+}
+
+SimDuration RosettaSwitch::peak_uplink_lag() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SimDuration worst = 0;
+  for (const auto& entry : uplinks_) {
+    worst = std::max(worst, entry.second.counters.peak_queue_lag);
+  }
+  return worst;
 }
 
 }  // namespace shs::hsn

@@ -10,13 +10,22 @@
 //
 // Multi-switch fabrics: switches are wired together with directed uplinks
 // (each carrying its own per-link, per-traffic-class virtual-time
-// bandwidth horizon) and a next-hop table produced by the TopologyPlan.
+// bandwidth horizon) and routing tables produced by the TopologyPlan.
 // A packet enters at its source NIC's edge switch, which performs the
-// *source* VNI check; transit switches forward hop-by-hop along the
-// minimal route; the destination's edge switch performs the *destination*
-// VNI check and final egress-port scheduling.  VNI enforcement thus stays
-// an edge property, as on real Slingshot, while inter-switch contention
-// is modeled per link.
+// *source* VNI check and the per-packet routing decision (see
+// RoutingPolicy); transit switches forward hop-by-hop along minimal
+// routes toward the packet's current target (its Valiant intermediate,
+// then its destination); the destination's edge switch performs the
+// *destination* VNI check and final egress-port scheduling.  VNI
+// enforcement thus stays an edge property, as on real Slingshot, while
+// inter-switch contention is modeled per link.
+//
+// Congestion telemetry: each uplink's per-class bandwidth horizon doubles
+// as its congestion signal — `queue lag` is how far the horizon is ahead
+// of a packet's arrival time, i.e. how long a newly arriving packet of
+// that class would wait before its first bit goes on the wire.  Adaptive
+// policies steer by this lag; uplink_queue_lag()/max_uplink_lag() expose
+// it to the fabric manager and scheduler telemetry.
 #pragma once
 
 #include <functional>
@@ -28,7 +37,9 @@
 
 #include "hsn/packet.hpp"
 #include "hsn/timing.hpp"
+#include "hsn/topology.hpp"
 #include "hsn/types.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace shs::hsn {
@@ -48,11 +59,10 @@ struct RouteResult {
   SimTime arrival_vt = 0;  ///< valid when delivered
 };
 
-/// Hop budget for one packet (any minimal route in the supported
-/// topologies traverses at most 4 switches — dragonfly: source edge,
-/// local gateway, remote-group gateway, destination edge — i.e. 3
-/// inter-switch hops; the slack guards against forwarding-table bugs
-/// turning into infinite recursion).
+/// Hop budget for one packet.  The longest supported route is a Valiant
+/// detour on a dragonfly: up to 3 inter-switch hops to the intermediate
+/// plus up to 3 more to the destination = 6; the slack guards against
+/// forwarding-table bugs turning into infinite recursion.
 constexpr int kMaxFabricHops = 8;
 
 /// One switch.  Thread-safe: NIC threads route concurrently.
@@ -61,8 +71,10 @@ class RosettaSwitch {
   /// Callback a NIC registers to accept delivered packets.
   using DeliveryFn = std::function<void(Packet&&)>;
 
+  /// `seed` feeds the switch-local RNG behind Valiant intermediate
+  /// selection (per-packet draws are otherwise deterministic).
   explicit RosettaSwitch(std::shared_ptr<TimingModel> timing,
-                         SwitchId id = 0);
+                         SwitchId id = 0, std::uint64_t seed = 0);
 
   [[nodiscard]] SwitchId id() const noexcept { return id_; }
 
@@ -80,10 +92,12 @@ class RosettaSwitch {
   /// pointers here would form A<->B cycles and leak the whole topology).
   Status add_uplink(RosettaSwitch& peer, DataRate rate,
                     SimDuration latency);
-  /// Installs the NIC-home map (shared, immutable) and this switch's
-  /// next-hop table: destination edge switch -> neighbor switch id.
+  /// Installs the NIC-home map and the shared topology plan this switch
+  /// routes by: its static next-hop table, the minimal-candidate sets and
+  /// hop distances adaptive policies consult, and the routing policy
+  /// itself (plan->next_hop[id()] etc.; both shared and immutable).
   void set_forwarding(std::shared_ptr<const std::vector<SwitchId>> nic_home,
-                      std::unordered_map<SwitchId, SwitchId> next_hop);
+                      std::shared_ptr<const TopologyPlan> plan);
 
   /// Fabric-manager plane: grants/revokes VNI access on a port.  In the
   /// real system the fabric manager programs this; in ours the CXI driver
@@ -111,6 +125,21 @@ class RosettaSwitch {
   /// Transit accounting for the uplink toward `peer` (zeroes if absent).
   [[nodiscard]] LinkCounters uplink_counters(SwitchId peer) const;
 
+  // -- Congestion telemetry.
+
+  /// Queue lag a class-`tc` packet arriving at virtual time `at` would
+  /// see on the uplink toward `peer`: how long until the link's horizon
+  /// (for its own and higher-priority classes) frees up.  0 when idle or
+  /// no such uplink.
+  [[nodiscard]] SimDuration uplink_queue_lag(SwitchId peer, SimTime at,
+                                             TrafficClass tc) const;
+  /// Worst queue lag across all of this switch's uplinks at `at`, over
+  /// every traffic class (a fabric-manager-style congestion snapshot).
+  [[nodiscard]] SimDuration max_uplink_lag(SimTime at) const;
+  /// Lifetime high-water mark of forward-time queue lag over this
+  /// switch's uplinks (max of LinkCounters::peak_queue_lag).
+  [[nodiscard]] SimDuration peak_uplink_lag() const;
+
  private:
   struct Port {
     DeliveryFn deliver;
@@ -136,6 +165,34 @@ class RosettaSwitch {
   /// hop-by-hop forwarding from a peer switch (check_src = false).
   RouteResult admit(Packet&& p, bool check_src, int ttl);
 
+  /// Per-packet routing decision at the source edge switch.  Returns the
+  /// chosen neighbor (kInvalidSwitch if none) and may set p.via_switch
+  /// when a Valiant detour wins.  Caller holds mutex_.
+  SwitchId choose_route_locked(Packet& p, SwitchId home);
+  /// Static minimal next hop toward switch `target` (kInvalidSwitch if
+  /// the table has no entry).  Caller holds mutex_.
+  [[nodiscard]] SwitchId static_next_locked(SwitchId target) const;
+  /// Least-lag minimal candidate toward `target`; falls back to the
+  /// static next hop when the plan has no candidate list.  Caller holds
+  /// mutex_.
+  SwitchId least_lag_candidate_locked(const Packet& p, SwitchId target,
+                                      SimDuration* lag_out);
+  /// Random Valiant intermediate for a packet headed to edge switch
+  /// `home`: a switch in a third dragonfly group, or kInvalidSwitch when
+  /// no eligible group exists (same-group traffic, < 3 groups, or a
+  /// non-dragonfly topology).  Consumes route_rng_; caller holds mutex_.
+  SwitchId pick_intermediate_locked(SwitchId home);
+  /// Queue lag of `up` for priority `prio` at time `at` (see
+  /// uplink_queue_lag).
+  [[nodiscard]] static SimDuration lag_of(
+      const Uplink& up, SimTime at, int prio) noexcept;
+  /// UGAL delay estimate: first-hop queue lag plus `hops` x (per-hop
+  /// fall-through latency + this packet's serialization on the first
+  /// link).  Caller holds mutex_.
+  [[nodiscard]] SimDuration estimate_delay_locked(
+      const Packet& p, SimDuration first_hop_lag, int hops,
+      DataRate rate) const;
+
   /// Priority-scheduled egress: earliest start for a packet of `prio`
   /// given the per-class horizons, charging frame-granular preemption of
   /// lower-priority in-flight traffic.  Caller holds mutex_.
@@ -150,7 +207,11 @@ class RosettaSwitch {
   std::unordered_map<NicAddr, Port> ports_;
   std::unordered_map<SwitchId, Uplink> uplinks_;
   std::shared_ptr<const std::vector<SwitchId>> nic_home_;
-  std::unordered_map<SwitchId, SwitchId> next_hop_;
+  /// Shared routing tables (static next hops, minimal candidates, hop
+  /// distances, policy).  Null until set_forwarding — local-only switch.
+  std::shared_ptr<const TopologyPlan> plan_;
+  /// Valiant intermediate selection stream (seeded; guarded by mutex_).
+  Rng route_rng_;
   SwitchCounters totals_;
   std::unordered_map<Vni, SwitchCounters> per_vni_;
 };

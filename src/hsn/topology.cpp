@@ -1,6 +1,7 @@
 #include "hsn/topology.hpp"
 
 #include <algorithm>
+#include <deque>
 
 #include "util/rng.hpp"
 
@@ -9,6 +10,64 @@ namespace shs::hsn {
 namespace {
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Derives the adaptive-routing metadata from the wired link list: BFS
+/// hop distances between all switch pairs and, from those, the set of
+/// minimal next hops per (switch, destination).  Topology-agnostic, so
+/// every builder (and any future topology) gets correct candidate sets
+/// for free.
+void finalize_routing_metadata(TopologyPlan& plan) {
+  const std::size_t n = plan.switch_count;
+  std::vector<std::vector<SwitchId>> out(n);
+  for (const TopologyPlan::PlannedLink& link : plan.links) {
+    out[link.from].push_back(link.to);
+  }
+  for (auto& neighbors : out) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+
+  plan.min_hops.assign(n, {});
+  std::vector<int> dist(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[s] = 0;
+    std::deque<SwitchId> queue{static_cast<SwitchId>(s)};
+    while (!queue.empty()) {
+      const SwitchId u = queue.front();
+      queue.pop_front();
+      for (const SwitchId v : out[u]) {
+        if (dist[v] >= 0) continue;
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      if (d != s && dist[d] > 0) {
+        plan.min_hops[s][static_cast<SwitchId>(d)] = dist[d];
+      }
+    }
+  }
+
+  // neighbor v of s starts a minimal route toward d iff
+  // dist(v, d) == dist(s, d) - 1.  Neighbors are visited in ascending id
+  // order, so candidate lists are deterministically ordered.
+  plan.candidates.assign(n, {});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const auto& [d, hops] : plan.min_hops[s]) {
+      auto& list = plan.candidates[s][d];
+      for (const SwitchId v : out[s]) {
+        if (v == d && hops == 1) {
+          list.push_back(v);
+        } else if (v != d) {
+          const auto vd = plan.min_hops[v].find(d);
+          if (vd != plan.min_hops[v].end() && vd->second == hops - 1) {
+            list.push_back(v);
+          }
+        }
+      }
+    }
+  }
+}
 
 TopologyPlan build_single(std::size_t nodes) {
   TopologyPlan plan;
@@ -66,7 +125,13 @@ TopologyPlan build_fat_tree(const TopologyConfig& config, std::size_t nodes,
           leaves + static_cast<std::size_t>(Rng(pair_key).next() % spines);
       plan.next_hop[l][static_cast<SwitchId>(d)] =
           static_cast<SwitchId>(spine);
-      plan.next_hop[spine][static_cast<SwitchId>(d)] =
+    }
+  }
+  // Every spine knows the down-route to every leaf — adaptive policies
+  // may send traffic through spines the static hash never picks.
+  for (std::size_t s = 0; s < spines; ++s) {
+    for (std::size_t d = 0; d < leaves; ++d) {
+      plan.next_hop[leaves + s][static_cast<SwitchId>(d)] =
           static_cast<SwitchId>(d);
     }
   }
@@ -84,6 +149,10 @@ TopologyPlan build_dragonfly(const TopologyConfig& config,
   // Round up to whole groups so every gateway index exists (trailing
   // switches simply host no NICs).
   plan.switch_count = groups * a;
+  plan.group_of.resize(plan.switch_count);
+  for (std::size_t s = 0; s < plan.switch_count; ++s) {
+    plan.group_of[s] = static_cast<SwitchId>(s / a);
+  }
   plan.nic_home.resize(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     plan.nic_home[i] = static_cast<SwitchId>(i / npsw);
@@ -138,12 +207,20 @@ TopologyPlan build_dragonfly(const TopologyConfig& config,
 
 TopologyPlan TopologyPlan::build(const TopologyConfig& config,
                                  std::size_t nodes, std::uint64_t seed) {
-  switch (config.kind) {
-    case TopologyKind::kSingleSwitch: return build_single(nodes);
-    case TopologyKind::kFatTree: return build_fat_tree(config, nodes, seed);
-    case TopologyKind::kDragonfly: return build_dragonfly(config, nodes);
-  }
-  return build_single(nodes);
+  TopologyPlan plan = [&] {
+    switch (config.kind) {
+      case TopologyKind::kFatTree:
+        return build_fat_tree(config, nodes, seed);
+      case TopologyKind::kDragonfly:
+        return build_dragonfly(config, nodes);
+      case TopologyKind::kSingleSwitch:
+        break;
+    }
+    return build_single(nodes);
+  }();
+  plan.routing = config.routing;
+  finalize_routing_metadata(plan);
+  return plan;
 }
 
 }  // namespace shs::hsn

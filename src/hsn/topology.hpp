@@ -9,7 +9,12 @@
 //     so per-link virtual-time accounting stays honest under contention),
 //   * a per-switch next-hop table realizing minimal routing (fat-tree:
 //     deterministic spine selection; dragonfly: dimension-order
-//     local -> global -> local).
+//     local -> global -> local),
+//   * the routing metadata adaptive policies need at packet time: the
+//     full *set* of minimal next hops per destination (fat-tree spine
+//     candidates), minimal hop distances between switches (UGAL's delay
+//     estimate), and the dragonfly group map (Valiant intermediate
+//     selection).
 #pragma once
 
 #include <cstddef>
@@ -37,8 +42,41 @@ constexpr std::string_view topology_kind_name(TopologyKind k) noexcept {
   return "UNKNOWN";
 }
 
+/// How switches pick among routes (Slingshot's Rosetta supports adaptive
+/// non-minimal routing; the policy is fabric-wide here, as the fabric
+/// manager would program it).
+enum class RoutingPolicy : std::uint8_t {
+  /// Static minimal routes only — the PR 2 behaviour: fat-tree spine
+  /// chosen by a seeded hash of the (src leaf, dst leaf) pair, dragonfly
+  /// dimension-order local -> global -> local.
+  kMinimal = 0,
+  /// Valiant load balancing: every cross-switch packet detours through a
+  /// random intermediate (fat-tree: uniform random spine; dragonfly:
+  /// random switch in a third group), trading path length for guaranteed
+  /// load spreading under adversarial patterns.
+  kValiant,
+  /// Universal Globally-Adaptive Load-balanced routing: per packet,
+  /// compare the estimated delay of the minimal route against one
+  /// sampled Valiant route (queue lag + hops x per-hop cost) and take
+  /// the cheaper.  On fat-trees this degenerates to congestion-aware
+  /// spine selection among the minimal candidates.
+  kUgal,
+};
+constexpr int kNumRoutingPolicies = 3;
+
+constexpr std::string_view routing_policy_name(RoutingPolicy p) noexcept {
+  switch (p) {
+    case RoutingPolicy::kMinimal: return "minimal";
+    case RoutingPolicy::kValiant: return "valiant";
+    case RoutingPolicy::kUgal: return "ugal";
+  }
+  return "UNKNOWN";
+}
+
 struct TopologyConfig {
   TopologyKind kind = TopologyKind::kSingleSwitch;
+  /// Route selection policy (fabric-wide, applied at the source edge).
+  RoutingPolicy routing = RoutingPolicy::kMinimal;
   /// NICs per edge (leaf / group-local) switch.  Ignored by single-switch.
   std::size_t nodes_per_switch = 16;
   /// Fat-tree: spine switches above the leaf layer.
@@ -72,6 +110,29 @@ struct TopologyPlan {
   /// next_hop[s][home] = neighbor switch on the minimal route from switch
   /// `s` toward the edge switch `home`.  Absent key means unreachable.
   std::vector<std::unordered_map<SwitchId, SwitchId>> next_hop;
+  /// candidates[s][d] = every neighbor of `s` that starts a minimal route
+  /// toward switch `d`, in ascending switch-id order (the deterministic
+  /// tie-break adaptive policies rely on).  Keyed by *all* switch pairs,
+  /// not just edge destinations, so Valiant detours can target any
+  /// intermediate switch.
+  std::vector<std::unordered_map<SwitchId, std::vector<SwitchId>>> candidates;
+  /// min_hops[s][d] = inter-switch links on a minimal route s -> d
+  /// (BFS over `links`; absent key means unreachable).  UGAL multiplies
+  /// this by a per-hop cost to estimate path delay.
+  std::vector<std::unordered_map<SwitchId, int>> min_hops;
+  /// Dragonfly: group index per switch.  Empty for other topologies.
+  std::vector<SwitchId> group_of;
+  /// Routing policy copied from the config (what switches consult).
+  RoutingPolicy routing = RoutingPolicy::kMinimal;
+
+  /// Minimal hop distance s -> d, or a large sentinel when unreachable.
+  [[nodiscard]] int hops_between(SwitchId s, SwitchId d) const {
+    if (s == d) return 0;
+    if (s >= min_hops.size()) return kUnreachableHops;
+    const auto it = min_hops[s].find(d);
+    return it == min_hops[s].end() ? kUnreachableHops : it->second;
+  }
+  static constexpr int kUnreachableHops = 1 << 20;
 
   static TopologyPlan build(const TopologyConfig& config, std::size_t nodes,
                             std::uint64_t seed);

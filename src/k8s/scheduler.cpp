@@ -137,14 +137,26 @@ void Scheduler::cycle() {
     // Account this decision so later binds in the same cycle spread too.
     ++bound[node];
     if (!p.spread_key.empty()) {
-      if (best_crosses) ++cross_switch_binds_;
+      if (best_crosses) {
+        ++telemetry_.cross_switch_binds;
+        // A group split across switches puts traffic on the uplinks:
+        // sample how congested they are right now, so operators can
+        // correlate placement decisions with fabric pressure.
+        if (congestion_probe_) {
+          const SimDuration lag = congestion_probe_();
+          ++telemetry_.congestion_samples;
+          telemetry_.total_cross_switch_lag += lag;
+          telemetry_.max_cross_switch_lag =
+              std::max(telemetry_.max_cross_switch_lag, lag);
+        }
+      }
       ++spread[p.spread_key + '\1' + node];
       group_switches[p.spread_key].insert(best_switch);
     }
 
     in_flight_.emplace(p.uid, InFlightBind{node, p.spread_key});
     ++issued;
-    ++binds_;
+    ++telemetry_.binds;
     const Uid uid = p.uid;
     // Binding costs one scheduling pass + API write; binds within one
     // cycle serialize through the scheduler's single queue.

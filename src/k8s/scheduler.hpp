@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -38,11 +39,43 @@ class Scheduler {
   void start();
   void stop();
 
-  [[nodiscard]] std::size_t binds_issued() const noexcept { return binds_; }
+  [[nodiscard]] std::size_t binds_issued() const noexcept {
+    return telemetry_.binds;
+  }
   /// Binds whose spread group already had members on a different switch
   /// (telemetry for the scale-out bench).
   [[nodiscard]] std::size_t cross_switch_binds() const noexcept {
-    return cross_switch_binds_;
+    return telemetry_.cross_switch_binds;
+  }
+
+  /// Snapshot of the fabric's cross-switch congestion, sampled whenever
+  /// the scheduler is forced to split a spread group across switches
+  /// (the placements whose traffic rides the contended uplinks).  The
+  /// stack wires this to Fabric::max_uplink_lag.
+  using CongestionProbe = std::function<SimDuration()>;
+  void set_congestion_probe(CongestionProbe probe) {
+    congestion_probe_ = std::move(probe);
+  }
+
+  /// Aggregated bind telemetry, congestion included.
+  struct BindTelemetry {
+    std::size_t binds = 0;
+    std::size_t cross_switch_binds = 0;
+    /// Cross-switch binds for which the congestion probe was sampled.
+    std::uint64_t congestion_samples = 0;
+    /// Worst / summed fabric uplink queue lag over those samples.
+    SimDuration max_cross_switch_lag = 0;
+    SimDuration total_cross_switch_lag = 0;
+
+    [[nodiscard]] double mean_cross_switch_lag_us() const noexcept {
+      return congestion_samples == 0
+                 ? 0.0
+                 : to_micros(total_cross_switch_lag) /
+                       static_cast<double>(congestion_samples);
+    }
+  };
+  [[nodiscard]] BindTelemetry bind_telemetry() const noexcept {
+    return telemetry_;
   }
 
  private:
@@ -67,8 +100,8 @@ class Scheduler {
   std::vector<std::uint32_t> node_switch_ids_;
   sim::EventLoop::TaskId task_ = sim::EventLoop::kInvalidTask;
   std::unordered_map<Uid, InFlightBind> in_flight_;
-  std::size_t binds_ = 0;
-  std::size_t cross_switch_binds_ = 0;
+  CongestionProbe congestion_probe_;
+  BindTelemetry telemetry_;
   std::size_t rr_ = 0;  ///< round-robin tiebreaker
 };
 
