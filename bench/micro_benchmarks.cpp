@@ -16,8 +16,8 @@ using namespace shs;
 
 void BM_SwitchRoute(benchmark::State& state) {
   auto fabric = hsn::Fabric::create(2);
-  (void)fabric->fabric_switch().authorize_vni(0, 7);
-  (void)fabric->fabric_switch().authorize_vni(1, 7);
+  (void)fabric->switch_for(0)->authorize_vni(0, 7);
+  (void)fabric->switch_for(1)->authorize_vni(1, 7);
   auto ep0 = fabric->nic(0).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
   auto ep1 = fabric->nic(1).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
   SimTime vt = 0;
@@ -35,7 +35,7 @@ BENCHMARK(BM_SwitchRoute)->Arg(8)->Arg(4096)->Arg(1 << 20);
 void BM_EndpointAuthNetns(benchmark::State& state) {
   linuxsim::Kernel kernel;
   auto fabric = hsn::Fabric::create(1);
-  cxi::CxiDriver driver(kernel, fabric->nic(0), fabric->switch_ptr(),
+  cxi::CxiDriver driver(kernel, fabric->nic(0), fabric->switch_for(0),
                         cxi::AuthMode::kNetnsExtended);
   auto root = kernel.spawn({});
   auto netns = kernel.create_net_namespace("bench");
@@ -58,7 +58,7 @@ void BM_EndpointAuthDenied(benchmark::State& state) {
   // The denial path (wrong netns) — the attack's cost profile.
   linuxsim::Kernel kernel;
   auto fabric = hsn::Fabric::create(1);
-  cxi::CxiDriver driver(kernel, fabric->nic(0), fabric->switch_ptr(),
+  cxi::CxiDriver driver(kernel, fabric->nic(0), fabric->switch_for(0),
                         cxi::AuthMode::kNetnsExtended);
   auto root = kernel.spawn({});
   auto netns = kernel.create_net_namespace("bench");
@@ -107,8 +107,8 @@ BENCHMARK(BM_DbTransactionInsert);
 
 void BM_RdmaWriteRoundTrip(benchmark::State& state) {
   auto fabric = hsn::Fabric::create(2);
-  (void)fabric->fabric_switch().authorize_vni(0, 7);
-  (void)fabric->fabric_switch().authorize_vni(1, 7);
+  (void)fabric->switch_for(0)->authorize_vni(0, 7);
+  (void)fabric->switch_for(1)->authorize_vni(1, 7);
   auto ep0 = fabric->nic(0).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
   auto ep1 = fabric->nic(1).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
   std::vector<std::byte> window(1 << 20);

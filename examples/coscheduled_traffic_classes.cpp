@@ -90,7 +90,7 @@ int main() {
                 to_micros(stack.fabric().timing()->tc_penalty(tc)));
   }
 
-  const auto counters = stack.fabric().fabric_switch().counters_for_vni(vni);
+  const auto counters = stack.fabric().total_counters_for_vni(vni);
   std::printf("\n    fabric totals on VNI %u: %llu packets, %.1f GB "
               "delivered, %llu dropped\n",
               vni, static_cast<unsigned long long>(counters.delivered),

@@ -61,7 +61,17 @@ SlingshotStack::SlingshotStack(StackConfig config)
   // how congested the inter-switch links are at that moment.
   scheduler_->set_congestion_probe(
       [this] { return fabric_->max_uplink_lag(loop_.now()); });
+  // Fabric health is a first-class scheduling input: the scheduler skips
+  // nodes behind unhealthy switches and drains pods whose home switch
+  // died.
+  scheduler_->set_switch_health_probe([this](std::uint32_t s) {
+    return fabric_->switch_health(s) == hsn::SwitchHealth::kHealthy;
+  });
   scheduler_->start();
+
+  // Data-plane failures repair through the event loop (detection +
+  // reprogramming delay), not synchronously at injection time.
+  fabric_->manager().set_auto_repair(false);
 
   // The real VNI Endpoint is an HTTP service; the hooks round-trip every
   // request and response through the JSON webhook codec so the
@@ -170,6 +180,43 @@ Status SlingshotStack::delete_claim(k8s::Uid uid) {
 
 Status SlingshotStack::delete_job(k8s::Uid uid) {
   return api_->delete_job(uid);
+}
+
+void SlingshotStack::schedule_reroute() {
+  const SimTime injected = loop_.now();
+  loop_.schedule_after(config_.fm_reroute_delay, [this, injected] {
+    fabric_->manager().repair();
+    last_reroute_latency_ = loop_.now() - injected;
+    total_reroute_latency_ += last_reroute_latency_;
+    ++reroute_events_;
+    SHS_INFO(kTag) << "fabric re-route completed "
+                   << to_micros(last_reroute_latency_)
+                   << " us after injection";
+  });
+}
+
+Status SlingshotStack::fail_link(hsn::SwitchId a, hsn::SwitchId b) {
+  const Status st = fabric_->fail_link(a, b);
+  if (st.is_ok()) schedule_reroute();
+  return st;
+}
+
+Status SlingshotStack::restore_link(hsn::SwitchId a, hsn::SwitchId b) {
+  const Status st = fabric_->restore_link(a, b);
+  if (st.is_ok()) schedule_reroute();
+  return st;
+}
+
+Status SlingshotStack::fail_switch(hsn::SwitchId s) {
+  const Status st = fabric_->fail_switch(s);
+  if (st.is_ok()) schedule_reroute();
+  return st;
+}
+
+Status SlingshotStack::restore_switch(hsn::SwitchId s) {
+  const Status st = fabric_->restore_switch(s);
+  if (st.is_ok()) schedule_reroute();
+  return st;
 }
 
 bool SlingshotStack::run_until(const std::function<bool()>& pred,

@@ -52,6 +52,12 @@ struct StackConfig {
   /// adaptive UGAL — see hsn::RoutingPolicy).
   hsn::TopologyConfig topology{};
   VniRegistryConfig vni{};
+  /// Fabric-manager reaction time to an injected data-plane failure or
+  /// restore: detection (link-down sweep) + route recomputation + switch
+  /// reprogramming, modeled as one virtual-time delay between injection
+  /// and the repaired tables landing on every switch.  Packets routed in
+  /// that window onto the dead element are dropped and counted.
+  SimDuration fm_reroute_delay = from_millis(5);
   std::uint64_t seed = 0x5005;
   /// Install the CXI CNI plugin into the chain.  Disabling it models a
   /// stock cluster (pods with vni annotations then fail to launch).
@@ -143,12 +149,43 @@ class SlingshotStack {
   /// creation through it is netns-authenticated by the node's driver.
   Result<ofi::Domain> domain_for(const PodHandle& handle);
 
-  // -- Failure injection.
+  // -- Failure injection: control plane.
   void set_vni_endpoint_available(bool up) {
     endpoint_->set_available(up);
   }
 
+  // -- Failure injection: data plane (links and switches).
+  //
+  // Each call marks the fabric's data plane down/up immediately and
+  // schedules the fabric manager's repair after `fm_reroute_delay` of
+  // virtual time — the honest failure window during which packets
+  // committed to the dead element are lost.  The scheduler sees switch
+  // health through its probe and drains/avoids unhealthy switches.
+  Status fail_link(hsn::SwitchId a, hsn::SwitchId b);
+  Status restore_link(hsn::SwitchId a, hsn::SwitchId b);
+  Status fail_switch(hsn::SwitchId s);
+  Status restore_switch(hsn::SwitchId s);
+
+  // -- Re-route observability.
+  /// Completed fabric-manager re-route events (repairs that landed).
+  [[nodiscard]] std::size_t reroute_events() const noexcept {
+    return reroute_events_;
+  }
+  /// Injection -> repaired-tables-published latency of the most recent
+  /// re-route (0 until the first repair lands).
+  [[nodiscard]] SimDuration last_reroute_latency() const noexcept {
+    return last_reroute_latency_;
+  }
+  /// Sum over all re-route events (mean = total / events).
+  [[nodiscard]] SimDuration total_reroute_latency() const noexcept {
+    return total_reroute_latency_;
+  }
+
  private:
+  /// Schedules the fabric manager's repair for a just-injected failure
+  /// or restore and records the re-route latency metric when it lands.
+  void schedule_reroute();
+
   StackConfig config_;
   sim::EventLoop loop_;
   Rng master_rng_;
@@ -161,6 +198,9 @@ class SlingshotStack {
   std::unique_ptr<k8s::Scheduler> scheduler_;
   std::unique_ptr<k8s::DecoratorController> vni_controller_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::size_t reroute_events_ = 0;
+  SimDuration last_reroute_latency_ = 0;
+  SimDuration total_reroute_latency_ = 0;
 };
 
 }  // namespace shs::core

@@ -1,7 +1,6 @@
 #include "core/vni_registry.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -42,88 +41,147 @@ void VniRegistry::audit(db::Transaction& txn, SimTime now,
                     static_cast<std::int64_t>(vni), detail});
 }
 
-Result<hsn::Vni> VniRegistry::acquire(const std::string& owner, SimTime now) {
-  hsn::Vni granted = hsn::kInvalidVni;
-  const Status st = db_.with_transaction([&](db::Transaction& txn) -> Status {
-    auto rows = txn.scan(kAllocTable);
-    if (!rows.is_ok()) return rows.status();
-
-    std::set<hsn::Vni> in_use;
-    for (const auto& [id, row] : rows.value()) {
-      const auto vni = static_cast<hsn::Vni>(db::as_int(row[kColVni]));
-      const std::string& state = db::as_text(row[kColState]);
-      if (state == "allocated") {
-        if (db::as_text(row[kColOwner]) == owner) {
-          // Idempotent re-acquisition by the same owner (the /sync hook
-          // may fire for both create and update events).
-          granted = vni;
-          return Status::ok();
-        }
-        in_use.insert(vni);
-        continue;
-      }
-      // Quarantined: blocked until the window expires; expired rows are
-      // garbage-collected here, inside the same transaction.
+Status VniRegistry::rebuild_index_locked() {
+  if (db_.crashed()) {
+    // snapshot() would serve the half-applied mid-crash tables; trusting
+    // them would let a post-recovery acquire double-allocate a VNI the
+    // journal preserved.  Stay stale until recover() has replayed it.
+    return failed_precondition("VNI database crashed; recover() first");
+  }
+  auto rows = db_.snapshot(kAllocTable);
+  if (!rows.is_ok()) return rows.status();
+  free_.clear();
+  owners_.clear();
+  quarantined_.clear();
+  expiry_.clear();
+  for (hsn::Vni v = config_.vni_min; v <= config_.vni_max; ++v) {
+    free_.insert(v);
+  }
+  for (const auto& [id, row] : rows.value()) {
+    const auto vni = static_cast<hsn::Vni>(db::as_int(row[kColVni]));
+    free_.erase(vni);
+    if (db::as_text(row[kColState]) == "allocated") {
+      owners_.emplace(db::as_text(row[kColOwner]), AllocEntry{vni, id});
+    } else {
       const SimTime released = db::as_int(row[kColReleased]);
-      if (now - released < config_.quarantine) {
-        in_use.insert(vni);
-      } else {
-        SHS_RETURN_IF_ERROR(txn.erase(kAllocTable, id));
-      }
+      quarantined_.emplace(vni, QuarantineEntry{released, id});
+      expiry_.emplace(released, vni);
     }
+  }
+  index_stale_ = false;
+  return Status::ok();
+}
 
-    for (hsn::Vni v = config_.vni_min; v <= config_.vni_max; ++v) {
-      if (!in_use.contains(v)) {
-        granted = v;
-        break;
-      }
-    }
-    if (granted == hsn::kInvalidVni) {
-      return resource_exhausted("VNI pool exhausted");
+Result<hsn::Vni> VniRegistry::acquire(const std::string& owner, SimTime now) {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_stale_) {
+    SHS_RETURN_IF_ERROR(rebuild_index_locked());
+  }
+
+  // Idempotent re-acquisition by the same owner (the /sync hook may fire
+  // for both create and update events).
+  if (const auto it = owners_.find(owner); it != owners_.end()) {
+    return it->second.vni;
+  }
+
+  // Quarantined VNIs whose window expired become candidates again; their
+  // rows are garbage-collected inside the grant transaction, exactly as
+  // the scan-based implementation did.
+  std::vector<std::pair<hsn::Vni, db::RowId>> expired;
+  for (auto it = expiry_.begin();
+       it != expiry_.end() && now - it->first >= config_.quarantine; ++it) {
+    expired.emplace_back(it->second, quarantined_.at(it->second).row);
+  }
+
+  // Lowest acquirable VNI: the free-list head or an expired quarantined
+  // VNI below it, matching the scan's lowest-free-wins order.
+  hsn::Vni granted = free_.empty() ? hsn::kInvalidVni : *free_.begin();
+  for (const auto& [vni, row] : expired) {
+    if (granted == hsn::kInvalidVni || vni < granted) granted = vni;
+  }
+  if (granted == hsn::kInvalidVni) {
+    // Exhausted: like the scan path, nothing commits (the expired-row GC
+    // rolls back with the failed transaction, i.e. never starts).
+    return Result<hsn::Vni>(resource_exhausted("VNI pool exhausted"));
+  }
+
+  db::RowId granted_row = 0;
+  const Status st = db_.with_transaction([&](db::Transaction& txn) -> Status {
+    for (const auto& [vni, row] : expired) {
+      SHS_RETURN_IF_ERROR(txn.erase(kAllocTable, row));
     }
     auto ins = txn.insert(
         kAllocTable,
         {static_cast<std::int64_t>(granted), owner, std::string("allocated"),
          static_cast<std::int64_t>(now), std::int64_t{0}});
     if (!ins.is_ok()) return ins.status();
+    granted_row = ins.value();
     audit(txn, now, "acquire", granted, owner);
     return Status::ok();
   });
-  if (!st.is_ok()) return Result<hsn::Vni>(st);
+  if (!st.is_ok()) {
+    // The commit may or may not have journaled before failing (injected
+    // crash): rebuild from the recovered tables before trusting the
+    // index again.
+    index_stale_ = true;
+    return Result<hsn::Vni>(st);
+  }
+
+  // Commit landed: apply the same changes to the index.
+  for (const auto& [vni, row] : expired) {
+    quarantined_.erase(vni);
+    if (vni != granted) free_.insert(vni);
+  }
+  if (!expired.empty()) {
+    expiry_.erase(expiry_.begin(),
+                  expiry_.upper_bound(now - config_.quarantine));
+  }
+  free_.erase(granted);
+  owners_.emplace(owner, AllocEntry{granted, granted_row});
   return granted;
 }
 
 Status VniRegistry::release(const std::string& owner, SimTime now) {
-  return db_.with_transaction([&](db::Transaction& txn) -> Status {
-    auto rows = txn.scan(kAllocTable, [&](const db::Row& row) {
-      return db::as_text(row[kColOwner]) == owner &&
-             db::as_text(row[kColState]) == "allocated";
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_stale_) {
+    SHS_RETURN_IF_ERROR(rebuild_index_locked());
+  }
+  const auto owner_it = owners_.find(owner);
+  if (owner_it == owners_.end()) {
+    // Idempotent: releasing something already released/absent is OK —
+    // /finalize may run repeatedly.
+    return Status::ok();
+  }
+  const hsn::Vni vni = owner_it->second.vni;
+  const db::RowId row_id = owner_it->second.row;
+
+  const Status st = db_.with_transaction([&](db::Transaction& txn) -> Status {
+    auto row = txn.get(kAllocTable, row_id);
+    if (!row.is_ok()) return row.status();
+    db::Row updated = row.value();
+    updated[kColState] = std::string("quarantine");
+    updated[kColReleased] = static_cast<std::int64_t>(now);
+    SHS_RETURN_IF_ERROR(txn.update(kAllocTable, row_id, updated));
+    // Any leftover user entries die with the allocation.
+    auto users_rows = txn.scan(kUsersTable, [&](const db::Row& u) {
+      return static_cast<hsn::Vni>(db::as_int(u[kUColVni])) == vni;
     });
-    if (!rows.is_ok()) return rows.status();
-    if (rows.value().empty()) {
-      // Idempotent: releasing something already released/absent is OK —
-      // /finalize may run repeatedly.
-      return Status::ok();
-    }
-    for (const auto& [id, row] : rows.value()) {
-      db::Row updated = row;
-      updated[kColState] = std::string("quarantine");
-      updated[kColReleased] = static_cast<std::int64_t>(now);
-      SHS_RETURN_IF_ERROR(txn.update(kAllocTable, id, updated));
-      const auto vni = static_cast<hsn::Vni>(db::as_int(row[kColVni]));
-      // Any leftover user entries die with the allocation.
-      auto users_rows = txn.scan(kUsersTable, [&](const db::Row& u) {
-        return static_cast<hsn::Vni>(db::as_int(u[kUColVni])) == vni;
-      });
-      if (users_rows.is_ok()) {
-        for (const auto& [uid, urow] : users_rows.value()) {
-          SHS_RETURN_IF_ERROR(txn.erase(kUsersTable, uid));
-        }
+    if (users_rows.is_ok()) {
+      for (const auto& [uid, urow] : users_rows.value()) {
+        SHS_RETURN_IF_ERROR(txn.erase(kUsersTable, uid));
       }
-      audit(txn, now, "release", vni, owner);
     }
+    audit(txn, now, "release", vni, owner);
     return Status::ok();
   });
+  if (!st.is_ok()) {
+    index_stale_ = true;
+    return st;
+  }
+  owners_.erase(owner_it);
+  quarantined_.emplace(vni, QuarantineEntry{now, row_id});
+  expiry_.emplace(now, vni);
+  return Status::ok();
 }
 
 Result<hsn::Vni> VniRegistry::find_by_owner(const std::string& owner) const {

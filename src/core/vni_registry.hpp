@@ -19,9 +19,22 @@
 // virtual time) before becoming acquirable again: a straggling pod whose
 // job died may hold a CXI service for up to the 30 s grace period, and a
 // quarantined VNI must never be re-issued within that window.
+//
+// Hot path: the registry keeps an in-memory index over `vni_alloc` — a
+// free-list of acquirable VNIs, an owner -> allocation map, and a
+// quarantine expiry queue — so an acquisition costs O(log n) instead of
+// a full table scan per request.  The database stays the ground truth:
+// index updates apply only after a successful commit, and any failed
+// transaction (including an injected crash) marks the index stale so it
+// is rebuilt from the recovered tables on next use.  Journal-recovery
+// semantics are therefore identical to the scan-based implementation.
 #pragma once
 
+#include <map>
+#include <mutex>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/database.hpp"
@@ -78,8 +91,37 @@ class VniRegistry {
   void audit(db::Transaction& txn, SimTime now, const std::string& op,
              hsn::Vni vni, const std::string& detail);
 
+  /// One live `vni_alloc` row, as the index tracks it.
+  struct AllocEntry {
+    hsn::Vni vni = hsn::kInvalidVni;
+    db::RowId row = 0;
+  };
+  struct QuarantineEntry {
+    SimTime released = 0;
+    db::RowId row = 0;
+  };
+
+  /// Rebuilds the in-memory index from a table snapshot.  Caller holds
+  /// index_mutex_.
+  Status rebuild_index_locked();
+
   db::Database& db_;
   VniRegistryConfig config_;
+
+  /// Guards the index (acquire/release may race from test threads; the
+  /// database itself is already serialized).
+  mutable std::mutex index_mutex_;
+  /// True until the first rebuild and again after any failed commit —
+  /// the crash-recovery hook that keeps the index honest.
+  bool index_stale_ = true;
+  /// VNIs acquirable right now (allocated and in-window quarantined ones
+  /// excluded).  Ordered: acquisition grants the lowest, like the scan.
+  std::set<hsn::Vni> free_;
+  std::unordered_map<std::string, AllocEntry> owners_;
+  std::unordered_map<hsn::Vni, QuarantineEntry> quarantined_;
+  /// Quarantine expiry queue (released_at -> vni) so GC pops only what
+  /// actually expired.
+  std::multimap<SimTime, hsn::Vni> expiry_;
 };
 
 }  // namespace shs::core

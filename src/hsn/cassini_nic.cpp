@@ -24,6 +24,8 @@ Status drop_status(DropReason r) {
       return not_found("switch: no NIC at destination address");
     case DropReason::kNoRoute:
       return unavailable("switch: no route to destination switch");
+    case DropReason::kLinkDown:
+      return unavailable("switch: dead link or failed switch on the path");
     case DropReason::kNone:
       break;
   }

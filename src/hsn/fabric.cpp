@@ -42,11 +42,11 @@ std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
       std::abort();
     }
   }
-  const std::shared_ptr<const TopologyPlan> shared_plan = plan;
-  fabric->plan_ = shared_plan;
-  for (std::size_t i = 0; i < shared_plan->switch_count; ++i) {
-    fabric->switches_[i]->set_forwarding(fabric->nic_home_, shared_plan);
-  }
+  const std::size_t switch_count = plan->switch_count;
+  // The fabric manager takes over the plan: it publishes version 0 to
+  // every switch now and republishes repaired versions after failures.
+  fabric->manager_ = std::make_unique<FabricManager>(
+      fabric->switches_, fabric->nic_home_, std::move(*plan));
 
   // NICs attach last, each to its edge switch, so forwarding state is
   // complete before the first packet can possibly route.
@@ -58,7 +58,7 @@ std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
         fabric->timing_));
   }
   SHS_DEBUG(kTag) << topology_kind_name(topology.kind) << " fabric: "
-                  << nodes << " nodes across " << shared_plan->switch_count
+                  << nodes << " nodes across " << switch_count
                   << " switches, " << routing_policy_name(topology.routing)
                   << " routing";
   return fabric;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hsn/cassini_nic.hpp"
+#include "hsn/fabric_manager.hpp"
 #include "hsn/rosetta_switch.hpp"
 #include "hsn/timing.hpp"
 #include "hsn/topology.hpp"
@@ -25,14 +26,18 @@ class Fabric {
                                         std::uint64_t seed = 0x51e6,
                                         TopologyConfig topology = {});
 
-  /// Switch 0 — *the* switch on a single-switch fabric; the first edge
-  /// switch otherwise (kept for the paper-testbed call sites).
+  /// Switch 0 — *the* switch on a single-switch fabric.  Legacy accessor
+  /// for paper-testbed (2 nodes, 1 switch) call sites only: on a
+  /// multi-switch fabric "switch 0" is merely the first edge switch and
+  /// is the wrong ACL target for any NIC homed elsewhere — use
+  /// switch_for(addr) / switch_at(i) there.
   [[nodiscard]] RosettaSwitch& fabric_switch() noexcept {
     return *switches_.front();
   }
   [[nodiscard]] const RosettaSwitch& fabric_switch() const noexcept {
     return *switches_.front();
   }
+  /// Legacy single-switch companion of fabric_switch(); same caveat.
   [[nodiscard]] std::shared_ptr<RosettaSwitch> switch_ptr() const noexcept {
     return switches_.front();
   }
@@ -47,9 +52,14 @@ class Fabric {
   [[nodiscard]] RoutingPolicy routing_policy() const noexcept {
     return topology_.routing;
   }
-  /// The instantiated plan (next hops, candidates, hop distances) shared
-  /// with every switch.  Its nic_home vector is cleared — use home_switch.
-  [[nodiscard]] const TopologyPlan& plan() const noexcept { return *plan_; }
+  /// The currently *published* plan (next hops, candidates, hop
+  /// distances) shared with every switch — the fabric manager's latest
+  /// version, not necessarily the pristine build.  Its nic_home vector
+  /// is cleared — use home_switch.  Returned shared so the snapshot
+  /// outlives a concurrent republish.
+  [[nodiscard]] std::shared_ptr<const TopologyPlan> plan() const {
+    return manager_->plan();
+  }
   [[nodiscard]] std::size_t switch_count() const noexcept {
     return switches_.size();
   }
@@ -66,6 +76,30 @@ class Fabric {
       NicAddr addr) const {
     const SwitchId home = home_switch(addr);
     return home == kInvalidSwitch ? nullptr : switches_.at(home);
+  }
+
+  // -- Fault tolerance: failure injection, observation, re-routing.
+  //    All forwarded to the FabricManager; see fabric_manager.hpp for
+  //    the repair contract (data plane marked down immediately, tables
+  //    republished synchronously unless auto-repair is off).
+
+  [[nodiscard]] FabricManager& manager() noexcept { return *manager_; }
+  [[nodiscard]] const FabricManager& manager() const noexcept {
+    return *manager_;
+  }
+  Status fail_link(SwitchId a, SwitchId b) {
+    return manager_->fail_link(a, b);
+  }
+  Status restore_link(SwitchId a, SwitchId b) {
+    return manager_->restore_link(a, b);
+  }
+  Status fail_switch(SwitchId s) { return manager_->fail_switch(s); }
+  Status restore_switch(SwitchId s) { return manager_->restore_switch(s); }
+  [[nodiscard]] SwitchHealth switch_health(SwitchId s) const {
+    return manager_->switch_health(s);
+  }
+  [[nodiscard]] bool link_up(SwitchId a, SwitchId b) const {
+    return manager_->link_up(a, b);
   }
 
   /// Toggles VNI enforcement on every switch.  The VNI checks are edge
@@ -107,8 +141,8 @@ class Fabric {
   TopologyConfig topology_;
   std::shared_ptr<TimingModel> timing_;
   std::shared_ptr<const std::vector<SwitchId>> nic_home_;
-  std::shared_ptr<const TopologyPlan> plan_;
   std::vector<std::shared_ptr<RosettaSwitch>> switches_;
+  std::unique_ptr<FabricManager> manager_;
   std::vector<std::unique_ptr<CassiniNic>> nics_;
 };
 

@@ -1,0 +1,205 @@
+#include "hsn/fabric_manager.hpp"
+
+#include <set>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace shs::hsn {
+
+namespace {
+constexpr const char* kTag = "fabric-mgr";
+}  // namespace
+
+FabricManager::FabricManager(
+    std::vector<std::shared_ptr<RosettaSwitch>> switches,
+    std::shared_ptr<const std::vector<SwitchId>> nic_home,
+    TopologyPlan base_plan)
+    : switches_(std::move(switches)), nic_home_(std::move(nic_home)),
+      base_(std::make_shared<const TopologyPlan>(std::move(base_plan))),
+      current_(base_) {
+  std::vector<std::set<SwitchId>> neighbors(switches_.size());
+  for (const TopologyPlan::PlannedLink& link : base_->links) {
+    link_keys_.insert(FailureSet::link_key(link.from, link.to));
+    neighbors[link.from].insert(link.to);
+    neighbors[link.to].insert(link.from);
+  }
+  adjacent_.reserve(switches_.size());
+  for (const auto& set : neighbors) {
+    adjacent_.emplace_back(set.begin(), set.end());
+  }
+  for (const auto& sw : switches_) {
+    sw->set_forwarding(nic_home_, current_);
+  }
+}
+
+bool FabricManager::has_link_locked(SwitchId from, SwitchId to) const {
+  return link_keys_.contains(FailureSet::link_key(from, to));
+}
+
+void FabricManager::sync_link_state_locked(SwitchId a, SwitchId b) {
+  if (has_link_locked(a, b)) {
+    (void)switches_[a]->set_uplink_state(
+        b, failures_.link_dead(a, b) ? LinkState::kDown : LinkState::kUp);
+  }
+  if (has_link_locked(b, a)) {
+    (void)switches_[b]->set_uplink_state(
+        a, failures_.link_dead(b, a) ? LinkState::kDown : LinkState::kUp);
+  }
+}
+
+Status FabricManager::fail_link(SwitchId a, SwitchId b) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (a >= switches_.size() || b >= switches_.size()) {
+    return invalid_argument(strfmt("no such switch pair (%u, %u)", a, b));
+  }
+  const bool ab = has_link_locked(a, b);
+  const bool ba = has_link_locked(b, a);
+  if (!ab && !ba) {
+    return not_found(strfmt("no link between switches %u and %u", a, b));
+  }
+  bool newly_failed = false;
+  if (ab) {
+    newly_failed |= failures_.links.insert(FailureSet::link_key(a, b))
+                        .second;
+  }
+  if (ba) {
+    newly_failed |= failures_.links.insert(FailureSet::link_key(b, a))
+                        .second;
+  }
+  if (!newly_failed) {
+    // Re-failing a dead link must not republish (or double-count a
+    // re-route event) — same contract as fail_switch.
+    return already_exists(strfmt("link (%u, %u) is already failed", a, b));
+  }
+  sync_link_state_locked(a, b);
+  repair_pending_ = true;
+  SHS_INFO(kTag) << "link (" << a << ", " << b << ") FAILED";
+  if (auto_repair_) repair_locked();
+  return Status::ok();
+}
+
+Status FabricManager::restore_link(SwitchId a, SwitchId b) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool erased =
+      failures_.links.erase(FailureSet::link_key(a, b)) +
+          failures_.links.erase(FailureSet::link_key(b, a)) >
+      0;
+  if (!erased) {
+    return not_found(strfmt("link (%u, %u) is not failed", a, b));
+  }
+  sync_link_state_locked(a, b);
+  repair_pending_ = true;
+  SHS_INFO(kTag) << "link (" << a << ", " << b << ") restored";
+  if (auto_repair_) repair_locked();
+  return Status::ok();
+}
+
+Status FabricManager::fail_switch(SwitchId s) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (s >= switches_.size()) {
+    return invalid_argument(strfmt("no such switch %u", s));
+  }
+  if (!failures_.switches.insert(s).second) {
+    return already_exists(strfmt("switch %u is already failed", s));
+  }
+  switches_[s]->set_health(SwitchHealth::kFailed);
+  // Both directions of every cable touching the dead switch go dark.
+  for (const SwitchId peer : adjacent_[s]) {
+    sync_link_state_locked(s, peer);
+  }
+  repair_pending_ = true;
+  SHS_INFO(kTag) << "switch " << s << " FAILED";
+  if (auto_repair_) repair_locked();
+  return Status::ok();
+}
+
+Status FabricManager::restore_switch(SwitchId s) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (failures_.switches.erase(s) == 0) {
+    return not_found(strfmt("switch %u is not failed", s));
+  }
+  switches_[s]->set_health(SwitchHealth::kHealthy);
+  // Links touching s come back unless independently failed (or the far
+  // end is itself dead) — sync_link_state_locked re-derives both ends.
+  for (const SwitchId peer : adjacent_[s]) {
+    sync_link_state_locked(s, peer);
+  }
+  repair_pending_ = true;
+  SHS_INFO(kTag) << "switch " << s << " restored";
+  if (auto_repair_) repair_locked();
+  return Status::ok();
+}
+
+void FabricManager::set_auto_repair(bool on) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto_repair_ = on;
+  if (on && repair_pending_) repair_locked();
+}
+
+std::uint64_t FabricManager::repair() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return repair_locked();
+}
+
+std::uint64_t FabricManager::repair_locked() {
+  auto repaired = std::make_shared<const TopologyPlan>(
+      base_->replan(failures_, ++version_));
+  current_ = repaired;
+  for (const auto& sw : switches_) {
+    sw->set_forwarding(nic_home_, repaired);
+  }
+  ++replans_;
+  repair_pending_ = false;
+  SHS_INFO(kTag) << "published plan v" << version_ << " around "
+                 << failures_.links.size() << " dead links, "
+                 << failures_.switches.size() << " dead switches";
+  return version_;
+}
+
+SwitchHealth FabricManager::switch_health(SwitchId s) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return failures_.switches.contains(s) ? SwitchHealth::kFailed
+                                        : SwitchHealth::kHealthy;
+}
+
+bool FabricManager::link_up(SwitchId a, SwitchId b) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // A cable that was never wired is not "up" — keep the observation API
+  // consistent with fail_link, which rejects such pairs.
+  if (!has_link_locked(a, b) && !has_link_locked(b, a)) return false;
+  return !failures_.link_dead(a, b) && !failures_.link_dead(b, a);
+}
+
+std::shared_ptr<const TopologyPlan> FabricManager::plan() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t FabricManager::plan_version() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return version_;
+}
+
+std::size_t FabricManager::replans() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return replans_;
+}
+
+bool FabricManager::repair_pending() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return repair_pending_;
+}
+
+std::size_t FabricManager::failed_link_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return failures_.links.size();
+}
+
+std::size_t FabricManager::failed_switch_count() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return failures_.switches.size();
+}
+
+}  // namespace shs::hsn

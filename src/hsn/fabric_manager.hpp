@@ -1,0 +1,110 @@
+// fabric_manager.hpp — the Slingshot fabric manager's fault-handling
+// plane.
+//
+// Real Slingshot fabrics lose links and switches routinely; the fabric
+// manager (a host-side service on real systems) observes those failures,
+// recomputes routes around the dead elements, and reprograms every
+// switch — without touching the VNI enforcement state, so tenant
+// isolation holds across the failure and the detours it causes.
+//
+// This class implements exactly that control loop over the simulated
+// fabric:
+//   * fail_link / fail_switch mark the data plane down *immediately*
+//     (packets committed to a dead element drop, counted as
+//     dropped_link_down — the in-flight loss window real fabrics see);
+//   * repair() derives a new TopologyPlan version from the pristine
+//     build via TopologyPlan::replan (BFS over surviving links, seeded
+//     next-hop re-derivation) and pushes it to every switch;
+//   * with auto-repair on (the default, for direct Fabric users) every
+//     injection/restore repairs synchronously; the SlingshotStack turns
+//     it off and schedules repair() after a configurable detection +
+//     reprogramming delay, which opens an honest loss window and yields
+//     the stack's re-route latency metric.
+//
+// VNI enforcement is deliberately out of scope: ACLs live on the edge
+// switches and are untouched by republishing, so a detoured packet is
+// still checked at both edges.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "hsn/rosetta_switch.hpp"
+#include "hsn/topology.hpp"
+#include "hsn/types.hpp"
+#include "util/status.hpp"
+
+namespace shs::hsn {
+
+class FabricManager {
+ public:
+  /// `base_plan` must be the pristine version-0 plan the switches were
+  /// wired from (its `links` list is the ground-truth cabling).  The
+  /// constructor publishes it to every switch.
+  FabricManager(std::vector<std::shared_ptr<RosettaSwitch>> switches,
+                std::shared_ptr<const std::vector<SwitchId>> nic_home,
+                TopologyPlan base_plan);
+  FabricManager(const FabricManager&) = delete;
+  FabricManager& operator=(const FabricManager&) = delete;
+
+  // -- Failure injection / recovery.  Links are physical: failing (a, b)
+  //    kills both directions.  Each call marks the data plane first and
+  //    then repairs (synchronously iff auto-repair is on).
+
+  Status fail_link(SwitchId a, SwitchId b);
+  Status restore_link(SwitchId a, SwitchId b);
+  Status fail_switch(SwitchId s);
+  Status restore_switch(SwitchId s);
+
+  /// Synchronous repair on every fail_*/restore_* when on (default).
+  /// The SlingshotStack turns this off and drives repair() from the
+  /// event loop to model detection + reprogramming time.
+  void set_auto_repair(bool on);
+
+  /// Recomputes routes around the current failure set and pushes the
+  /// repaired tables to all switches.  Returns the published version.
+  std::uint64_t repair();
+
+  // -- Observation.
+  [[nodiscard]] SwitchHealth switch_health(SwitchId s) const;
+  [[nodiscard]] bool link_up(SwitchId a, SwitchId b) const;
+  /// The currently published plan (never null).
+  [[nodiscard]] std::shared_ptr<const TopologyPlan> plan() const;
+  [[nodiscard]] std::uint64_t plan_version() const;
+  /// Repairs published so far (0 on a healthy-from-birth fabric).
+  [[nodiscard]] std::size_t replans() const;
+  /// True when a failure/restore has not been repaired yet (the loss
+  /// window is open).
+  [[nodiscard]] bool repair_pending() const;
+  [[nodiscard]] std::size_t failed_link_count() const;
+  [[nodiscard]] std::size_t failed_switch_count() const;
+
+ private:
+  /// Applies the effective up/down state of both directions of the
+  /// physical link (a, b) to the owning switches.  Caller holds mutex_.
+  void sync_link_state_locked(SwitchId a, SwitchId b);
+  std::uint64_t repair_locked();
+  [[nodiscard]] bool has_link_locked(SwitchId from, SwitchId to) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<RosettaSwitch>> switches_;
+  std::shared_ptr<const std::vector<SwitchId>> nic_home_;
+  /// Pristine wiring, version 0 — also the initially published plan.
+  const std::shared_ptr<const TopologyPlan> base_;
+  /// Directed link keys of base_.links — O(1) existence checks.
+  std::unordered_set<std::uint64_t> link_keys_;
+  /// Physical neighbors per switch (each cable listed once per end),
+  /// ascending — one sync per cable on switch fail/restore.
+  std::vector<std::vector<SwitchId>> adjacent_;
+  std::shared_ptr<const TopologyPlan> current_;
+  FailureSet failures_;
+  bool auto_repair_ = true;
+  bool repair_pending_ = false;
+  std::uint64_t version_ = 0;
+  std::size_t replans_ = 0;
+};
+
+}  // namespace shs::hsn

@@ -62,6 +62,10 @@ struct SwitchCounters {
   std::uint64_t dropped_dst_unauthorized = 0;
   std::uint64_t dropped_unknown_dst = 0;
   std::uint64_t dropped_no_route = 0;  ///< no uplink / TTL exhausted
+  /// Packets lost to a dead link or failed switch: in flight when the
+  /// failure hit, or routed in the window before the fabric manager
+  /// republished repaired tables.
+  std::uint64_t dropped_link_down = 0;
   std::uint64_t bytes_delivered = 0;
   /// Transit traffic handed to an inter-switch uplink by this switch.
   std::uint64_t forwarded = 0;
@@ -73,7 +77,7 @@ struct SwitchCounters {
 
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
     return dropped_src_unauthorized + dropped_dst_unauthorized +
-           dropped_unknown_dst + dropped_no_route;
+           dropped_unknown_dst + dropped_no_route + dropped_link_down;
   }
 
   SwitchCounters& operator+=(const SwitchCounters& c) noexcept {
@@ -82,6 +86,7 @@ struct SwitchCounters {
     dropped_dst_unauthorized += c.dropped_dst_unauthorized;
     dropped_unknown_dst += c.dropped_unknown_dst;
     dropped_no_route += c.dropped_no_route;
+    dropped_link_down += c.dropped_link_down;
     bytes_delivered += c.bytes_delivered;
     forwarded += c.forwarded;
     bytes_forwarded += c.bytes_forwarded;

@@ -107,6 +107,32 @@ bool RosettaSwitch::enforcement() const noexcept {
   return enforce_;
 }
 
+void RosettaSwitch::set_health(SwitchHealth health) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  health_ = health;
+}
+
+SwitchHealth RosettaSwitch::health() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return health_;
+}
+
+Status RosettaSwitch::set_uplink_state(SwitchId peer, LinkState state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = uplinks_.find(peer);
+  if (it == uplinks_.end()) {
+    return not_found(strfmt("no uplink toward switch %u", peer));
+  }
+  it->second.state = state;
+  return Status::ok();
+}
+
+LinkState RosettaSwitch::uplink_state(SwitchId peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = uplinks_.find(peer);
+  return it == uplinks_.end() ? LinkState::kDown : it->second.state;
+}
+
 SimTime RosettaSwitch::schedule_egress_locked(
     SimTime at_egress, int prio, SimTime (&free_vt)[kNumTrafficClasses],
     std::uint64_t size_bytes, DataRate rate) {
@@ -136,6 +162,13 @@ SimDuration RosettaSwitch::lag_of(const Uplink& up, SimTime at,
   return busy > at ? busy - at : 0;
 }
 
+RosettaSwitch::Uplink* RosettaSwitch::live_uplink_locked(SwitchId peer) {
+  const auto it = uplinks_.find(peer);
+  return it == uplinks_.end() || it->second.state == LinkState::kDown
+             ? nullptr
+             : &it->second;
+}
+
 SwitchId RosettaSwitch::static_next_locked(SwitchId target) const {
   if (!plan_ || id_ >= plan_->next_hop.size()) return kInvalidSwitch;
   const auto& table = plan_->next_hop[id_];
@@ -159,9 +192,11 @@ SwitchId RosettaSwitch::least_lag_candidate_locked(const Packet& p,
   SwitchId best = kInvalidSwitch;
   SimDuration best_lag = 0;
   for (const SwitchId cand : it->second) {
-    const auto up_it = uplinks_.find(cand);
-    if (up_it == uplinks_.end()) continue;
-    const SimDuration lag = lag_of(up_it->second, p.inject_vt, prio);
+    const Uplink* up = live_uplink_locked(cand);
+    if (up == nullptr) {
+      continue;  // dead uplinks never enter the adaptive candidate set
+    }
+    const SimDuration lag = lag_of(*up, p.inject_vt, prio);
     // Candidates arrive in ascending switch-id order; strict < keeps the
     // first (lowest-id) of equally idle links — the deterministic
     // tie-break.
@@ -220,20 +255,38 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
     case RoutingPolicy::kValiant: {
       // Dragonfly: random intermediate in a third group.  The detour is
       // recorded on the packet; transit switches route minimally toward
-      // it, then minimally home.
+      // it, then minimally home.  An intermediate the repaired plan can
+      // no longer reach (or whose first hop is a dead link) is skipped —
+      // the packet falls back to the minimal path instead of dropping.
       const SwitchId via = pick_intermediate_locked(home);
       if (via != kInvalidSwitch) {
-        p.via_switch = via;
-        ++totals_.routed_nonminimal;
-        ++per_vni_[p.vni].routed_nonminimal;
-        return static_next_locked(via);
+        const SwitchId via_next = static_next_locked(via);
+        if (via_next != kInvalidSwitch &&
+            live_uplink_locked(via_next) != nullptr) {
+          p.via_switch = via;
+          ++totals_.routed_nonminimal;
+          ++per_vni_[p.vni].routed_nonminimal;
+          return via_next;
+        }
       }
-      // Fat-tree (or no eligible third group): uniform random among the
-      // minimal candidates — random spine selection.
+      // Fat-tree (or no eligible third group / unreachable intermediate):
+      // uniform random among the live minimal candidates — random spine
+      // selection that excludes dead uplinks.  Counting pass, no
+      // allocation: this runs per packet on the healthy hot path.
       if (plan_ && id_ < plan_->candidates.size()) {
         const auto it = plan_->candidates[id_].find(home);
         if (it != plan_->candidates[id_].end() && !it->second.empty()) {
-          return it->second[route_rng_.uniform_u64(it->second.size())];
+          std::size_t alive = 0;
+          for (const SwitchId cand : it->second) {
+            if (live_uplink_locked(cand) != nullptr) ++alive;
+          }
+          if (alive > 0) {
+            auto pick = route_rng_.uniform_u64(alive);
+            for (const SwitchId cand : it->second) {
+              if (live_uplink_locked(cand) == nullptr) continue;
+              if (pick-- == 0) return cand;
+            }
+          }
         }
       }
       return static_next_locked(home);
@@ -251,19 +304,29 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
         return min_next;
       }
       const SwitchId via_next = static_next_locked(via);
-      const auto via_up = uplinks_.find(via_next);
-      const auto min_up = uplinks_.find(min_next);
-      if (via_next == kInvalidSwitch || via_up == uplinks_.end() ||
-          min_up == uplinks_.end()) {
+      const Uplink* via_up = via_next == kInvalidSwitch
+                                 ? nullptr
+                                 : live_uplink_locked(via_next);
+      if (via_up == nullptr) {
         return min_next;
+      }
+      const Uplink* min_up = live_uplink_locked(min_next);
+      if (min_up == nullptr) {
+        // Every minimal candidate is dead (least_lag fell back to a dead
+        // static hop): a live detour beats a guaranteed drop, whatever
+        // the delay estimates say.
+        p.via_switch = via;
+        ++totals_.routed_nonminimal;
+        ++per_vni_[p.vni].routed_nonminimal;
+        return via_next;
       }
       const int prio = static_cast<int>(p.tc);
       const SimDuration est_min = estimate_delay_locked(
-          p, min_lag, plan_->hops_between(id_, home), min_up->second.rate);
+          p, min_lag, plan_->hops_between(id_, home), min_up->rate);
       const SimDuration est_val = estimate_delay_locked(
-          p, lag_of(via_up->second, p.inject_vt, prio),
+          p, lag_of(*via_up, p.inject_vt, prio),
           plan_->hops_between(id_, via) + plan_->hops_between(via, home),
-          via_up->second.rate);
+          via_up->rate);
       // Strict <: ties go minimal, so an idle fabric never detours.
       if (est_val < est_min) {
         p.via_switch = via;
@@ -288,6 +351,17 @@ RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& vni_counters = per_vni_[p.vni];
+
+    // A failed switch is dead silicon: everything presented to it — a
+    // local injection, a transit packet that was in flight when the
+    // switch died, or a final delivery — is lost.
+    if (health_ == SwitchHealth::kFailed) {
+      ++totals_.dropped_link_down;
+      ++vni_counters.dropped_link_down;
+      result.reason = DropReason::kLinkDown;
+      SHS_DEBUG(kTag) << "drop: switch " << id_ << " is failed";
+      return result;
+    }
 
     // Resolve the destination first (unknown-destination outranks the
     // authorization drops, as in the single-switch model).
@@ -344,6 +418,17 @@ RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
         result.reason = DropReason::kNoRoute;
         SHS_DEBUG(kTag) << "switch " << id_ << " has no route toward NIC "
                         << p.dst << " (ttl " << ttl << ")";
+        return result;
+      }
+      if (up_it->second.state == LinkState::kDown) {
+        // The route exists but its link is dead: either the packet was
+        // already committed to this hop when the failure hit, or the
+        // fabric manager has not republished repaired tables yet.
+        ++totals_.dropped_link_down;
+        ++vni_counters.dropped_link_down;
+        result.reason = DropReason::kLinkDown;
+        SHS_DEBUG(kTag) << "drop: switch " << id_ << " uplink toward "
+                        << up_it->first << " is down";
         return result;
       }
       up = &up_it->second;

@@ -51,6 +51,7 @@ enum class DropReason : std::uint8_t {
   kDstNotAuthorized,   ///< receiver port lacks VNI access
   kUnknownDestination, ///< no NIC connected at the destination address
   kNoRoute,            ///< no uplink toward the destination / TTL exceeded
+  kLinkDown,           ///< dead link or failed switch on the path
 };
 
 struct RouteResult {
@@ -111,6 +112,21 @@ class RosettaSwitch {
   void set_enforcement(bool on) noexcept;
   [[nodiscard]] bool enforcement() const noexcept;
 
+  // -- Health plane (programmed by the FabricManager).
+
+  /// Marks the whole switch failed/healthy.  A failed switch drops every
+  /// packet presented to it (local injection, transit, and delivery),
+  /// counted as dropped_link_down.
+  void set_health(SwitchHealth health) noexcept;
+  [[nodiscard]] SwitchHealth health() const noexcept;
+
+  /// Marks the directed uplink toward `peer` up/down.  Down uplinks are
+  /// excluded from every adaptive candidate set; a packet whose static
+  /// next hop is down (the window before the fabric manager republishes
+  /// repaired tables, or a packet mid-detour) is dropped and counted.
+  Status set_uplink_state(SwitchId peer, LinkState state);
+  [[nodiscard]] LinkState uplink_state(SwitchId peer) const;
+
   /// Routes `p` from its src port (which must be local to this switch).
   /// Computes `arrival_vt` from the timing model (per-hop latency,
   /// per-link serialization, egress contention, TC penalty) and invokes
@@ -157,6 +173,7 @@ class RosettaSwitch {
     RosettaSwitch* peer = nullptr;
     DataRate rate;
     SimDuration latency = 0;
+    LinkState state = LinkState::kUp;
     SimTime egress_free_vt[kNumTrafficClasses] = {0, 0, 0, 0};
     LinkCounters counters;
   };
@@ -164,6 +181,11 @@ class RosettaSwitch {
   /// Ingress processing shared by route() (check_src = true) and
   /// hop-by-hop forwarding from a peer switch (check_src = false).
   RouteResult admit(Packet&& p, bool check_src, int ttl);
+
+  /// The live uplink toward `peer`, or nullptr when absent or down —
+  /// the single definition of "usable link" every routing policy
+  /// consults.  Caller holds mutex_.
+  [[nodiscard]] Uplink* live_uplink_locked(SwitchId peer);
 
   /// Per-packet routing decision at the source edge switch.  Returns the
   /// chosen neighbor (kInvalidSwitch if none) and may set p.via_switch
@@ -204,6 +226,7 @@ class RosettaSwitch {
   std::shared_ptr<TimingModel> timing_;
   mutable std::mutex mutex_;
   bool enforce_ = true;
+  SwitchHealth health_ = SwitchHealth::kHealthy;
   std::unordered_map<NicAddr, Port> ports_;
   std::unordered_map<SwitchId, Uplink> uplinks_;
   std::shared_ptr<const std::vector<SwitchId>> nic_home_;

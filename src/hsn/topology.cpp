@@ -15,11 +15,16 @@ std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 /// hop distances between all switch pairs and, from those, the set of
 /// minimal next hops per (switch, destination).  Topology-agnostic, so
 /// every builder (and any future topology) gets correct candidate sets
-/// for free.
-void finalize_routing_metadata(TopologyPlan& plan) {
+/// for free.  A non-null `failures` filter excludes dead links and
+/// switches from the graph — the fabric-manager re-plan path.
+void finalize_routing_metadata(TopologyPlan& plan,
+                               const FailureSet* failures = nullptr) {
   const std::size_t n = plan.switch_count;
   std::vector<std::vector<SwitchId>> out(n);
   for (const TopologyPlan::PlannedLink& link : plan.links) {
+    if (failures != nullptr && failures->link_dead(link.from, link.to)) {
+      continue;
+    }
     out[link.from].push_back(link.to);
   }
   for (auto& neighbors : out) {
@@ -219,7 +224,39 @@ TopologyPlan TopologyPlan::build(const TopologyConfig& config,
     return build_single(nodes);
   }();
   plan.routing = config.routing;
+  plan.seed = seed;
   finalize_routing_metadata(plan);
+  return plan;
+}
+
+TopologyPlan TopologyPlan::replan(const FailureSet& failures,
+                                  std::uint64_t new_version) const {
+  TopologyPlan plan = *this;
+  plan.version = new_version;
+  if (failures.empty()) {
+    // Full restore: republish the pristine wiring verbatim (including the
+    // topology-specific static tables the initial build computed), so a
+    // fail/restore cycle returns the fabric to byte-identical routing.
+    return plan;
+  }
+  finalize_routing_metadata(plan, &failures);
+
+  // Static next hops over the survivors: for each reachable (s, d) pair,
+  // a seeded hash of the pair picks among the minimal candidates.  Like
+  // the fat-tree spine hash, different seeds genuinely reshuffle which
+  // pairs share a detour link while one seed always re-plans the same
+  // way.
+  plan.next_hop.assign(plan.switch_count, {});
+  for (std::size_t s = 0; s < plan.switch_count; ++s) {
+    if (failures.switch_dead(static_cast<SwitchId>(s))) continue;
+    for (const auto& [d, cands] : plan.candidates[s]) {
+      if (cands.empty()) continue;
+      const std::uint64_t pair_key =
+          seed ^ FailureSet::link_key(static_cast<SwitchId>(s), d);
+      plan.next_hop[s][d] =
+          cands[Rng(pair_key).next() % cands.size()];
+    }
+  }
   return plan;
 }
 

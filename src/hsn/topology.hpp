@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "hsn/types.hpp"
@@ -90,9 +91,39 @@ struct TopologyConfig {
   SimDuration global_link_latency = from_micros(1.20);
 };
 
+/// The set of dead fabric elements the fabric manager is currently
+/// routing around.  Links are directed (one key per direction — a
+/// physical link failure kills both); a dead switch implicitly kills
+/// every link touching it.
+struct FailureSet {
+  std::unordered_set<std::uint64_t> links;  ///< directed link_key entries
+  std::unordered_set<SwitchId> switches;
+
+  static constexpr std::uint64_t link_key(SwitchId from,
+                                          SwitchId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  [[nodiscard]] bool switch_dead(SwitchId s) const {
+    return switches.contains(s);
+  }
+  [[nodiscard]] bool link_dead(SwitchId from, SwitchId to) const {
+    return links.contains(link_key(from, to)) || switches.contains(from) ||
+           switches.contains(to);
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return links.empty() && switches.empty();
+  }
+};
+
 /// The instantiated wiring for one fabric.  `build` is total: degenerate
 /// configurations are clamped (zero counts become one) rather than
 /// rejected, so Fabric::create never fails on topology grounds.
+///
+/// Plans are *versioned and republishable*: version 0 is the pristine
+/// build; the fabric manager derives repaired successors via `replan`
+/// and pushes them to every switch, so the routing state a switch holds
+/// is always one immutable snapshot (swapped atomically, never edited
+/// in place).
 struct TopologyPlan {
   struct PlannedLink {
     SwitchId from = 0;
@@ -124,6 +155,13 @@ struct TopologyPlan {
   std::vector<SwitchId> group_of;
   /// Routing policy copied from the config (what switches consult).
   RoutingPolicy routing = RoutingPolicy::kMinimal;
+  /// Monotonic plan generation: 0 for the initial build, +1 per
+  /// fabric-manager republish.
+  std::uint64_t version = 0;
+  /// The fabric seed the plan was built with.  Re-plans re-derive their
+  /// static next hops from it, so recovery routing is deterministic per
+  /// seed (and reshuffles with it), exactly like the initial build.
+  std::uint64_t seed = 0;
 
   /// Minimal hop distance s -> d, or a large sentinel when unreachable.
   [[nodiscard]] int hops_between(SwitchId s, SwitchId d) const {
@@ -136,6 +174,17 @@ struct TopologyPlan {
 
   static TopologyPlan build(const TopologyConfig& config, std::size_t nodes,
                             std::uint64_t seed);
+
+  /// Derives a repaired plan that routes around `failures`: the BFS
+  /// metadata (min_hops, candidates) is recomputed over the surviving
+  /// links only, and the static next-hop tables are re-derived from the
+  /// surviving minimal candidates by a seeded per-(src, dst) hash — the
+  /// same determinism contract as the initial fat-tree spine selection.
+  /// Dead switches route nothing and are routed to by nobody.  Must be
+  /// called on the pristine (version 0) plan, whose `links` describe the
+  /// full wiring.
+  [[nodiscard]] TopologyPlan replan(const FailureSet& failures,
+                                    std::uint64_t new_version) const;
 };
 
 }  // namespace shs::hsn

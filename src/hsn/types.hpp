@@ -17,6 +17,30 @@ constexpr NicAddr kInvalidNic = 0xffffffffu;
 using SwitchId = std::uint32_t;
 constexpr SwitchId kInvalidSwitch = 0xffffffffu;
 
+/// Operational state of one directed inter-switch link.  The fabric
+/// manager marks links down when it observes a failure (LLR retries
+/// exhausted on real Slingshot); packets hitting a down link are dropped
+/// and counted until the re-routed tables land.
+enum class LinkState : std::uint8_t {
+  kUp = 0,
+  kDown,
+};
+
+/// Health of one Rosetta switch.  A failed switch drops everything —
+/// local deliveries and transit alike — as a powered-off ASIC would.
+enum class SwitchHealth : std::uint8_t {
+  kHealthy = 0,
+  kFailed,
+};
+
+constexpr std::string_view switch_health_name(SwitchHealth h) noexcept {
+  switch (h) {
+    case SwitchHealth::kHealthy: return "healthy";
+    case SwitchHealth::kFailed: return "failed";
+  }
+  return "UNKNOWN";
+}
+
 /// Virtual Network ID — an unsigned integer naming a layer-2 isolation
 /// domain (Section II-C).  The Rosetta switch only routes a packet if both
 /// the sender and receiver port are authorized for the packet's VNI.

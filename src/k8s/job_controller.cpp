@@ -1,5 +1,6 @@
 #include "k8s/job_controller.hpp"
 
+#include <limits>
 #include <unordered_map>
 
 #include "util/log.hpp"
@@ -21,6 +22,9 @@ struct PodRollup {
   SimTime last_finish = 0;
   bool any_pod = false;
   std::vector<Uid> undeleted;  ///< pods without a deletion timestamp
+  /// Names of every live pod object (deleting ones included, so a
+  /// replacement is never created while its predecessor still exists).
+  std::unordered_set<std::string> names;
 };
 }  // namespace
 
@@ -49,6 +53,7 @@ void JobController::reconcile() {
     if (p.meta.owner_uid == kNoUid) return;
     PodRollup& r = rollup[p.meta.owner_uid];
     r.any_pod = true;
+    r.names.insert(p.meta.name);
     if (!p.meta.deletion_requested) r.undeleted.push_back(p.meta.uid);
     switch (p.status.phase) {
       case PodPhase::kRunning:
@@ -80,6 +85,7 @@ void JobController::reconcile() {
   };
   std::vector<StatusUpdate> updates;
   std::vector<Uid> to_create;
+  std::vector<std::pair<Uid, int>> to_replace;  ///< (job, pod index)
   std::vector<Uid> to_ttl_delete;
   std::vector<Uid> deleting;
 
@@ -122,6 +128,26 @@ void JobController::reconcile() {
         !ttl_deleted_.contains(uid)) {
       to_ttl_delete.push_back(uid);
     }
+
+    // Replace vanished pods.  A pod object can only disappear from an
+    // incomplete job through an explicit deletion — the scheduler's
+    // dead-switch eviction — so every index that has ever been seen
+    // alive but is missing now gets a fresh pod (which then schedules
+    // onto a healthy switch).
+    const int expected = std::max(job.spec.completions,
+                                  job.spec.parallelism);
+    auto& seen = seen_indices_[uid];
+    for (int i = 0; i < expected; ++i) {
+      if (r.names.contains(strfmt("%s-%d", job.meta.name.c_str(), i))) {
+        seen.insert(i);
+        // The replacement (or original) exists; the index may be
+        // replaced anew if it vanishes again later.
+        replacements_in_flight_.erase({uid, i});
+      } else if (!status.complete && seen.contains(i) &&
+                 !replacements_in_flight_.contains({uid, i})) {
+        to_replace.emplace_back(uid, i);
+      }
+    }
   });
 
   // Pass 3: apply.
@@ -143,6 +169,16 @@ void JobController::reconcile() {
           }
         });
   }
+  for (std::size_t i = 0; i < to_replace.size(); ++i) {
+    auto job = api_.get_job(to_replace[i].first);
+    if (!job.is_ok() || job.value().meta.deletion_requested) continue;
+    ++pods_replaced_;
+    replacements_in_flight_.insert(to_replace[i]);
+    create_pod_at(job.value(), to_replace[i].second,
+                  static_cast<int>(i) + 1);
+    SHS_DEBUG(kTag) << "replacing evicted pod " << to_replace[i].second
+                    << " of job " << job.value().meta.name;
+  }
   for (const Uid uid : to_ttl_delete) {
     ttl_deleted_.insert(uid);
     auto job = api_.get_job(uid);
@@ -158,6 +194,11 @@ void JobController::reconcile() {
       (void)api_.remove_job_finalizer(uid, kJobFinalizer);
       pods_created_.erase(uid);
       ttl_deleted_.erase(uid);
+      seen_indices_.erase(uid);
+      replacements_in_flight_.erase(
+          replacements_in_flight_.lower_bound({uid, 0}),
+          replacements_in_flight_.upper_bound(
+              {uid, std::numeric_limits<int>::max()}));
       continue;
     }
     for (const Uid pod_uid : rit->second.undeleted) {
@@ -169,26 +210,30 @@ void JobController::reconcile() {
 void JobController::create_pods(const Job& job) {
   const int n = std::max(job.spec.completions, job.spec.parallelism);
   for (int i = 0; i < n; ++i) {
-    Pod pod;
-    pod.meta.name = strfmt("%s-%d", job.meta.name.c_str(), i);
-    pod.meta.ns = job.meta.ns;
-    pod.meta.owner_uid = job.meta.uid;
-    pod.meta.annotations = job.meta.annotations;  // vni annotation flows down
-    pod.spec = job.spec.pod_template;
-    // Each pod-object creation costs one API round-trip; stagger them.
-    const SimDuration delay =
-        jittered(api_.params().pod_create_api_cost) * (i + 1);
-    const Uid owner = job.meta.uid;
-    api_.loop().schedule_after(delay, [this, pod, owner] {
-      // The job may have been deleted while this creation was in flight.
-      auto j = api_.get_job(owner);
-      if (!j.is_ok() || j.value().meta.deletion_requested) return;
-      auto r = api_.create_pod(pod);
-      if (!r.is_ok()) {
-        SHS_WARN(kTag) << "pod create failed: " << r.status();
-      }
-    });
+    create_pod_at(job, i, i + 1);
   }
+}
+
+void JobController::create_pod_at(const Job& job, int index, int stagger) {
+  Pod pod;
+  pod.meta.name = strfmt("%s-%d", job.meta.name.c_str(), index);
+  pod.meta.ns = job.meta.ns;
+  pod.meta.owner_uid = job.meta.uid;
+  pod.meta.annotations = job.meta.annotations;  // vni annotation flows down
+  pod.spec = job.spec.pod_template;
+  // Each pod-object creation costs one API round-trip; stagger them.
+  const SimDuration delay =
+      jittered(api_.params().pod_create_api_cost) * stagger;
+  const Uid owner = job.meta.uid;
+  api_.loop().schedule_after(delay, [this, pod, owner] {
+    // The job may have been deleted while this creation was in flight.
+    auto j = api_.get_job(owner);
+    if (!j.is_ok() || j.value().meta.deletion_requested) return;
+    auto r = api_.create_pod(pod);
+    if (!r.is_ok()) {
+      SHS_WARN(kTag) << "pod create failed: " << r.status();
+    }
+  });
 }
 
 }  // namespace shs::k8s

@@ -3,9 +3,11 @@
 // to be deleted immediately after completion", Section IV-B).
 #pragma once
 
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "k8s/api_server.hpp"
 #include "util/rng.hpp"
@@ -30,9 +32,18 @@ class JobController {
     return pods_created_.size();
   }
 
+  /// Replacement pods created for vanished ones (scheduler evictions
+  /// off dead switches — the fault-tolerance drain path).
+  [[nodiscard]] std::size_t pods_replaced() const noexcept {
+    return pods_replaced_;
+  }
+
  private:
   void reconcile();
   void create_pods(const Job& job);
+  /// (Re)creates the single pod with index `index` for `job` after the
+  /// usual per-pod API cost.
+  void create_pod_at(const Job& job, int index, int stagger);
   SimDuration jittered(SimDuration d) {
     return static_cast<SimDuration>(
         static_cast<double>(d) * rng_.jitter(api_.params().jitter_amplitude));
@@ -45,6 +56,16 @@ class JobController {
   std::unordered_set<Uid> pods_created_;
   /// Jobs with a TTL deletion already issued.
   std::unordered_set<Uid> ttl_deleted_;
+  /// Pod indices ever observed alive, per job.  Only an index that has
+  /// *existed* and is now missing was deleted out from under us
+  /// (eviction) — an index never seen is an initial staggered creation
+  /// still landing, which must not be duplicated.
+  std::unordered_map<Uid, std::unordered_set<int>> seen_indices_;
+  /// (job, pod index) replacements whose staggered create has not been
+  /// observed in the store yet — keeps a reconcile cycle that runs
+  /// before the create lands from double-replacing the same index.
+  std::set<std::pair<Uid, int>> replacements_in_flight_;
+  std::size_t pods_replaced_ = 0;
 };
 
 }  // namespace shs::k8s

@@ -97,7 +97,11 @@ void Kubelet::fail_pod(Pod pod, const std::string& why) {
 
 void Kubelet::run_create(Uid uid) {
   auto r = api_.get_pod(uid);
-  if (!r.is_ok() || r.value().meta.deletion_requested) {
+  // Node mismatch: the scheduler drained the pod off this node (dead
+  // switch) between queueing and this worker picking it up — the new
+  // home's kubelet owns it now.
+  if (!r.is_ok() || r.value().meta.deletion_requested ||
+      r.value().status.node != node_) {
     finish_create_op(uid);
     return;
   }

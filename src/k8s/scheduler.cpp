@@ -54,6 +54,43 @@ std::uint32_t Scheduler::switch_of(const std::string& node) const {
   return it == node_switch_.end() ? kUnknownSwitch : it->second;
 }
 
+bool Scheduler::switch_usable(std::uint32_t switch_id) const {
+  // The unknown pseudo-switch has no fabric health to consult.
+  return !switch_health_probe_ || switch_id == kUnknownSwitch ||
+         switch_health_probe_(switch_id);
+}
+
+void Scheduler::drain(const std::vector<Uid>& uids) {
+  for (const Uid uid : uids) {
+    auto r = api_.get_pod(uid);
+    if (!r.is_ok() || r.value().meta.deletion_requested) continue;
+    Pod pod = r.value();
+    // Re-check the phase at apply time: the kubelet may have started
+    // creating the pod since the scan classified it.
+    if (pod.status.phase == PodPhase::kScheduled) {
+      // Not started yet: unbind back to Pending so the next cycle can
+      // place it on a healthy switch (the kubelet's create pipeline
+      // bails on node mismatch).
+      pod.status.node.clear();
+      pod.status.phase = PodPhase::kPending;
+      pod.status.scheduled_vt = 0;
+      (void)api_.update_pod(pod);
+      ++telemetry_.drained_rebound;
+      SHS_DEBUG(kTag) << "drained pod " << pod.meta.name
+                      << " off its dead switch (rebind)";
+    } else if (pod.status.phase == PodPhase::kCreating ||
+               pod.status.phase == PodPhase::kRunning) {
+      // Started: evict.  The kubelet tears it down through the normal
+      // two-phase deletion; the job controller replaces the vanished pod
+      // and the replacement schedules onto a healthy switch.
+      (void)api_.delete_pod(uid);
+      ++telemetry_.drained_evicted;
+      SHS_DEBUG(kTag) << "evicted pod " << pod.meta.name
+                      << " from its dead switch";
+    }
+  }
+}
+
 void Scheduler::cycle() {
   if (nodes_.empty()) return;
 
@@ -65,6 +102,7 @@ void Scheduler::cycle() {
     std::string spread_key;
   };
   std::vector<PendingPod> pending;
+  std::vector<Uid> to_drain;
   std::unordered_map<std::string, int> bound;
   std::unordered_map<std::string, int> spread;  // key: spread_key + '\1' + node
   std::unordered_map<std::string, std::unordered_set<std::uint32_t>>
@@ -76,6 +114,16 @@ void Scheduler::cycle() {
         pending.push_back({p.meta.uid, p.spec.spread_key});
       }
       return;
+    }
+    // A bound pod whose home switch died must be drained: its NIC lost
+    // fabric connectivity, so keeping it placed there serves nobody.
+    if (!p.meta.deletion_requested &&
+        (p.status.phase == PodPhase::kScheduled ||
+         p.status.phase == PodPhase::kCreating ||
+         p.status.phase == PodPhase::kRunning) &&
+        !switch_usable(switch_of(p.status.node))) {
+      to_drain.push_back(p.meta.uid);
+      return;  // do not count it toward load/spread on the dead node
     }
     ++bound[p.status.node];
     if (!p.spec.spread_key.empty()) {
@@ -116,6 +164,9 @@ void Scheduler::cycle() {
     int best_score = std::numeric_limits<int>::max();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       const std::size_t idx = (rr_ + i) % nodes_.size();
+      if (!switch_usable(node_switch_ids_[idx])) {
+        continue;  // never place new work behind an unhealthy switch
+      }
       const std::string& n = nodes_[idx];
       int score = bound[n];
       bool crosses = false;
@@ -178,6 +229,8 @@ void Scheduler::cycle() {
       SHS_TRACE(kTag) << "bound pod " << pod.meta.name << " -> " << node;
     });
   }
+
+  drain(to_drain);
 }
 
 }  // namespace shs::k8s

@@ -57,6 +57,16 @@ class Scheduler {
     congestion_probe_ = std::move(probe);
   }
 
+  /// Fabric-health input: returns true when the given switch is healthy.
+  /// When set, the scheduler (a) never binds onto a node whose switch is
+  /// unhealthy, and (b) drains pods already on such nodes — unstarted
+  /// pods are unbound back to Pending, started ones are evicted (deleted;
+  /// the job controller replaces them).  Unset = all switches healthy.
+  using SwitchHealthProbe = std::function<bool(std::uint32_t)>;
+  void set_switch_health_probe(SwitchHealthProbe probe) {
+    switch_health_probe_ = std::move(probe);
+  }
+
   /// Aggregated bind telemetry, congestion included.
   struct BindTelemetry {
     std::size_t binds = 0;
@@ -66,6 +76,14 @@ class Scheduler {
     /// Worst / summed fabric uplink queue lag over those samples.
     SimDuration max_cross_switch_lag = 0;
     SimDuration total_cross_switch_lag = 0;
+    /// Pods taken off nodes whose switch went unhealthy: unbound back to
+    /// Pending (rebound) or deleted for replacement (evicted).
+    std::size_t drained_rebound = 0;
+    std::size_t drained_evicted = 0;
+
+    [[nodiscard]] std::size_t drained_total() const noexcept {
+      return drained_rebound + drained_evicted;
+    }
 
     [[nodiscard]] double mean_cross_switch_lag_us() const noexcept {
       return congestion_samples == 0
@@ -81,6 +99,12 @@ class Scheduler {
  private:
   void cycle();
   [[nodiscard]] std::uint32_t switch_of(const std::string& node) const;
+  /// True when `switch_id` may host new work (probe unset, pseudo-switch,
+  /// or the probe reports healthy).
+  [[nodiscard]] bool switch_usable(std::uint32_t switch_id) const;
+  /// Takes the drained pods off their dead-switch nodes (see
+  /// set_switch_health_probe).
+  void drain(const std::vector<Uid>& uids);
 
   /// A bind decision whose deferred API write has not landed yet.  The
   /// node/group are remembered so later cycles see the decision in their
@@ -101,6 +125,7 @@ class Scheduler {
   sim::EventLoop::TaskId task_ = sim::EventLoop::kInvalidTask;
   std::unordered_map<Uid, InFlightBind> in_flight_;
   CongestionProbe congestion_probe_;
+  SwitchHealthProbe switch_health_probe_;
   BindTelemetry telemetry_;
   std::size_t rr_ = 0;  ///< round-robin tiebreaker
 };

@@ -15,7 +15,7 @@ struct CniFixture : ::testing::Test {
   void SetUp() override {
     fabric = hsn::Fabric::create(1);
     driver = std::make_unique<cxi::CxiDriver>(kernel, fabric->nic(0),
-                                              fabric->switch_ptr(),
+                                              fabric->switch_for(0),
                                               cxi::AuthMode::kNetnsExtended);
     api = std::make_unique<k8s::ApiServer>(loop);
     root = kernel.spawn({})->pid();
@@ -94,7 +94,7 @@ TEST_F(CniFixture, ServiceHasNetnsMemberAndExactVni) {
   EXPECT_TRUE(svc.value().restricted_members);
   EXPECT_TRUE(svc.value().restricted_vnis);
   // The switch port is now authorized for the VNI.
-  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, 5000));
+  EXPECT_TRUE(fabric->switch_for(0)->vni_authorized(0, 5000));
 }
 
 TEST_F(CniFixture, AddIsIdempotent) {
@@ -125,7 +125,7 @@ TEST_F(CniFixture, DelDestroysServiceAndIsIdempotent) {
   ASSERT_TRUE(plugin->del(ctx(1, "true")).is_ok());
   EXPECT_EQ(driver->svc_list().size(), 1u);
   EXPECT_EQ(plugin->counters().services_destroyed, 1u);
-  EXPECT_FALSE(fabric->fabric_switch().vni_authorized(0, 5000));
+  EXPECT_FALSE(fabric->switch_for(0)->vni_authorized(0, 5000));
   // Second DEL: silent no-op, per the CNI spec.
   ASSERT_TRUE(plugin->del(ctx(1, "true")).is_ok());
   EXPECT_EQ(plugin->counters().services_destroyed, 1u);

@@ -17,7 +17,7 @@ struct CxiFixture : ::testing::Test {
   void SetUp() override {
     fabric = hsn::Fabric::create(2);
     driver = std::make_unique<CxiDriver>(kernel, fabric->nic(0),
-                                         fabric->switch_ptr(),
+                                         fabric->switch_for(0),
                                          AuthMode::kNetnsExtended);
     root = kernel.spawn({})->pid();  // host root
   }
@@ -34,7 +34,7 @@ TEST_F(CxiFixture, DefaultServiceExists) {
   EXPECT_FALSE(svc.value().restricted_members);
   EXPECT_EQ(svc.value().vnis, std::vector<hsn::Vni>{kDefaultVni});
   // The default VNI is authorized on the switch port.
-  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, kDefaultVni));
+  EXPECT_TRUE(fabric->switch_for(0)->vni_authorized(0, kDefaultVni));
 }
 
 TEST_F(CxiFixture, AnyUserCanUseDefaultService) {
@@ -283,12 +283,12 @@ TEST_F(CxiFixture, SwitchAclRefcountedAcrossServices) {
   desc.vnis = {600};
   auto a = driver->svc_alloc(root, desc);
   auto b = driver->svc_alloc(root, desc);
-  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, 600));
+  EXPECT_TRUE(fabric->switch_for(0)->vni_authorized(0, 600));
   ASSERT_TRUE(driver->svc_destroy(root, a.value()).is_ok());
-  EXPECT_TRUE(fabric->fabric_switch().vni_authorized(0, 600))
+  EXPECT_TRUE(fabric->switch_for(0)->vni_authorized(0, 600))
       << "still referenced by service b";
   ASSERT_TRUE(driver->svc_destroy(root, b.value()).is_ok());
-  EXPECT_FALSE(fabric->fabric_switch().vni_authorized(0, 600));
+  EXPECT_FALSE(fabric->switch_for(0)->vni_authorized(0, 600));
 }
 
 TEST_F(CxiFixture, EpAllocAnySvcScansServices) {

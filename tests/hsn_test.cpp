@@ -13,9 +13,8 @@ namespace {
 std::unique_ptr<Fabric> make_fabric(Vni vni = 100, std::size_t nodes = 2) {
   auto f = Fabric::create(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
-    EXPECT_TRUE(
-        f->fabric_switch().authorize_vni(static_cast<NicAddr>(i), vni)
-            .is_ok());
+    const auto addr = static_cast<NicAddr>(i);
+    EXPECT_TRUE(f->switch_for(addr)->authorize_vni(addr, vni).is_ok());
   }
   return f;
 }
@@ -35,29 +34,29 @@ TEST(Switch, RoutesAuthorizedVni) {
   EXPECT_EQ(pkt.value().tag, 7u);
   EXPECT_EQ(pkt.value().size_bytes, 64u);
   EXPECT_GT(pkt.value().arrival_vt, 0);
-  EXPECT_EQ(f->fabric_switch().counters().delivered, 1u);
+  EXPECT_EQ(f->total_counters().delivered, 1u);
 }
 
 TEST(Switch, DropsWhenSrcUnauthorized) {
   auto f = Fabric::create(2);
   // Only the destination port is authorized.
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 100).is_ok());
+  ASSERT_TRUE(f->switch_for(1)->authorize_vni(1, 100).is_ok());
   auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto t = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0);
   EXPECT_EQ(t.code(), Code::kPermissionDenied);
-  EXPECT_EQ(f->fabric_switch().counters().dropped_src_unauthorized, 1u);
-  EXPECT_EQ(f->fabric_switch().counters().delivered, 0u);
+  EXPECT_EQ(f->total_counters().dropped_src_unauthorized, 1u);
+  EXPECT_EQ(f->total_counters().delivered, 0u);
 }
 
 TEST(Switch, DropsWhenDstUnauthorized) {
   auto f = Fabric::create(2);
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 100).is_ok());
+  ASSERT_TRUE(f->switch_for(0)->authorize_vni(0, 100).is_ok());
   auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto t = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0);
   EXPECT_EQ(t.code(), Code::kPermissionDenied);
-  EXPECT_EQ(f->fabric_switch().counters().dropped_dst_unauthorized, 1u);
+  EXPECT_EQ(f->total_counters().dropped_dst_unauthorized, 1u);
 }
 
 TEST(Switch, EnforcementOffRoutesEverything) {
@@ -75,13 +74,13 @@ TEST(Switch, UnknownDestination) {
   auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto t = f->nic(0).post_send(ep0.value(), 55, 1, 1, 8, {}, 0);
   EXPECT_EQ(t.code(), Code::kNotFound);
-  EXPECT_EQ(f->fabric_switch().counters().dropped_unknown_dst, 1u);
+  EXPECT_EQ(f->total_counters().dropped_unknown_dst, 1u);
 }
 
 TEST(Switch, PerVniCounters) {
   auto f = make_fabric(100);
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 200).is_ok());
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 200).is_ok());
+  ASSERT_TRUE(f->switch_for(0)->authorize_vni(0, 200).is_ok());
+  ASSERT_TRUE(f->switch_for(1)->authorize_vni(1, 200).is_ok());
   auto a0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto a1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   auto b0 = f->nic(0).alloc_endpoint(200, TrafficClass::kBestEffort);
@@ -89,8 +88,8 @@ TEST(Switch, PerVniCounters) {
   (void)f->nic(0).post_send(a0.value(), 1, a1.value(), 1, 8, {}, 0);
   (void)f->nic(0).post_send(b0.value(), 1, b1.value(), 1, 8, {}, 0);
   (void)f->nic(0).post_send(b0.value(), 1, b1.value(), 1, 8, {}, 0);
-  EXPECT_EQ(f->fabric_switch().counters_for_vni(100).delivered, 1u);
-  EXPECT_EQ(f->fabric_switch().counters_for_vni(200).delivered, 2u);
+  EXPECT_EQ(f->total_counters_for_vni(100).delivered, 1u);
+  EXPECT_EQ(f->total_counters_for_vni(200).delivered, 2u);
 }
 
 TEST(Switch, RevokeStopsTraffic) {
@@ -99,7 +98,7 @@ TEST(Switch, RevokeStopsTraffic) {
   auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   ASSERT_TRUE(
       f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0).is_ok());
-  ASSERT_TRUE(f->fabric_switch().revoke_vni(1, 100).is_ok());
+  ASSERT_TRUE(f->switch_for(1)->revoke_vni(1, 100).is_ok());
   EXPECT_EQ(f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0)
                 .code(),
             Code::kPermissionDenied);
@@ -141,8 +140,8 @@ TEST(Nic, VniMismatchDroppedAtNic) {
   // Both ports authorized for both VNIs; the receiving *endpoint* is
   // bound to a different VNI -> the NIC itself refuses the packet.
   auto f = make_fabric(100);
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 200).is_ok());
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 200).is_ok());
+  ASSERT_TRUE(f->switch_for(0)->authorize_vni(0, 200).is_ok());
+  ASSERT_TRUE(f->switch_for(1)->authorize_vni(1, 200).is_ok());
   auto attacker = f->nic(0).alloc_endpoint(200, TrafficClass::kBestEffort);
   auto victim = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   ASSERT_TRUE(f->nic(0)
@@ -219,8 +218,8 @@ TEST(Rma, ReadReturnsData) {
 
 TEST(Rma, WrongVniMrIsDenied) {
   auto f = make_fabric(100);
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(0, 200).is_ok());
-  ASSERT_TRUE(f->fabric_switch().authorize_vni(1, 200).is_ok());
+  ASSERT_TRUE(f->switch_for(0)->authorize_vni(0, 200).is_ok());
+  ASSERT_TRUE(f->switch_for(1)->authorize_vni(1, 200).is_ok());
   auto attacker = f->nic(0).alloc_endpoint(200, TrafficClass::kBestEffort);
   auto victim = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   std::vector<std::byte> target(64);

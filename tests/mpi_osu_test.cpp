@@ -24,7 +24,8 @@ struct MpiFixture : ::testing::Test {
     for (int i = 0; i < 2; ++i) {
       kernels.push_back(std::make_unique<linuxsim::Kernel>());
       drivers.push_back(std::make_unique<cxi::CxiDriver>(
-          *kernels[i], fabric->nic(i), fabric->switch_ptr(),
+          *kernels[i], fabric->nic(i),
+          fabric->switch_for(static_cast<hsn::NicAddr>(i)),
           cxi::AuthMode::kNetnsExtended));
       pids.push_back(kernels[i]->spawn({})->pid());
       domains.push_back(std::make_unique<ofi::Domain>(

@@ -20,10 +20,10 @@ struct OfiFixture : ::testing::Test {
   void SetUp() override {
     fabric = hsn::Fabric::create(2);
     drv0 = std::make_unique<CxiDriver>(kernel0, fabric->nic(0),
-                                       fabric->switch_ptr(),
+                                       fabric->switch_for(0),
                                        AuthMode::kNetnsExtended);
     drv1 = std::make_unique<CxiDriver>(kernel1, fabric->nic(1),
-                                       fabric->switch_ptr(),
+                                       fabric->switch_for(1),
                                        AuthMode::kNetnsExtended);
     pid0 = kernel0.spawn({})->pid();
     pid1 = kernel1.spawn({})->pid();

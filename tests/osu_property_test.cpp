@@ -21,7 +21,8 @@ struct OsuWorld {
     for (int i = 0; i < 2; ++i) {
       kernels.push_back(std::make_unique<linuxsim::Kernel>());
       drivers.push_back(std::make_unique<cxi::CxiDriver>(
-          *kernels[i], fabric->nic(i), fabric->switch_ptr(),
+          *kernels[i], fabric->nic(i),
+          fabric->switch_for(static_cast<hsn::NicAddr>(i)),
           cxi::AuthMode::kNetnsExtended));
       const auto pid = kernels[i]->spawn({})->pid();
       ofi::Domain dom(*drivers[i], fabric->nic(i), fabric->timing(), pid);
@@ -117,9 +118,9 @@ TEST_P(DeterminismProperty, SameSeedSameThroughput) {
   auto run_once = [&](std::uint64_t seed) {
     auto fabric = hsn::Fabric::create(2, {}, seed);
     linuxsim::Kernel k0, k1;
-    cxi::CxiDriver d0(k0, fabric->nic(0), fabric->switch_ptr(),
+    cxi::CxiDriver d0(k0, fabric->nic(0), fabric->switch_for(0),
                       cxi::AuthMode::kNetnsExtended);
-    cxi::CxiDriver d1(k1, fabric->nic(1), fabric->switch_ptr(),
+    cxi::CxiDriver d1(k1, fabric->nic(1), fabric->switch_for(1),
                       cxi::AuthMode::kNetnsExtended);
     ofi::Domain dom0(d0, fabric->nic(0), fabric->timing(),
                      k0.spawn({})->pid());

@@ -101,8 +101,8 @@ TEST_P(SwitchIsolationProperty, DeliveryIffBothPortsAuthorized) {
   for (std::size_t port = 0; port < kNodes; ++port) {
     for (const hsn::Vni vni : kVnis) {
       if (rng.uniform() < 0.5) {
-        ASSERT_TRUE(fabric->fabric_switch()
-                        .authorize_vni(static_cast<hsn::NicAddr>(port), vni)
+        const auto addr = static_cast<hsn::NicAddr>(port);
+        ASSERT_TRUE(fabric->switch_for(addr)->authorize_vni(addr, vni)
                         .is_ok());
         acl.insert({static_cast<hsn::NicAddr>(port), vni});
       }

@@ -85,7 +85,7 @@ TEST_F(SlurmFixture, CompleteStepReleasesEverything) {
   EXPECT_EQ(slurmd->active_steps(), 0u);
   EXPECT_EQ(stack.registry().allocated_count(), 0u);
   EXPECT_EQ(stack.registry().quarantined_count(stack.loop().now()), 1u);
-  EXPECT_FALSE(stack.fabric().fabric_switch().vni_authorized(0, vni));
+  EXPECT_FALSE(stack.fabric().switch_for(0)->vni_authorized(0, vni));
 }
 
 TEST_F(SlurmFixture, ValidationErrors) {

@@ -112,8 +112,8 @@ TEST_P(SoakProperty, ChurnLeavesNoResidue) {
   // 5. Switch ACLs: only the default VNI remains authorized.
   for (std::size_t n = 0; n < stack.node_count(); ++n) {
     for (hsn::Vni v = cfg.vni.vni_min; v < cfg.vni.vni_min + 50; ++v) {
-      EXPECT_FALSE(stack.fabric().fabric_switch().vni_authorized(
-          static_cast<hsn::NicAddr>(n), v))
+      const auto addr = static_cast<hsn::NicAddr>(n);
+      EXPECT_FALSE(stack.fabric().switch_for(addr)->vni_authorized(addr, v))
           << "VNI " << v << " still authorized on node " << n;
     }
   }

@@ -14,7 +14,7 @@ struct TcFixture : ::testing::Test {
   void SetUp() override {
     fabric = Fabric::create(2);
     for (NicAddr p = 0; p < 2; ++p) {
-      ASSERT_TRUE(fabric->fabric_switch().authorize_vni(p, 9).is_ok());
+      ASSERT_TRUE(fabric->switch_for(p)->authorize_vni(p, 9).is_ok());
     }
     ll_src = fabric->nic(0).alloc_endpoint(9, TrafficClass::kLowLatency)
                  .value();
