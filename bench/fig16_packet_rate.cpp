@@ -1,0 +1,198 @@
+// fig16_packet_rate.cpp — wall-clock packet rate of the simulated data
+// plane itself (not the modeled hardware): how many packets per second
+// of *host* time the fabric can route, check, and deliver.
+//
+// Scenario (the headline configuration of docs/performance.md): a
+// 256-node dragonfly (8 nodes/switch, 4 switches/group -> 8 groups, 32
+// switches) under UGAL adaptive routing with VNI enforcement ON — the
+// most expensive per-packet configuration the simulator supports: every
+// packet takes the edge VNI checks, the UGAL minimal-vs-Valiant delay
+// comparison, and 1-3 inter-switch hops.  A static-minimal series runs
+// alongside for context.
+//
+// The traffic pattern is a half-shift permutation (src -> src + N/2),
+// so most flows cross groups and exercise gateway links; receivers are
+// drained every round so queues stay bounded.
+//
+// Output: CSV rows `fig16,<series>,<packets>,<wall_s>,<pps>` plus a
+// JSON artifact (--json[=path], default BENCH_fig16.json) recording
+// packets/sec per series — the number the CI bench-smoke trajectory
+// tracks.  The run fails (non-zero exit) if any packet was dropped:
+// with every port authorized, enforcement must be overhead, not loss.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "hsn/fabric.hpp"
+
+namespace {
+
+using namespace shs;
+
+constexpr hsn::Vni kTenantVni = 4242;
+constexpr std::uint64_t kPacketBytes = 2048;
+
+struct SeriesResult {
+  std::string name;
+  std::uint64_t packets = 0;
+  double wall_s = 0;
+  double pps = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t forwarded = 0;
+};
+
+SeriesResult run_series(hsn::RoutingPolicy policy, std::size_t nodes,
+                        int rounds, std::uint64_t seed) {
+  hsn::TopologyConfig topo;
+  topo.kind = hsn::TopologyKind::kDragonfly;
+  topo.routing = policy;
+  topo.nodes_per_switch = 8;
+  topo.switches_per_group = 4;
+
+  // Deterministic timing (no jitter, no run bias): the bench measures
+  // the data plane's wall-clock cost, and per-seed results — delivery
+  // times, counters — stay bit-identical run to run.
+  hsn::TimingConfig timing;
+  timing.jitter_amplitude = 0.0;
+  timing.run_bias_amplitude = 0.0;
+
+  auto fabric = hsn::Fabric::create(nodes, timing, seed, topo);
+  fabric->set_enforcement(true);
+
+  // Pre-resolve NICs and endpoints: the loop below measures the data
+  // plane, not repeated bounds-checked accessor lookups.
+  std::vector<hsn::EndpointId> eps;
+  std::vector<hsn::CassiniNic*> nics;
+  eps.reserve(nodes);
+  nics.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<hsn::NicAddr>(i);
+    if (!fabric->switch_for(addr)->authorize_vni(addr, kTenantVni).is_ok()) {
+      std::fprintf(stderr, "authorize_vni failed for NIC %zu\n", i);
+      std::exit(2);
+    }
+    nics.push_back(&fabric->nic(addr));
+    auto ep = nics.back()->alloc_endpoint(kTenantVni,
+                                          hsn::TrafficClass::kBulkData);
+    if (!ep.is_ok()) std::exit(2);
+    eps.push_back(ep.value());
+  }
+
+  // Half-shift permutation, destinations precomputed once — the timed
+  // loop should measure packet routing, not address arithmetic.
+  const std::size_t half = nodes / 2;
+  std::vector<hsn::NicAddr> dst_of(nodes);
+  for (std::size_t s = 0; s < nodes; ++s) {
+    dst_of[s] = static_cast<hsn::NicAddr>((s + half) % nodes);
+  }
+  const auto pump_round = [&](std::uint64_t tag) {
+    for (std::size_t s = 0; s < nodes; ++s) {
+      const hsn::NicAddr dst = dst_of[s];
+      (void)nics[s]->post_send(eps[s], dst, eps[dst], tag, kPacketBytes, {},
+                               0);
+    }
+  };
+  // Bulk CQ drain where the NIC offers it (one lock per queue); poll
+  // loop otherwise.  Generic lambda so the same bench source compiles
+  // against trees whose NIC predates drain_rx.
+  const auto drain_one = [](auto* nic, hsn::EndpointId ep) {
+    if constexpr (requires { nic->drain_rx(ep); }) {
+      (void)nic->drain_rx(ep);
+    } else {
+      while (nic->poll_rx(ep).is_ok()) {
+      }
+    }
+  };
+  const auto drain = [&] {
+    for (std::size_t d = 0; d < nodes; ++d) {
+      drain_one(nics[d], eps[d]);
+    }
+  };
+
+  // Warm up allocators, routing tables, and per-VNI counters before the
+  // timed region, so the measurement sees the steady state.
+  for (int k = 0; k < 8; ++k) pump_round(static_cast<std::uint64_t>(k));
+  drain();
+  const hsn::SwitchCounters warm = fabric->total_counters();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < rounds; ++k) {
+    pump_round(1000 + static_cast<std::uint64_t>(k));
+    if ((k & 7) == 7) drain();  // keep RX queues short and cache-hot
+  }
+  drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const hsn::SwitchCounters totals = fabric->total_counters();
+  SeriesResult r;
+  r.name = std::string(hsn::routing_policy_name(policy));
+  r.packets = static_cast<std::uint64_t>(rounds) * nodes;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.pps = r.wall_s > 0 ? static_cast<double>(r.packets) / r.wall_s : 0;
+  r.delivered = totals.delivered - warm.delivered;
+  r.dropped = totals.dropped_total() - warm.dropped_total();
+  r.forwarded = totals.forwarded - warm.forwarded;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      shs::bench::json_flag(argc, argv, "BENCH_fig16.json");
+  const std::size_t nodes = 256;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 2000;
+  const std::uint64_t seed = 0xf16;
+
+  shs::bench::print_header(
+      "fig16", "wall-clock packet rate, 256-node dragonfly, enforcement on");
+
+  bool ok = true;
+  std::vector<std::string> records;
+  for (const auto policy :
+       {hsn::RoutingPolicy::kUgal, hsn::RoutingPolicy::kMinimal}) {
+    const SeriesResult r = run_series(policy, nodes, rounds, seed);
+    std::printf("fig16,%s,%llu,%.4f,%.0f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.packets), r.wall_s, r.pps);
+    std::printf(
+        "#   %s: %.0f packets/s wall-clock (%llu delivered, %llu forwarded "
+        "transit hops, %llu dropped)\n",
+        r.name.c_str(), r.pps, static_cast<unsigned long long>(r.delivered),
+        static_cast<unsigned long long>(r.forwarded),
+        static_cast<unsigned long long>(r.dropped));
+    if (r.dropped != 0 || r.delivered != r.packets) {
+      std::fprintf(stderr,
+                   "FAIL(%s): %llu of %llu packets delivered, %llu dropped — "
+                   "enforcement must be overhead-only on an all-authorized "
+                   "fabric\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.delivered),
+                   static_cast<unsigned long long>(r.packets),
+                   static_cast<unsigned long long>(r.dropped));
+      ok = false;
+    }
+    records.push_back(shs::bench::JsonObject{}
+                          .add("figure", "fig16")
+                          .add("series", r.name)
+                          .add("nodes", static_cast<std::uint64_t>(nodes))
+                          .add("topology", "dragonfly")
+                          .add("enforcement", true)
+                          .add("packet_bytes", kPacketBytes)
+                          .add("packets", r.packets)
+                          .add("wall_seconds", r.wall_s)
+                          .add("packets_per_sec", r.pps)
+                          .add("forwarded", r.forwarded)
+                          .add("dropped", r.dropped)
+                          .str());
+  }
+
+  if (!json_path.empty() &&
+      !shs::bench::write_json(json_path, shs::bench::json_array(records))) {
+    return 1;
+  }
+  return ok ? 0 : 1;
+}

@@ -32,6 +32,37 @@ void BM_SwitchRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_SwitchRoute)->Arg(8)->Arg(4096)->Arg(1 << 20);
 
+void BM_SwitchRouteDragonflyUgal(benchmark::State& state) {
+  // Multi-hop variant: a 256-node dragonfly under UGAL with enforcement
+  // on — every send pays the adaptive routing decision plus up to three
+  // inter-switch hops, so the flat-table data plane (compiled routing
+  // tables, dense port/uplink vectors, counter slabs) dominates the
+  // measurement instead of the single-switch edge case above.
+  hsn::TopologyConfig topo;
+  topo.kind = hsn::TopologyKind::kDragonfly;
+  topo.routing = hsn::RoutingPolicy::kUgal;
+  topo.nodes_per_switch = 8;
+  topo.switches_per_group = 4;
+  auto fabric = hsn::Fabric::create(256, {}, 0xf16, topo);
+  const hsn::NicAddr src = 0;
+  const hsn::NicAddr dst = 200;  // different group: local->global->local
+  (void)fabric->switch_for(src)->authorize_vni(src, 7);
+  (void)fabric->switch_for(dst)->authorize_vni(dst, 7);
+  auto ep0 =
+      fabric->nic(src).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
+  auto ep1 =
+      fabric->nic(dst).alloc_endpoint(7, hsn::TrafficClass::kBestEffort);
+  SimTime vt = 0;
+  for (auto _ : state) {
+    auto r = fabric->nic(src).post_send(ep0.value(), dst, ep1.value(), 1,
+                                        state.range(0), {}, vt);
+    vt = r.value();
+    (void)fabric->nic(dst).poll_rx(ep1.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchRouteDragonflyUgal)->Arg(8)->Arg(4096);
+
 void BM_EndpointAuthNetns(benchmark::State& state) {
   linuxsim::Kernel kernel;
   auto fabric = hsn::Fabric::create(1);

@@ -180,6 +180,13 @@ class SlingshotStack {
   [[nodiscard]] SimDuration total_reroute_latency() const noexcept {
     return total_reroute_latency_;
   }
+  /// Version of the routing tables currently compiled and published to
+  /// every switch: 0 for the pristine build, +1 per fabric-manager
+  /// repair.  Pairs with reroute_events() to observe that an injected
+  /// failure actually produced a republished (re-compiled) plan.
+  [[nodiscard]] std::uint64_t published_plan_version() const {
+    return fabric_->manager().plan_version();
+  }
 
  private:
   /// Schedules the fabric manager's repair for a just-injected failure

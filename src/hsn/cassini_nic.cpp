@@ -1,9 +1,12 @@
 #include "hsn/cassini_nic.hpp"
 
 #include <algorithm>
+
+#include "hsn/fabric.hpp"
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <utility>
 
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -33,39 +36,75 @@ Status drop_status(DropReason r) {
 }
 }  // namespace
 
-CassiniNic::CassiniNic(NicAddr addr,
-                       std::shared_ptr<RosettaSwitch> fabric_switch,
+CassiniNic::CassiniNic(NicAddr addr, InjectFn inject,
                        std::shared_ptr<TimingModel> timing, NicLimits limits)
-    : addr_(addr), switch_(std::move(fabric_switch)), timing_(std::move(timing)),
+    : addr_(addr), inject_(std::move(inject)), timing_(std::move(timing)),
       limits_(limits) {
-  const Status st =
-      switch_->connect(addr_, [this](Packet&& p) { on_packet(std::move(p)); });
-  if (!st.is_ok()) {
-    SHS_ERROR(kTag) << "NIC " << addr_ << " failed to connect: " << st;
+  ep_spines_.push_back(std::make_unique<EpSpine>(4));
+  ep_spine_.store(ep_spines_.back().get(), std::memory_order_release);
+  if (!inject_) {
+    SHS_ERROR(kTag) << "NIC " << addr_ << " built without injection path";
   }
 }
 
+CassiniNic::CassiniNic(NicAddr addr, Fabric& fabric,
+                       std::shared_ptr<TimingModel> timing, NicLimits limits)
+    : addr_(addr), fabric_(&fabric), timing_(std::move(timing)),
+      limits_(limits) {
+  ep_spines_.push_back(std::make_unique<EpSpine>(4));
+  ep_spine_.store(ep_spines_.back().get(), std::memory_order_release);
+}
+
+RouteResult CassiniNic::inject(Packet&& p) {
+  if (fabric_ != nullptr) return fabric_->inject(std::move(p));
+  return inject_(std::move(p));
+}
+
 CassiniNic::~CassiniNic() {
-  // Wake any blocked waiters before tearing down.
-  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> eps;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    eps = endpoints_;
-  }
-  for (auto& [id, ep] : eps) {
-    std::lock_guard<std::mutex> ep_lock(ep->mutex);
-    ep->closed = true;
+  // Wake any blocked waiters before tearing down.  The Fabric owns the
+  // switch-side port wiring; nothing to detach here.
+  for (const auto& ep : ep_owned_) {
+    {
+      std::lock_guard<SpinLock> ep_lock(ep->qlock);
+      ep->closed = true;
+    }
+    std::lock_guard<std::mutex> wl(ep->wmutex);
     ep->cv.notify_all();
   }
-  (void)switch_->disconnect(addr_);
+}
+
+std::atomic<CassiniNic::Endpoint*>& CassiniNic::ep_slot_locked(
+    EndpointId id) {
+  const std::size_t chunk = id / kEpChunkSize;
+  EpSpine* spine = ep_spine_.load(std::memory_order_relaxed);
+  if (chunk >= spine->chunks.size()) {
+    // Grow the spine by generations; the old one stays alive (and
+    // valid) for any reader that loaded it a moment ago.
+    const std::size_t grown = std::max(chunk + 1, spine->chunks.size() * 2);
+    auto next = std::make_unique<EpSpine>(grown);
+    for (std::size_t i = 0; i < spine->chunks.size(); ++i) {
+      next->chunks[i].store(spine->chunks[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    ep_spines_.push_back(std::move(next));
+    spine = ep_spines_.back().get();
+    ep_spine_.store(spine, std::memory_order_release);
+  }
+  if (spine->chunks[chunk].load(std::memory_order_relaxed) == nullptr) {
+    ep_chunks_.push_back(std::make_unique<EpChunk>());
+    spine->chunks[chunk].store(ep_chunks_.back().get(),
+                               std::memory_order_release);
+  }
+  return spine->chunks[chunk].load(std::memory_order_relaxed)
+      ->slots[id % kEpChunkSize];
 }
 
 Result<EndpointId> CassiniNic::alloc_endpoint(Vni vni, TrafficClass tc) {
   if (vni == kInvalidVni) {
     return Result<EndpointId>(invalid_argument("VNI 0 is reserved"));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (endpoints_.size() >= limits_.max_endpoints) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  if (endpoint_count_ >= limits_.max_endpoints) {
     return Result<EndpointId>(
         resource_exhausted(strfmt("NIC %u endpoint limit (%u) reached", addr_,
                                   limits_.max_endpoints)));
@@ -74,22 +113,37 @@ Result<EndpointId> CassiniNic::alloc_endpoint(Vni vni, TrafficClass tc) {
   auto ep = std::make_shared<Endpoint>();
   ep->vni = vni;
   ep->tc = tc;
-  endpoints_.emplace(id, std::move(ep));
+  // Publish: the release store makes the fully-built Endpoint visible to
+  // the lock-free readers.
+  std::atomic<Endpoint*>& slot = ep_slot_locked(id);
+  ep_owned_.push_back(ep);
+  slot.store(ep.get(), std::memory_order_release);
+  ++endpoint_count_;
   SHS_DEBUG(kTag) << "NIC " << addr_ << " allocated EP " << id << " on VNI "
                   << vni;
   return id;
 }
 
 Status CassiniNic::free_endpoint(EndpointId id) {
-  std::shared_ptr<Endpoint> ep;
+  Endpoint* ep = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = endpoints_.find(id);
-    if (it == endpoints_.end()) {
-      return not_found(strfmt("NIC %u: no endpoint %u", addr_, id));
+    // mr_mutex_ is the OUTER lock (the documented order): the spinlock
+    // section inside stays nanoseconds-long and never blocks, and
+    // holding mr_mutex_ across slot-null + MR sweep serializes this
+    // whole teardown against register_mr's lookup + insert.
+    std::lock_guard<std::mutex> mr_lock(mr_mutex_);
+    {
+      std::lock_guard<SpinLock> lock(mutex_);
+      ep = find_ep(id);
+      if (ep == nullptr) {
+        return not_found(strfmt("NIC %u: no endpoint %u", addr_, id));
+      }
+      // Ids are never reused; the slot stays empty.  The object itself
+      // stays parked in ep_owned_ so a racing reader is never left with
+      // a dangling pointer.
+      ep_slot_locked(id).store(nullptr, std::memory_order_release);
+      --endpoint_count_;
     }
-    ep = it->second;
-    endpoints_.erase(it);
     // Registered MRs die with the endpoint, as the driver would enforce.
     for (auto mr_it = mrs_.begin(); mr_it != mrs_.end();) {
       if (mr_it->second.ep == id) {
@@ -99,15 +153,18 @@ Status CassiniNic::free_endpoint(EndpointId id) {
       }
     }
   }
-  std::lock_guard<std::mutex> ep_lock(ep->mutex);
-  ep->closed = true;
+  {
+    std::lock_guard<SpinLock> ep_lock(ep->qlock);
+    ep->closed = true;
+  }
+  std::lock_guard<std::mutex> wl(ep->wmutex);
   ep->cv.notify_all();
   return Status::ok();
 }
 
 std::size_t CassiniNic::endpoint_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return endpoints_.size();
+  std::lock_guard<SpinLock> lock(mutex_);
+  return endpoint_count_;
 }
 
 Vni CassiniNic::endpoint_vni(EndpointId id) const {
@@ -115,18 +172,28 @@ Vni CassiniNic::endpoint_vni(EndpointId id) const {
   return ep ? ep->vni : kInvalidVni;
 }
 
-std::shared_ptr<CassiniNic::Endpoint> CassiniNic::find_ep(
-    EndpointId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = endpoints_.find(id);
-  return it == endpoints_.end() ? nullptr : it->second;
+CassiniNic::Endpoint* CassiniNic::find_ep(EndpointId id) const {
+  // Lock-free read: three dependent acquire loads (spine -> chunk ->
+  // slot) — the steady-state fast path for every send and receive, with
+  // no lock and no refcount traffic.
+  const EpSpine* spine = ep_spine_.load(std::memory_order_acquire);
+  const std::size_t chunk = id / kEpChunkSize;
+  if (chunk >= spine->chunks.size()) return nullptr;
+  const EpChunk* c = spine->chunks[chunk].load(std::memory_order_acquire);
+  if (c == nullptr) return nullptr;
+  return c->slots[id % kEpChunkSize].load(std::memory_order_acquire);
 }
 
 Result<RKey> CassiniNic::register_mr(EndpointId ep_id,
                                      std::span<std::byte> region) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = endpoints_.find(ep_id);
-  if (it == endpoints_.end()) {
+  // mr_mutex_ serializes the lookup + insert against free_endpoint's
+  // slot-null + MR sweep (which also runs under mr_mutex_), so no MR
+  // can be registered against an endpoint being freed and then outlive
+  // the per-endpoint sweep.  No spinlock is held across this blocking
+  // section.
+  std::lock_guard<std::mutex> mr_lock(mr_mutex_);
+  const Endpoint* ep = find_ep(ep_id);
+  if (ep == nullptr) {
     return Result<RKey>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
                                          ep_id)));
   }
@@ -136,12 +203,12 @@ Result<RKey> CassiniNic::register_mr(EndpointId ep_id,
                limits_.max_memory_regions)));
   }
   const RKey key = next_rkey_++;
-  mrs_.emplace(key, MemRegion{ep_id, it->second->vni, region});
+  mrs_.emplace(key, MemRegion{ep_id, ep->vni, region});
   return key;
 }
 
 Status CassiniNic::deregister_mr(RKey key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mr_mutex_);
   if (mrs_.erase(key) == 0) {
     return not_found(strfmt("NIC %u: no MR with rkey %llu", addr_,
                             static_cast<unsigned long long>(key)));
@@ -150,19 +217,27 @@ Status CassiniNic::deregister_mr(RKey key) {
 }
 
 std::size_t CassiniNic::mr_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(mr_mutex_);
   return mrs_.size();
 }
 
 void CassiniNic::push_event(Endpoint& ep, Event e, std::size_t cap) {
-  std::lock_guard<std::mutex> lock(ep.mutex);
-  if (ep.events.size() >= cap) ep.events.pop_front();  // oldest-first drop
-  ep.events.push_back(std::move(e));
-  ep.cv.notify_all();
+  bool notify;
+  {
+    std::lock_guard<SpinLock> lock(ep.qlock);
+    if (ep.events.size() >= cap) ep.events.pop_front();  // oldest-first drop
+    ep.events.push_back(std::move(e));
+    notify = ep.waiters > 0;
+  }
+  if (notify) {
+    // Taking wmutex orders the notify after the waiter's cv.wait entry.
+    std::lock_guard<std::mutex> wl(ep.wmutex);
+    ep.cv.notify_all();
+  }
 }
 
 SimTime CassiniNic::schedule_tx_locked(SimTime accepted_vt, TrafficClass tc,
-                                       std::uint64_t size_bytes) {
+                                       SimDuration ser_time) {
   const int prio = static_cast<int>(tc);  // 0 = highest priority
   SimTime start = accepted_vt;
   for (int c = 0; c <= prio; ++c) {
@@ -175,16 +250,13 @@ SimTime CassiniNic::schedule_tx_locked(SimTime accepted_vt, TrafficClass tc,
       break;
     }
   }
-  tx_free_vt_[prio] = start + timing_->serialize_time(size_bytes);
+  tx_free_vt_[prio] = start + ser_time;
   return tx_free_vt_[prio];
 }
 
 void CassiniNic::count_tx_drop(const RouteResult& rr, EndpointId src_ep,
                                std::uint64_t op_id, SimTime error_vt) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.tx_dropped;
-  }
+  counters_.tx_dropped.fetch_add(1, std::memory_order_relaxed);
   if (const auto ep = find_ep(src_ep)) {
     Event e;
     e.type = Event::Type::kError;
@@ -223,14 +295,16 @@ Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
   // Virtual-time bookkeeping: the caller pays the per-post overhead; the
   // packet leaves the NIC once the egress link has drained earlier posts.
   const SimTime accepted_vt = local_vt + timing_->tx_overhead();
+  p.ser_cache = timing_->serialize_time(size_bytes);
+  p.ser_cache_bps = timing_->config().link_rate.bps();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    p.seq = next_seq_++;
-    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, size_bytes);
-    ++counters_.tx_packets;
+    std::lock_guard<SpinLock> lock(mutex_);
+    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
+    ++tx_packets_;
   }
 
-  const RouteResult rr = switch_->route(std::move(p));
+  const RouteResult rr = inject(std::move(p));
   if (!rr.delivered) {
     count_tx_drop(rr, ep_id, op_id, accepted_vt);
     return Result<SimTime>(drop_status(rr.reason));
@@ -273,13 +347,15 @@ Result<SimTime> CassiniNic::rdma_write(EndpointId ep_id, NicAddr dst,
   if (!payload.empty()) p.payload.assign(payload.begin(), payload.end());
 
   const SimTime accepted_vt = local_vt + timing_->tx_overhead();
+  p.ser_cache = timing_->serialize_time(size_bytes);
+  p.ser_cache_bps = timing_->config().link_rate.bps();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    p.seq = next_seq_++;
-    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, size_bytes);
-    ++counters_.tx_packets;
+    std::lock_guard<SpinLock> lock(mutex_);
+    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
+    ++tx_packets_;
   }
-  const RouteResult rr = switch_->route(std::move(p));
+  const RouteResult rr = inject(std::move(p));
   if (!rr.delivered) {
     count_tx_drop(rr, ep_id, op_id, accepted_vt);
     return Result<SimTime>(drop_status(rr.reason));
@@ -311,13 +387,15 @@ Result<SimTime> CassiniNic::rdma_read(EndpointId ep_id, NicAddr dst,
   p.tag = size_bytes;
 
   const SimTime accepted_vt = local_vt + timing_->tx_overhead();
+  p.ser_cache = timing_->serialize_time(p.size_bytes);
+  p.ser_cache_bps = timing_->config().link_rate.bps();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    p.seq = next_seq_++;
-    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.size_bytes);
-    ++counters_.tx_packets;
+    std::lock_guard<SpinLock> lock(mutex_);
+    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
+    ++tx_packets_;
   }
-  const RouteResult rr = switch_->route(std::move(p));
+  const RouteResult rr = inject(std::move(p));
   if (!rr.delivered) {
     count_tx_drop(rr, ep_id, op_id, accepted_vt);
     return Result<SimTime>(drop_status(rr.reason));
@@ -325,133 +403,138 @@ Result<SimTime> CassiniNic::rdma_read(EndpointId ep_id, NicAddr dst,
   return accepted_vt;
 }
 
-void CassiniNic::on_packet(Packet&& p) {
+void CassiniNic::deliver(Packet&& p) {
   std::optional<Packet> reply;
-  {
-    // Dispatch under the NIC lock; queue pushes take the endpoint lock.
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto it = endpoints_.find(p.dst_ep);
-    std::shared_ptr<Endpoint> ep;
-
-    switch (p.op) {
-      case PacketOp::kSend: {
-        if (it == endpoints_.end()) {
-          ++counters_.rx_unknown_ep;
-          return;
-        }
-        ep = it->second;
-        if (ep->vni != p.vni) {
-          ++counters_.rx_vni_mismatch;
-          return;
-        }
-        ++counters_.rx_packets;
-        lock.unlock();
-        std::lock_guard<std::mutex> ep_lock(ep->mutex);
+  switch (p.op) {
+    // Two-sided and completion traffic resolves its endpoint through the
+    // lock-free snapshot and only takes the *endpoint's* lock — the
+    // steady-state receive path never touches the NIC-wide mutex.
+    case PacketOp::kSend: {
+      const auto ep = find_ep(p.dst_ep);
+      if (ep == nullptr) {
+        counters_.rx_unknown_ep.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (ep->vni != p.vni) {
+        counters_.rx_vni_mismatch.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      bool notify;
+      {
+        std::lock_guard<SpinLock> ep_lock(ep->qlock);
         if (ep->rx.size() >= limits_.max_rx_queue_packets) {
-          ep->rx.pop_front();
+          (void)ep->rx.pop_front();  // oldest-first drop at the cap
         }
         ep->rx.push_back(std::move(p));
+        ++ep->rx_accepted;
+        notify = ep->waiters > 0;
+      }
+      if (notify) {
+        std::lock_guard<std::mutex> wl(ep->wmutex);
         ep->cv.notify_all();
+      }
+      return;
+    }
+
+    case PacketOp::kAck: {
+      const auto ep = find_ep(p.dst_ep);
+      if (ep == nullptr) {
+        counters_.rx_unknown_ep.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
+      Event e;
+      e.type = Event::Type::kRdmaWriteComplete;
+      e.op_id = p.op_id;
+      e.size = p.tag;  // echoed write size
+      e.vt = p.arrival_vt + timing_->rx_overhead();
+      push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+      return;
+    }
 
-      case PacketOp::kAck: {
-        if (it == endpoints_.end()) {
-          ++counters_.rx_unknown_ep;
-          return;
-        }
-        ep = it->second;
-        ++counters_.rx_packets;
-        lock.unlock();
-        Event e;
-        e.type = Event::Type::kRdmaWriteComplete;
-        e.op_id = p.op_id;
-        e.size = p.tag;  // echoed write size
-        e.vt = p.arrival_vt + timing_->rx_overhead();
-        push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+    case PacketOp::kRdmaReadResp: {
+      const auto ep = find_ep(p.dst_ep);
+      if (ep == nullptr) {
+        counters_.rx_unknown_ep.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
+      Event e;
+      e.type = Event::Type::kRdmaReadComplete;
+      e.op_id = p.op_id;
+      e.size = p.size_bytes;
+      e.vt = p.arrival_vt + timing_->rx_overhead();
+      e.data = std::move(p.payload);
+      push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+      return;
+    }
 
-      case PacketOp::kRdmaReadResp: {
-        if (it == endpoints_.end()) {
-          ++counters_.rx_unknown_ep;
-          return;
-        }
-        ep = it->second;
-        ++counters_.rx_packets;
-        lock.unlock();
-        Event e;
-        e.type = Event::Type::kRdmaReadComplete;
-        e.op_id = p.op_id;
-        e.size = p.size_bytes;
-        e.vt = p.arrival_vt + timing_->rx_overhead();
-        e.data = std::move(p.payload);
-        push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+    // One-sided targets touch the MR table, so they take the MR mutex —
+    // a blocking lock, because the payload copy under it is as large as
+    // the transfer — and release it before re-entering the fabric.
+    case PacketOp::kRdmaWrite: {
+      std::unique_lock<std::mutex> lock(mr_mutex_);
+      const auto mr_it = mrs_.find(p.rkey);
+      if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
+          p.mr_offset + p.size_bytes > mr_it->second.region.size()) {
+        counters_.rma_denied.fetch_add(1, std::memory_order_relaxed);
+        return;  // silently dropped, as hardware would NACK eventually
+      }
+      if (!p.payload.empty()) {
+        std::memcpy(mr_it->second.region.data() + p.mr_offset,
+                    p.payload.data(),
+                    std::min<std::size_t>(p.payload.size(), p.size_bytes));
+      }
+      counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
+      // ACK back to the initiator (size 0, echoes write size in tag).
+      Packet ack;
+      ack.src = addr_;
+      ack.dst = p.src;
+      ack.dst_ep = p.src_ep;
+      ack.vni = p.vni;
+      ack.tc = p.tc;
+      ack.op = PacketOp::kAck;
+      ack.size_bytes = 0;
+      ack.tag = p.size_bytes;
+      ack.op_id = p.op_id;
+      ack.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+      ack.inject_vt = p.arrival_vt + timing_->rx_overhead();
+      reply = std::move(ack);
+      break;
+    }
+
+    case PacketOp::kRdmaRead: {
+      std::unique_lock<std::mutex> lock(mr_mutex_);
+      const std::uint64_t want = p.tag;
+      const auto mr_it = mrs_.find(p.rkey);
+      if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
+          p.mr_offset + want > mr_it->second.region.size()) {
+        counters_.rma_denied.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-
-      case PacketOp::kRdmaWrite: {
-        const auto mr_it = mrs_.find(p.rkey);
-        if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
-            p.mr_offset + p.size_bytes > mr_it->second.region.size()) {
-          ++counters_.rma_denied;
-          return;  // silently dropped, as hardware would NACK eventually
-        }
-        if (!p.payload.empty()) {
-          std::memcpy(mr_it->second.region.data() + p.mr_offset,
-                      p.payload.data(),
-                      std::min<std::size_t>(p.payload.size(), p.size_bytes));
-        }
-        ++counters_.rx_packets;
-        // ACK back to the initiator (size 0, echoes write size in tag).
-        Packet ack;
-        ack.src = addr_;
-        ack.dst = p.src;
-        ack.dst_ep = p.src_ep;
-        ack.vni = p.vni;
-        ack.tc = p.tc;
-        ack.op = PacketOp::kAck;
-        ack.size_bytes = 0;
-        ack.tag = p.size_bytes;
-        ack.op_id = p.op_id;
-        ack.seq = next_seq_++;
-        ack.inject_vt = p.arrival_vt + timing_->rx_overhead();
-        reply = std::move(ack);
-        break;
-      }
-
-      case PacketOp::kRdmaRead: {
-        const std::uint64_t want = p.tag;
-        const auto mr_it = mrs_.find(p.rkey);
-        if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
-            p.mr_offset + want > mr_it->second.region.size()) {
-          ++counters_.rma_denied;
-          return;
-        }
-        ++counters_.rx_packets;
-        Packet resp;
-        resp.src = addr_;
-        resp.dst = p.src;
-        resp.dst_ep = p.src_ep;
-        resp.vni = p.vni;
-        resp.tc = p.tc;
-        resp.op = PacketOp::kRdmaReadResp;
-        resp.size_bytes = want;
-        resp.op_id = p.op_id;
-        resp.seq = next_seq_++;
-        resp.payload.assign(
-            mr_it->second.region.begin() +
-                static_cast<std::ptrdiff_t>(p.mr_offset),
-            mr_it->second.region.begin() +
-                static_cast<std::ptrdiff_t>(p.mr_offset + want));
-        resp.inject_vt = p.arrival_vt + timing_->rx_overhead();
-        reply = std::move(resp);
-        break;
-      }
+      counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
+      Packet resp;
+      resp.src = addr_;
+      resp.dst = p.src;
+      resp.dst_ep = p.src_ep;
+      resp.vni = p.vni;
+      resp.tc = p.tc;
+      resp.op = PacketOp::kRdmaReadResp;
+      resp.size_bytes = want;
+      resp.op_id = p.op_id;
+      resp.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+      resp.payload.assign(
+          mr_it->second.region.begin() +
+              static_cast<std::ptrdiff_t>(p.mr_offset),
+          mr_it->second.region.begin() +
+              static_cast<std::ptrdiff_t>(p.mr_offset + want));
+      resp.inject_vt = p.arrival_vt + timing_->rx_overhead();
+      reply = std::move(resp);
+      break;
     }
   }
   if (reply) {
-    (void)switch_->route(std::move(*reply));
+    (void)inject(std::move(*reply));
   }
 }
 
@@ -461,17 +544,34 @@ Result<Packet> CassiniNic::wait_rx(EndpointId ep_id, int real_timeout_ms) {
     return Result<Packet>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
                                            ep_id)));
   }
-  std::unique_lock<std::mutex> lock(ep->mutex);
-  const bool ready = ep->cv.wait_for(
-      lock, std::chrono::milliseconds(real_timeout_ms),
-      [&] { return !ep->rx.empty() || ep->closed; });
-  if (!ready) return Result<Packet>(timeout_error("wait_rx timed out"));
-  if (ep->rx.empty()) {
-    return Result<Packet>(failed_precondition("endpoint closed"));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(real_timeout_ms);
+  std::unique_lock<std::mutex> wl(ep->wmutex);
+  for (;;) {
+    {
+      // Check and (if empty) register as a waiter in ONE qlock section:
+      // a push serialized after this either sees data consumed or sees
+      // waiters > 0 and will notify under wmutex, which we still hold.
+      std::lock_guard<SpinLock> qlock(ep->qlock);
+      if (!ep->rx.empty()) return ep->rx.pop_front();
+      if (ep->closed) {
+        return Result<Packet>(failed_precondition("endpoint closed"));
+      }
+      ++ep->waiters;
+    }
+    const auto status = ep->cv.wait_until(wl, deadline);
+    std::lock_guard<SpinLock> qlock(ep->qlock);
+    --ep->waiters;
+    if (status == std::cv_status::timeout) {
+      // Match the classic predicate-wait: data that landed exactly at
+      // the deadline still wins over the timeout.
+      if (!ep->rx.empty()) return ep->rx.pop_front();
+      if (ep->closed) {
+        return Result<Packet>(failed_precondition("endpoint closed"));
+      }
+      return Result<Packet>(timeout_error("wait_rx timed out"));
+    }
   }
-  Packet p = std::move(ep->rx.front());
-  ep->rx.pop_front();
-  return p;
 }
 
 Result<Packet> CassiniNic::poll_rx(EndpointId ep_id) {
@@ -480,11 +580,16 @@ Result<Packet> CassiniNic::poll_rx(EndpointId ep_id) {
     return Result<Packet>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
                                            ep_id)));
   }
-  std::lock_guard<std::mutex> lock(ep->mutex);
+  std::lock_guard<SpinLock> lock(ep->qlock);
   if (ep->rx.empty()) return Result<Packet>(unavailable("rx queue empty"));
-  Packet p = std::move(ep->rx.front());
-  ep->rx.pop_front();
-  return p;
+  return ep->rx.pop_front();
+}
+
+std::size_t CassiniNic::drain_rx(EndpointId ep_id) {
+  const auto ep = find_ep(ep_id);
+  if (!ep) return 0;
+  std::lock_guard<SpinLock> lock(ep->qlock);
+  return ep->rx.clear();
 }
 
 Result<Event> CassiniNic::wait_event(EndpointId ep_id, int real_timeout_ms) {
@@ -493,17 +598,37 @@ Result<Event> CassiniNic::wait_event(EndpointId ep_id, int real_timeout_ms) {
     return Result<Event>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
                                           ep_id)));
   }
-  std::unique_lock<std::mutex> lock(ep->mutex);
-  const bool ready = ep->cv.wait_for(
-      lock, std::chrono::milliseconds(real_timeout_ms),
-      [&] { return !ep->events.empty() || ep->closed; });
-  if (!ready) return Result<Event>(timeout_error("wait_event timed out"));
-  if (ep->events.empty()) {
-    return Result<Event>(failed_precondition("endpoint closed"));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(real_timeout_ms);
+  std::unique_lock<std::mutex> wl(ep->wmutex);
+  for (;;) {
+    {
+      std::lock_guard<SpinLock> qlock(ep->qlock);
+      if (!ep->events.empty()) {
+        Event e = std::move(ep->events.front());
+        ep->events.pop_front();
+        return e;
+      }
+      if (ep->closed) {
+        return Result<Event>(failed_precondition("endpoint closed"));
+      }
+      ++ep->waiters;
+    }
+    const auto status = ep->cv.wait_until(wl, deadline);
+    std::lock_guard<SpinLock> qlock(ep->qlock);
+    --ep->waiters;
+    if (status == std::cv_status::timeout) {
+      if (!ep->events.empty()) {
+        Event e = std::move(ep->events.front());
+        ep->events.pop_front();
+        return e;
+      }
+      if (ep->closed) {
+        return Result<Event>(failed_precondition("endpoint closed"));
+      }
+      return Result<Event>(timeout_error("wait_event timed out"));
+    }
   }
-  Event e = std::move(ep->events.front());
-  ep->events.pop_front();
-  return e;
 }
 
 Result<Event> CassiniNic::poll_event(EndpointId ep_id) {
@@ -512,7 +637,7 @@ Result<Event> CassiniNic::poll_event(EndpointId ep_id) {
     return Result<Event>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
                                           ep_id)));
   }
-  std::lock_guard<std::mutex> lock(ep->mutex);
+  std::lock_guard<SpinLock> lock(ep->qlock);
   if (ep->events.empty()) return Result<Event>(unavailable("no events"));
   Event e = std::move(ep->events.front());
   ep->events.pop_front();
@@ -520,8 +645,33 @@ Result<Event> CassiniNic::poll_event(EndpointId ep_id) {
 }
 
 NicCounters CassiniNic::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  NicCounters out;
+  out.rx_packets = counters_.rx_packets.load(std::memory_order_relaxed);
+  out.tx_dropped = counters_.tx_dropped.load(std::memory_order_relaxed);
+  out.rx_unknown_ep =
+      counters_.rx_unknown_ep.load(std::memory_order_relaxed);
+  out.rx_vni_mismatch =
+      counters_.rx_vni_mismatch.load(std::memory_order_relaxed);
+  out.rma_denied = counters_.rma_denied.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<SpinLock> lock(mutex_);
+    out.tx_packets = tx_packets_;
+  }
+  // Sum per-endpoint receive counts without holding the NIC spinlock
+  // across the scan: fetch one endpoint per short lock section (the
+  // parked list is append-only, so the index walk is stable and only
+  // the vector itself needs the lock).
+  for (std::size_t i = 0;; ++i) {
+    std::shared_ptr<Endpoint> ep;
+    {
+      std::lock_guard<SpinLock> lock(mutex_);
+      if (i >= ep_owned_.size()) break;
+      ep = ep_owned_[i];
+    }
+    std::lock_guard<SpinLock> ql(ep->qlock);
+    out.rx_packets += ep->rx_accepted;
+  }
+  return out;
 }
 
 }  // namespace shs::hsn

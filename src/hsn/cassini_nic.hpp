@@ -15,10 +15,22 @@
 //   * every operation advances *virtual* time via the shared TimingModel
 //     (callers carry their own virtual clock; see src/mpi).
 //
+// Fabric attachment: the NIC does not hold a switch pointer.  It emits
+// packets through an injection callback (Fabric::inject routes at the
+// packet's home edge switch, always against the fabric manager's
+// current tables) and receives deliveries via deliver(), which the
+// Fabric wires as the edge switch's delivery callback.  This keeps the
+// NIC valid across topology republishes with nothing to re-validate.
+//
 // Thread-safety: all public methods may be called from any thread; RX and
 // event queues use mutex+condvar so application threads block naturally.
+// The endpoint directory is read lock-free (three dependent atomic loads
+// through an append-only chunked index), so the steady-state send and
+// receive paths never touch the NIC-wide lock for endpoint resolution.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -26,13 +38,17 @@
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "hsn/packet.hpp"
 #include "hsn/rosetta_switch.hpp"
 #include "hsn/timing.hpp"
+#include "util/spinlock.hpp"
 #include "util/status.hpp"
 
 namespace shs::hsn {
+
+class Fabric;
 
 /// Completion event, as Cassini would write into an event queue.
 struct Event {
@@ -66,10 +82,20 @@ struct NicCounters {
   std::uint64_t rma_denied = 0;       ///< RMA to missing/foreign-VNI MR
 };
 
-/// The NIC.  One per node; constructor connects it to the switch.
+/// The NIC.  One per node; the Fabric constructs it with an injection
+/// callback and connects deliver() to the node's edge switch.
 class CassiniNic {
  public:
-  CassiniNic(NicAddr addr, std::shared_ptr<RosettaSwitch> fabric_switch,
+  /// Hands a packet to the fabric's data plane (Fabric::inject — or, in
+  /// single-switch unit tests, RosettaSwitch::route directly).
+  using InjectFn = std::function<RouteResult(Packet&&)>;
+
+  CassiniNic(NicAddr addr, InjectFn inject,
+             std::shared_ptr<TimingModel> timing, NicLimits limits = {});
+  /// Fabric-owned NICs inject through the Fabric directly (no
+  /// std::function dispatch on the per-packet path).  The Fabric
+  /// outlives its NICs by construction.
+  CassiniNic(NicAddr addr, Fabric& fabric,
              std::shared_ptr<TimingModel> timing, NicLimits limits = {});
   ~CassiniNic();
   CassiniNic(const CassiniNic&) = delete;
@@ -77,6 +103,11 @@ class CassiniNic {
 
   [[nodiscard]] NicAddr addr() const noexcept { return addr_; }
   [[nodiscard]] const NicLimits& limits() const noexcept { return limits_; }
+
+  /// Fabric-side entry point: the edge switch's delivery callback.
+  /// Dispatches by PacketOp; never holds an endpoint lock while
+  /// re-entering the fabric (loopback RMA replies).
+  void deliver(Packet&& p);
 
   // -- Endpoint lifecycle (invoked by the CXI driver after authentication).
 
@@ -130,6 +161,11 @@ class CassiniNic {
   Result<Packet> wait_rx(EndpointId ep, int real_timeout_ms = 10'000);
   /// Non-blocking variant.
   Result<Packet> poll_rx(EndpointId ep);
+  /// Bulk-discards every packet queued on `ep` (a completion-queue
+  /// drain: one lock, no per-packet move).  Returns the discard count —
+  /// what rate benchmarks use to keep queues bounded without paying a
+  /// poll round trip per packet.
+  std::size_t drain_rx(EndpointId ep);
 
   /// Blocking dequeue from the endpoint's event queue.
   Result<Event> wait_event(EndpointId ep, int real_timeout_ms = 10'000);
@@ -138,16 +174,82 @@ class CassiniNic {
   [[nodiscard]] NicCounters counters() const;
 
  private:
+  /// FIFO of received packets: a power-of-two ring over one contiguous
+  /// buffer.  A deque allocates and frees block nodes as the queue
+  /// breathes with every burst/drain cycle; the ring touches the
+  /// allocator only when the high-water mark grows.
+  class PacketRing {
+   public:
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    void push_back(Packet&& p) {
+      if (size_ == buf_.size()) grow();
+      buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(p);
+      ++size_;
+    }
+    Packet pop_front() {
+      Packet p = std::move(buf_[head_]);
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --size_;
+      return p;
+    }
+    /// Discards everything queued (releases payload buffers in place —
+    /// no per-packet moves), returning how many packets were dropped.
+    std::size_t clear() noexcept {
+      const std::size_t n = size_;
+      for (std::size_t i = 0; i < n; ++i) {
+        // Move-assign an empty vector: actually frees the heap buffer
+        // (vector::clear() would only reset the size and pin capacity).
+        buf_[(head_ + i) & (buf_.size() - 1)].payload =
+            std::vector<std::byte>();
+      }
+      head_ = 0;
+      size_ = 0;
+      return n;
+    }
+
+   private:
+    void grow() {
+      const std::size_t n = buf_.empty() ? 16 : buf_.size() * 2;
+      std::vector<Packet> next(n);
+      for (std::size_t i = 0; i < size_; ++i) {
+        next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+      }
+      buf_ = std::move(next);
+      head_ = 0;
+    }
+    std::vector<Packet> buf_;  ///< power-of-two capacity
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
+
   /// A hardware endpoint.  Owns its queues behind its own mutex so a
   /// blocked receiver never stalls the NIC-wide maps (and per-rank
   /// application threads do not contend with each other).
   struct Endpoint {
     Vni vni = kInvalidVni;
     TrafficClass tc = TrafficClass::kBestEffort;
-    std::mutex mutex;
+    /// Two-lock queue discipline.  `qlock` (a spinlock) guards the
+    /// queues, `waiters`, and `closed` — every push/poll/drain is a few
+    /// dozen nanoseconds, so the steady-state data path never touches a
+    /// pthread mutex.  `wmutex` + `cv` exist only for *blocking*
+    /// receivers: a waiter holds wmutex, then atomically
+    /// checks-the-queue-and-registers under qlock before waiting, and a
+    /// pusher that observes `waiters > 0` (after its push, under qlock)
+    /// acquires wmutex before notifying — so the notify can never slip
+    /// into the gap between a waiter's check and its wait.  Lock order
+    /// is always qlock-inside-wmutex; pushers never hold qlock while
+    /// taking wmutex.
+    SpinLock qlock;
+    std::mutex wmutex;
     std::condition_variable cv;
-    std::deque<Packet> rx;
+    PacketRing rx;
     std::deque<Event> events;
+    /// Two-sided packets accepted into rx (plain: incremented under
+    /// qlock, which the push holds anyway — no extra atomic RMW on the
+    /// per-packet path).  counters() sums these across endpoints.
+    std::uint64_t rx_accepted = 0;
+    int waiters = 0;  ///< blocked wait_rx/wait_event calls (under qlock)
     bool closed = false;
   };
   struct MemRegion {
@@ -155,36 +257,91 @@ class CassiniNic {
     Vni vni = kInvalidVni;
     std::span<std::byte> region;
   };
+  // Lock-free endpoint directory.  EndpointIds are dense and never
+  // reused; slots live in fixed-size chunks reached through a spine of
+  // chunk pointers.  Storage is append-only: chunks and spines are never
+  // freed before the NIC itself, and every Endpoint ever allocated is
+  // parked in ep_owned_ until destruction (a freed endpoint's slot is
+  // nulled; the object stays valid for any reader that raced the free —
+  // the same "packet in flight while endpoint closes" window the real
+  // hardware has).  Readers therefore need no lock and no refcount
+  // traffic: three dependent acquire loads resolve an id to a raw
+  // Endpoint*.  Writers (alloc/free, cold) serialize on mutex_.
+  //
+  // Deliberate trade: parked endpoints make NIC memory grow with the
+  // number of endpoints ever allocated (a few hundred bytes plus any
+  // retained queue capacity each) rather than the number live.  A NIC
+  // churns at job granularity — thousands over a long soak, not
+  // millions — so this buys lock-free reads for kilobytes.  Revisit
+  // with epoch-based reclamation if endpoint churn ever scales with
+  // packet counts.
+  static constexpr std::size_t kEpChunkSize = 128;
+  struct EpChunk {
+    std::array<std::atomic<Endpoint*>, kEpChunkSize> slots{};
+  };
+  struct EpSpine {
+    explicit EpSpine(std::size_t n) : chunks(n) {}
+    std::vector<std::atomic<EpChunk*>> chunks;
+  };
 
-  /// Switch delivery callback — dispatches by PacketOp.  Never holds an
-  /// endpoint lock while re-entering the switch (loopback RMA replies).
-  void on_packet(Packet&& p);
-
-  [[nodiscard]] std::shared_ptr<Endpoint> find_ep(EndpointId ep) const;
+  [[nodiscard]] Endpoint* find_ep(EndpointId ep) const;
+  /// Ensures a slot for `id` exists and returns it.  Caller holds mutex_.
+  std::atomic<Endpoint*>& ep_slot_locked(EndpointId id);
   static void push_event(Endpoint& ep, Event e, std::size_t cap);
   void count_tx_drop(const RouteResult& rr, EndpointId src_ep,
                      std::uint64_t op_id, SimTime error_vt);
   /// Injection scheduling: computes when a packet of `tc` leaves the NIC
   /// given `accepted_vt`, honouring per-class priority (same model as the
-  /// switch egress).  Caller holds mutex_.
+  /// switch egress).  `ser_time` is the packet's serialization on the
+  /// edge link, computed once by the caller (and cached on the packet
+  /// so same-rate fabric hops skip recomputing it).  Caller holds
+  /// mutex_.
   SimTime schedule_tx_locked(SimTime accepted_vt, TrafficClass tc,
-                             std::uint64_t size_bytes);
+                             SimDuration ser_time);
+
+  /// Routes `p` into the fabric: direct Fabric call when fabric_ is
+  /// set, the generic callback otherwise.
+  RouteResult inject(Packet&& p);
 
   const NicAddr addr_;
-  std::shared_ptr<RosettaSwitch> switch_;
+  Fabric* const fabric_ = nullptr;  ///< direct injection fast path
+  const InjectFn inject_;           ///< generic fallback (unit-test rigs)
   std::shared_ptr<TimingModel> timing_;
   const NicLimits limits_;
 
-  mutable std::mutex mutex_;  ///< guards maps, counters, id generators
+  mutable SpinLock mutex_;  ///< guards endpoint dir writes, tx horizons
+  /// Memory-region table lock.  A real (blocking) mutex, separate from
+  /// the spinlock above: RMA targets hold it across payload-sized
+  /// copies, which would break the spinlock's nanoseconds-only
+  /// contract.  Lock order where both are needed: mr_mutex_ (outer) ->
+  /// mutex_ (inner) — a spinlock holder never blocks.
+  mutable std::mutex mr_mutex_;
   EndpointId next_ep_ = 1;
+  std::uint64_t tx_packets_ = 0;  ///< plain: incremented under mutex_
   RKey next_rkey_ = 1;
-  std::uint64_t next_seq_ = 1;
+  /// Atomic so RMA reply packets (sequenced under mr_mutex_) never need
+  /// the spinlock — taking it there would invert the lock order.
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::size_t endpoint_count_ = 0;
   /// Sender-side link serialization horizon, per traffic class
   /// (priority-scheduled, frame-granular preemption).
   SimTime tx_free_vt_[kNumTrafficClasses] = {0, 0, 0, 0};
-  std::unordered_map<EndpointId, std::shared_ptr<Endpoint>> endpoints_;
+  std::atomic<EpSpine*> ep_spine_;
+  std::vector<std::unique_ptr<EpSpine>> ep_spines_;  ///< all generations
+  std::vector<std::unique_ptr<EpChunk>> ep_chunks_;  ///< stable chunk storage
+  std::vector<std::shared_ptr<Endpoint>> ep_owned_;  ///< alive until ~CassiniNic
   std::unordered_map<RKey, MemRegion> mrs_;
-  NicCounters counters_;
+  /// Relaxed atomics for the paths that hold no lock; the two
+  /// per-packet counters (tx under mutex_, two-sided rx under the
+  /// endpoint qlock) are plain integers under locks the path already
+  /// holds.
+  struct {
+    std::atomic<std::uint64_t> rx_packets{0};  ///< ACK/RMA receptions
+    std::atomic<std::uint64_t> tx_dropped{0};
+    std::atomic<std::uint64_t> rx_unknown_ep{0};
+    std::atomic<std::uint64_t> rx_vni_mismatch{0};
+    std::atomic<std::uint64_t> rma_denied{0};
+  } counters_;
 };
 
 }  // namespace shs::hsn

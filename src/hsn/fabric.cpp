@@ -49,13 +49,20 @@ std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
       fabric->switches_, fabric->nic_home_, std::move(*plan));
 
   // NICs attach last, each to its edge switch, so forwarding state is
-  // complete before the first packet can possibly route.
+  // complete before the first packet can possibly route.  The NIC sends
+  // through Fabric::inject and receives through its deliver() hook —
+  // the Fabric owns both sides of the wiring.
   fabric->nics_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     const auto addr = static_cast<NicAddr>(i);
-    fabric->nics_.push_back(std::make_unique<CassiniNic>(
-        addr, fabric->switches_.at((*fabric->nic_home_)[i]),
-        fabric->timing_));
+    fabric->nics_.push_back(
+        std::make_unique<CassiniNic>(addr, *fabric, fabric->timing_));
+    const Status st = fabric->switches_.at((*fabric->nic_home_)[i])
+                          ->connect(addr, *fabric->nics_.back());
+    if (!st.is_ok()) {
+      SHS_ERROR(kTag) << "NIC " << addr << " failed to connect: " << st;
+      std::abort();
+    }
   }
   SHS_DEBUG(kTag) << topology_kind_name(topology.kind) << " fabric: "
                   << nodes << " nodes across " << switch_count

@@ -78,6 +78,21 @@ class Fabric {
     return home == kInvalidSwitch ? nullptr : switches_.at(home);
   }
 
+  /// The single data-plane entry point: routes `p` at its source NIC's
+  /// edge switch, per the fabric manager's currently published tables.
+  /// NICs inject through this (instead of holding a switch pointer they
+  /// would have to re-validate after a topology republish).  Inline: it
+  /// runs once per packet.
+  RouteResult inject(Packet&& p) {
+    const SwitchId home = home_switch(p.src);
+    if (home == kInvalidSwitch) {
+      RouteResult result;
+      result.reason = DropReason::kNoRoute;
+      return result;
+    }
+    return switches_[home]->route(std::move(p));
+  }
+
   // -- Fault tolerance: failure injection, observation, re-routing.
   //    All forwarded to the FabricManager; see fabric_manager.hpp for
   //    the repair contract (data plane marked down immediately, tables

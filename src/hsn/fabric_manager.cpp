@@ -29,9 +29,25 @@ FabricManager::FabricManager(
   for (const auto& set : neighbors) {
     adjacent_.emplace_back(set.begin(), set.end());
   }
-  for (const auto& sw : switches_) {
-    sw->set_forwarding(nic_home_, current_);
+  publish_locked();  // single-threaded construction; lock not yet needed
+}
+
+void FabricManager::publish_locked() {
+  std::shared_ptr<CompiledPlan> target;
+  if (retired_compiled_ != nullptr && retired_compiled_.use_count() == 1) {
+    // Every switch swapped off this snapshot at the previous publish —
+    // recycle its table buffers instead of allocating fresh ones.
+    target = std::move(retired_compiled_);
+  } else {
+    target = std::make_shared<CompiledPlan>();
   }
+  current_->compile_into(*target);
+  for (const auto& sw : switches_) {
+    sw->set_forwarding(nic_home_,
+                       std::shared_ptr<const CompiledPlan>(target));
+  }
+  retired_compiled_ = std::move(live_compiled_);
+  live_compiled_ = std::move(target);
 }
 
 bool FabricManager::has_link_locked(SwitchId from, SwitchId to) const {
@@ -144,12 +160,9 @@ std::uint64_t FabricManager::repair() {
 }
 
 std::uint64_t FabricManager::repair_locked() {
-  auto repaired = std::make_shared<const TopologyPlan>(
-      base_->replan(failures_, ++version_));
-  current_ = repaired;
-  for (const auto& sw : switches_) {
-    sw->set_forwarding(nic_home_, repaired);
-  }
+  current_ = std::make_shared<const TopologyPlan>(
+      base_->replan(failures_, ++version_, &replan_scratch_));
+  publish_locked();
   ++replans_;
   repair_pending_ = false;
   SHS_INFO(kTag) << "published plan v" << version_ << " around "
@@ -175,6 +188,11 @@ bool FabricManager::link_up(SwitchId a, SwitchId b) const {
 std::shared_ptr<const TopologyPlan> FabricManager::plan() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return current_;
+}
+
+std::shared_ptr<const CompiledPlan> FabricManager::compiled_plan() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return live_compiled_;
 }
 
 std::uint64_t FabricManager::plan_version() const {

@@ -73,6 +73,9 @@ class FabricManager {
   [[nodiscard]] bool link_up(SwitchId a, SwitchId b) const;
   /// The currently published plan (never null).
   [[nodiscard]] std::shared_ptr<const TopologyPlan> plan() const;
+  /// The flat-table compilation of the published plan — what switches
+  /// route by (never null; same version as plan()).
+  [[nodiscard]] std::shared_ptr<const CompiledPlan> compiled_plan() const;
   [[nodiscard]] std::uint64_t plan_version() const;
   /// Repairs published so far (0 on a healthy-from-birth fabric).
   [[nodiscard]] std::size_t replans() const;
@@ -87,6 +90,11 @@ class FabricManager {
   /// physical link (a, b) to the owning switches.  Caller holds mutex_.
   void sync_link_state_locked(SwitchId a, SwitchId b);
   std::uint64_t repair_locked();
+  /// Compiles `current_` into flat tables and swaps the snapshot into
+  /// every switch.  Reuses the retired compiled buffers from two
+  /// publishes ago when no switch references them anymore.  Caller
+  /// holds mutex_.
+  void publish_locked();
   [[nodiscard]] bool has_link_locked(SwitchId from, SwitchId to) const;
 
   mutable std::mutex mutex_;
@@ -100,6 +108,14 @@ class FabricManager {
   /// ascending — one sync per cable on switch fail/restore.
   std::vector<std::vector<SwitchId>> adjacent_;
   std::shared_ptr<const TopologyPlan> current_;
+  /// Compiled snapshot currently installed on every switch, and the
+  /// previous one — once all switches have swapped, `retired_` is the
+  /// only owner left and its buffers are recycled at the next publish
+  /// (steady-state republishing allocates nothing new).
+  std::shared_ptr<CompiledPlan> live_compiled_;
+  std::shared_ptr<CompiledPlan> retired_compiled_;
+  /// BFS/adjacency workspace reused across replans.
+  PlanScratch replan_scratch_;
   FailureSet failures_;
   bool auto_repair_ = true;
   bool repair_pending_ = false;

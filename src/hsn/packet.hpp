@@ -52,6 +52,14 @@ struct Packet {
   /// cleared when the packet reaches the intermediate.
   SwitchId via_switch = kInvalidSwitch;
 
+  /// Serialization-time cache: wire time is a pure function of
+  /// (size_bytes, link rate), and every link a packet crosses usually
+  /// runs at the same rate — so switches compute it once per path and
+  /// carry it here (0 = not yet computed).  Purely an optimization
+  /// artifact: never serialized, never observable.
+  std::uint64_t ser_cache_bps = 0;
+  SimDuration ser_cache = 0;
+
   std::vector<std::byte> payload;
 };
 

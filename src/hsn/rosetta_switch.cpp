@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "hsn/cassini_nic.hpp"
+
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -18,25 +20,59 @@ RosettaSwitch::RosettaSwitch(std::shared_ptr<TimingModel> timing, SwitchId id,
 
 Status RosettaSwitch::connect(NicAddr addr, DeliveryFn deliver) {
   if (!deliver) {
-    // admit() discriminates local delivery from transit forwarding by
-    // the truthiness of the copied-out callback, so an empty one must
-    // never reach the port table.
+    // admit_step discriminates local delivery from transit forwarding by
+    // the presence of the stored callback, so an empty one must never
+    // reach the port table.
     return invalid_argument("delivery callback must be non-empty");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ports_.contains(addr)) {
-    return already_exists(strfmt("port %u already connected", addr));
+  if (addr >= kMaxPortAddr) {
+    return invalid_argument(strfmt("NIC address %u exceeds the port-table "
+                                   "bound", addr));
   }
-  ports_.emplace(addr, Port{std::move(deliver), {}, 0});
+  {
+    std::lock_guard<SpinLock> lock(mutex_);
+    if (addr >= ports_.size()) {
+      ports_.resize(addr + 1);
+    }
+    if (ports_[addr].connected()) {
+      return already_exists(strfmt("port %u already connected", addr));
+    }
+    ports_[addr].deliver =
+        std::make_shared<const DeliveryFn>(std::move(deliver));
+    ++connected_ports_;
+  }
+  SHS_DEBUG(kTag) << "NIC connected at switch " << id_ << " port " << addr;
+  return Status::ok();
+}
+
+Status RosettaSwitch::connect(NicAddr addr, CassiniNic& nic) {
+  if (addr >= kMaxPortAddr) {
+    return invalid_argument(strfmt("NIC address %u exceeds the port-table "
+                                   "bound", addr));
+  }
+  {
+    std::lock_guard<SpinLock> lock(mutex_);
+    if (addr >= ports_.size()) {
+      ports_.resize(addr + 1);
+    }
+    if (ports_[addr].connected()) {
+      return already_exists(strfmt("port %u already connected", addr));
+    }
+    ports_[addr].nic = &nic;
+    ++connected_ports_;
+  }
   SHS_DEBUG(kTag) << "NIC connected at switch " << id_ << " port " << addr;
   return Status::ok();
 }
 
 Status RosettaSwitch::disconnect(NicAddr addr) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (ports_.erase(addr) == 0) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  Port* port = port_at(addr);
+  if (port == nullptr) {
     return not_found(strfmt("port %u not connected", addr));
   }
+  *port = Port{};  // reconnects start with fresh VNIs and egress horizons
+  --connected_ports_;
   return Status::ok();
 }
 
@@ -45,97 +81,133 @@ Status RosettaSwitch::add_uplink(RosettaSwitch& peer, DataRate rate,
   if (&peer == this) {
     return invalid_argument("uplink needs a distinct peer switch");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   const SwitchId peer_id = peer.id();
-  if (uplinks_.contains(peer_id)) {
+  if (peer_id >= uplinks_.size()) {
+    uplinks_.resize(peer_id + 1);
+  }
+  if (uplinks_[peer_id].peer != nullptr) {
     return already_exists(strfmt("uplink to switch %u already exists",
                                  peer_id));
   }
-  Uplink up;
+  Uplink& up = uplinks_[peer_id];
   up.peer = &peer;
   up.rate = rate;
   up.latency = latency;
-  uplinks_.emplace(peer_id, std::move(up));
+  ++uplink_count_;
   return Status::ok();
 }
 
 void RosettaSwitch::set_forwarding(
     std::shared_ptr<const std::vector<SwitchId>> nic_home,
-    std::shared_ptr<const TopologyPlan> plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<const CompiledPlan> plan) {
+  std::lock_guard<SpinLock> lock(mutex_);
   nic_home_ = std::move(nic_home);
   plan_ = std::move(plan);
 }
 
+SwitchCounters& RosettaSwitch::slab_for_locked(Vni vni) {
+  if (vni == last_slab_vni_ && last_slab_ != nullptr) {
+    return *last_slab_;
+  }
+  const auto it = std::lower_bound(
+      slab_index_.begin(), slab_index_.end(), vni,
+      [](const auto& entry, Vni v) { return entry.first < v; });
+  SwitchCounters* slab;
+  if (it != slab_index_.end() && it->first == vni) {
+    slab = it->second;
+  } else {
+    slab = &slab_store_.emplace_back();
+    slab_index_.insert(it, {vni, slab});
+  }
+  last_slab_vni_ = vni;
+  last_slab_ = slab;
+  return *slab;
+}
+
 Status RosettaSwitch::authorize_vni(NicAddr port, Vni vni) {
   if (vni == kInvalidVni) return invalid_argument("VNI 0 is reserved");
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = ports_.find(port);
-  if (it == ports_.end()) {
-    return not_found(strfmt("port %u not connected", port));
+  {
+    std::lock_guard<SpinLock> lock(mutex_);
+    Port* p = port_at(port);
+    if (p == nullptr) {
+      return not_found(strfmt("port %u not connected", port));
+    }
+    // The slab is resolved *here*, at authorization time, so the
+    // per-packet edge check finds the counter pointer alongside the VNI
+    // it scans for anyway.
+    const auto it = std::lower_bound(
+        p->vnis.begin(), p->vnis.end(), vni,
+        [](const auto& entry, Vni v) { return entry.first < v; });
+    if (it == p->vnis.end() || it->first != vni) {
+      p->vnis.insert(it, {vni, &slab_for_locked(vni)});
+    }
   }
-  it->second.vnis.insert(vni);
   SHS_DEBUG(kTag) << "port " << port << " authorized for VNI " << vni;
   return Status::ok();
 }
 
 Status RosettaSwitch::revoke_vni(NicAddr port, Vni vni) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = ports_.find(port);
-  if (it == ports_.end()) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  Port* p = port_at(port);
+  if (p == nullptr) {
     return not_found(strfmt("port %u not connected", port));
   }
-  if (it->second.vnis.erase(vni) == 0) {
+  const auto it = std::lower_bound(
+      p->vnis.begin(), p->vnis.end(), vni,
+      [](const auto& entry, Vni v) { return entry.first < v; });
+  if (it == p->vnis.end() || it->first != vni) {
     return not_found(strfmt("port %u not authorized for VNI %u", port, vni));
   }
+  p->vnis.erase(it);
   return Status::ok();
 }
 
 bool RosettaSwitch::vni_authorized(NicAddr port, Vni vni) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = ports_.find(port);
-  return it != ports_.end() && it->second.vnis.contains(vni);
+  std::lock_guard<SpinLock> lock(mutex_);
+  const Port* p = port_at(port);
+  return p != nullptr && p->slab_for(vni) != nullptr;
 }
 
 void RosettaSwitch::set_enforcement(bool on) noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   enforce_ = on;
 }
 
 bool RosettaSwitch::enforcement() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   return enforce_;
 }
 
 void RosettaSwitch::set_health(SwitchHealth health) noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   health_ = health;
 }
 
 SwitchHealth RosettaSwitch::health() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   return health_;
 }
 
 Status RosettaSwitch::set_uplink_state(SwitchId peer, LinkState state) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = uplinks_.find(peer);
-  if (it == uplinks_.end()) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  Uplink* up = uplink_at(peer);
+  if (up == nullptr) {
     return not_found(strfmt("no uplink toward switch %u", peer));
   }
-  it->second.state = state;
+  up->state = state;
   return Status::ok();
 }
 
 LinkState RosettaSwitch::uplink_state(SwitchId peer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = uplinks_.find(peer);
-  return it == uplinks_.end() ? LinkState::kDown : it->second.state;
+  std::lock_guard<SpinLock> lock(mutex_);
+  const Uplink* up = uplink_at(peer);
+  return up == nullptr ? LinkState::kDown : up->state;
 }
 
 SimTime RosettaSwitch::schedule_egress_locked(
     SimTime at_egress, int prio, SimTime (&free_vt)[kNumTrafficClasses],
-    std::uint64_t size_bytes, DataRate rate) {
+    SimDuration ser_time, DataRate rate) {
   SimTime start = at_egress;
   for (int c = 0; c <= prio; ++c) {
     start = std::max(start, free_vt[c]);
@@ -149,7 +221,7 @@ SimTime RosettaSwitch::schedule_egress_locked(
   if (lower_priority_in_flight) {
     start += timing_->serialize_time(timing_->config().frame_bytes, rate);
   }
-  free_vt[prio] = start + timing_->serialize_time(size_bytes, rate);
+  free_vt[prio] = start + ser_time;
   return start;
 }
 
@@ -162,36 +234,21 @@ SimDuration RosettaSwitch::lag_of(const Uplink& up, SimTime at,
   return busy > at ? busy - at : 0;
 }
 
-RosettaSwitch::Uplink* RosettaSwitch::live_uplink_locked(SwitchId peer) {
-  const auto it = uplinks_.find(peer);
-  return it == uplinks_.end() || it->second.state == LinkState::kDown
-             ? nullptr
-             : &it->second;
-}
-
-SwitchId RosettaSwitch::static_next_locked(SwitchId target) const {
-  if (!plan_ || id_ >= plan_->next_hop.size()) return kInvalidSwitch;
-  const auto& table = plan_->next_hop[id_];
-  const auto it = table.find(target);
-  return it == table.end() ? kInvalidSwitch : it->second;
-}
-
 SwitchId RosettaSwitch::least_lag_candidate_locked(const Packet& p,
                                                    SwitchId target,
                                                    SimDuration* lag_out) {
   if (lag_out != nullptr) *lag_out = 0;
-  if (!plan_ || id_ >= plan_->candidates.size()) {
+  if (plan_ == nullptr || id_ >= plan_->n || target >= plan_->n) {
     return static_next_locked(target);
   }
-  const auto& table = plan_->candidates[id_];
-  const auto it = table.find(target);
-  if (it == table.end() || it->second.empty()) {
+  const auto cands = plan_->candidates(id_, target);
+  if (cands.empty()) {
     return static_next_locked(target);
   }
   const int prio = static_cast<int>(p.tc);
   SwitchId best = kInvalidSwitch;
   SimDuration best_lag = 0;
-  for (const SwitchId cand : it->second) {
+  for (const SwitchId cand : cands) {
     const Uplink* up = live_uplink_locked(cand);
     if (up == nullptr) {
       continue;  // dead uplinks never enter the adaptive candidate set
@@ -210,17 +267,16 @@ SwitchId RosettaSwitch::least_lag_candidate_locked(const Packet& p,
 }
 
 SwitchId RosettaSwitch::pick_intermediate_locked(SwitchId home) {
-  if (!plan_ || plan_->group_of.empty() || id_ >= plan_->group_of.size() ||
-      home >= plan_->group_of.size()) {
+  if (plan_ == nullptr || plan_->group_of.empty() ||
+      id_ >= plan_->group_of.size() || home >= plan_->group_of.size()) {
     return kInvalidSwitch;
   }
   const SwitchId g_src = plan_->group_of[id_];
   const SwitchId g_dst = plan_->group_of[home];
   if (g_src == g_dst) return kInvalidSwitch;  // local traffic: no detour
-  const auto groups = static_cast<SwitchId>(plan_->group_of.back() + 1);
+  const SwitchId groups = plan_->df_groups;
   if (groups < 3) return kInvalidSwitch;
-  const auto per_group =
-      static_cast<SwitchId>(plan_->group_of.size() / groups);
+  const SwitchId per_group = plan_->df_per_group;
   // Uniform over the groups that are neither the source's nor the
   // destination's, then uniform over that group's switches.
   auto g = static_cast<SwitchId>(route_rng_.uniform_u64(groups - 2));
@@ -245,9 +301,10 @@ SimDuration RosettaSwitch::estimate_delay_locked(const Packet& p,
   return first_hop_lag + static_cast<SimDuration>(hops) * per_hop;
 }
 
-SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
-  const RoutingPolicy policy = plan_ ? plan_->routing
-                                     : RoutingPolicy::kMinimal;
+SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home,
+                                            SwitchCounters& vni_counters) {
+  const RoutingPolicy policy = plan_ != nullptr ? plan_->routing
+                                                : RoutingPolicy::kMinimal;
   switch (policy) {
     case RoutingPolicy::kMinimal:
       return static_next_locked(home);
@@ -265,7 +322,7 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
             live_uplink_locked(via_next) != nullptr) {
           p.via_switch = via;
           ++totals_.routed_nonminimal;
-          ++per_vni_[p.vni].routed_nonminimal;
+          ++vni_counters.routed_nonminimal;
           return via_next;
         }
       }
@@ -273,16 +330,16 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
       // uniform random among the live minimal candidates — random spine
       // selection that excludes dead uplinks.  Counting pass, no
       // allocation: this runs per packet on the healthy hot path.
-      if (plan_ && id_ < plan_->candidates.size()) {
-        const auto it = plan_->candidates[id_].find(home);
-        if (it != plan_->candidates[id_].end() && !it->second.empty()) {
+      if (plan_ != nullptr && id_ < plan_->n && home < plan_->n) {
+        const auto cands = plan_->candidates(id_, home);
+        if (!cands.empty()) {
           std::size_t alive = 0;
-          for (const SwitchId cand : it->second) {
+          for (const SwitchId cand : cands) {
             if (live_uplink_locked(cand) != nullptr) ++alive;
           }
           if (alive > 0) {
             auto pick = route_rng_.uniform_u64(alive);
-            for (const SwitchId cand : it->second) {
+            for (const SwitchId cand : cands) {
               if (live_uplink_locked(cand) == nullptr) continue;
               if (pick-- == 0) return cand;
             }
@@ -317,7 +374,7 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
         // the delay estimates say.
         p.via_switch = via;
         ++totals_.routed_nonminimal;
-        ++per_vni_[p.vni].routed_nonminimal;
+        ++vni_counters.routed_nonminimal;
         return via_next;
       }
       const int prio = static_cast<int>(p.tc);
@@ -331,7 +388,7 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
       if (est_val < est_min) {
         p.via_switch = via;
         ++totals_.routed_nonminimal;
-        ++per_vni_[p.vni].routed_nonminimal;
+        ++vni_counters.routed_nonminimal;
         return via_next;
       }
       return min_next;
@@ -341,211 +398,247 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home) {
 }
 
 RouteResult RosettaSwitch::route(Packet&& p) {
-  return admit(std::move(p), /*check_src=*/true, kMaxFabricHops);
+  // Iterative hop-by-hop walk: each switch takes its own mutex for one
+  // admission step, and the packet object travels the whole path by
+  // reference — moved exactly once, into the delivery callback.
+  RosettaSwitch* sw = this;
+  bool check_src = true;
+  int ttl = kMaxFabricHops;
+  for (;;) {
+    AdmitStep step = sw->admit_step(p, check_src, ttl);
+    if (step.nic != nullptr) {
+      step.nic->deliver(std::move(p));
+      return step.result;
+    }
+    if (step.deliver != nullptr) {
+      (*step.deliver)(std::move(p));
+      return step.result;
+    }
+    if (step.next == nullptr) {
+      return step.result;  // dropped (reason recorded)
+    }
+    sw = step.next;
+    check_src = false;
+    --ttl;
+  }
 }
 
-RouteResult RosettaSwitch::admit(Packet&& p, bool check_src, int ttl) {
-  DeliveryFn deliver;
-  RosettaSwitch* next = nullptr;
-  RouteResult result;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto& vni_counters = per_vni_[p.vni];
+RosettaSwitch::AdmitStep RosettaSwitch::admit_step(Packet& p, bool check_src,
+                                                   int ttl) {
+  // Hot-path contract: everything under this lock is branch-and-array
+  // work — port/uplink slots are vector indexes, routing tables are the
+  // compiled flat plan, and VNI counters are pre-resolved slabs.  The
+  // only hash/allocation left is slab_for_locked on the *first* packet
+  // of a never-before-seen VNI (drop accounting), and there is no
+  // logging or stream construction anywhere in the section.
+  AdmitStep step;
+  std::lock_guard<SpinLock> lock(mutex_);
 
-    // A failed switch is dead silicon: everything presented to it — a
-    // local injection, a transit packet that was in flight when the
-    // switch died, or a final delivery — is lost.
-    if (health_ == SwitchHealth::kFailed) {
+  // A failed switch is dead silicon: everything presented to it — a
+  // local injection, a transit packet that was in flight when the
+  // switch died, or a final delivery — is lost.
+  if (health_ == SwitchHealth::kFailed) {
+    ++totals_.dropped_link_down;
+    ++slab_for_locked(p.vni).dropped_link_down;
+    step.result.reason = DropReason::kLinkDown;
+    return step;
+  }
+
+  // Resolve the destination first (unknown-destination outranks the
+  // authorization drops, as in the single-switch model).  Locality
+  // comes from the dense nic_home map, not the port table: transit
+  // switches then never touch their sparse per-address port vector —
+  // only the home switch (and the out-of-plan fallback for hand-wired
+  // test ports) consults it.
+  const SwitchId home = nic_home_ != nullptr && p.dst < nic_home_->size()
+                            ? (*nic_home_)[p.dst]
+                            : kInvalidSwitch;
+  Port* dst_port = nullptr;
+  if (home == id_ || home == kInvalidSwitch) {
+    dst_port = port_at(p.dst);
+    if (dst_port == nullptr) {
+      // Either an address outside the fabric plan or a NIC that should
+      // be here but is not connected.
+      ++totals_.dropped_unknown_dst;
+      ++slab_for_locked(p.vni).dropped_unknown_dst;
+      step.result.reason = DropReason::kUnknownDestination;
+      return step;
+    }
+  }
+  const bool local = dst_port != nullptr;
+
+  // The packet's VNI counter slab.  The edge checks resolve it from the
+  // port's cached pointers; paths that skip both checks (transit,
+  // enforcement off) fall back to the sorted slab index.
+  SwitchCounters* vni_counters = nullptr;
+  if (check_src && enforce_) {
+    const Port* src_port = port_at(p.src);
+    vni_counters = src_port != nullptr ? src_port->slab_for(p.vni) : nullptr;
+    if (vni_counters == nullptr) {
+      ++totals_.dropped_src_unauthorized;
+      ++slab_for_locked(p.vni).dropped_src_unauthorized;
+      step.result.reason = DropReason::kSrcNotAuthorized;
+      return step;
+    }
+  }
+
+  Uplink* up = nullptr;
+  if (!local) {
+    if (vni_counters == nullptr) vni_counters = &slab_for_locked(p.vni);
+    // The packet's current target: its Valiant intermediate while the
+    // detour is pending, its destination's edge switch afterwards.
+    SwitchId target = home;
+    if (p.via_switch != kInvalidSwitch) {
+      if (p.via_switch == id_) {
+        p.via_switch = kInvalidSwitch;  // detour complete; head home
+      } else {
+        target = p.via_switch;
+      }
+    }
+    // The policy decision happens once, at the source edge (after the
+    // VNI check, so dropped packets never consume the routing RNG);
+    // transit switches follow static minimal routes toward the target.
+    const SwitchId nh = check_src
+                            ? choose_route_locked(p, home, *vni_counters)
+                            : static_next_locked(target);
+    Uplink* next_up = nh == kInvalidSwitch ? nullptr : uplink_at(nh);
+    if (ttl <= 0 || next_up == nullptr) {
+      ++totals_.dropped_no_route;
+      ++vni_counters->dropped_no_route;
+      step.result.reason = DropReason::kNoRoute;
+      return step;
+    }
+    if (next_up->state == LinkState::kDown) {
+      // The route exists but its link is dead: either the packet was
+      // already committed to this hop when the failure hit, or the
+      // fabric manager has not republished repaired tables yet.
       ++totals_.dropped_link_down;
-      ++vni_counters.dropped_link_down;
-      result.reason = DropReason::kLinkDown;
-      SHS_DEBUG(kTag) << "drop: switch " << id_ << " is failed";
-      return result;
+      ++vni_counters->dropped_link_down;
+      step.result.reason = DropReason::kLinkDown;
+      return step;
     }
-
-    // Resolve the destination first (unknown-destination outranks the
-    // authorization drops, as in the single-switch model).
-    const auto dst_it = ports_.find(p.dst);
-    const bool local = dst_it != ports_.end();
-    SwitchId home = kInvalidSwitch;
-    if (!local) {
-      home = nic_home_ && p.dst < nic_home_->size() ? (*nic_home_)[p.dst]
-                                                    : kInvalidSwitch;
-      if (home == kInvalidSwitch || home == id_) {
-        // Either an address outside the fabric plan or a NIC that should
-        // be here but is not connected.
-        ++totals_.dropped_unknown_dst;
-        ++vni_counters.dropped_unknown_dst;
-        result.reason = DropReason::kUnknownDestination;
-        return result;
-      }
-    }
-
-    if (check_src && enforce_) {
-      const auto src_it = ports_.find(p.src);
-      if (src_it == ports_.end() || !src_it->second.vnis.contains(p.vni)) {
-        ++totals_.dropped_src_unauthorized;
-        ++vni_counters.dropped_src_unauthorized;
-        result.reason = DropReason::kSrcNotAuthorized;
-        SHS_DEBUG(kTag) << "drop: src port " << p.src
-                        << " unauthorized for VNI " << p.vni;
-        return result;
-      }
-    }
-
-    Uplink* up = nullptr;
-    if (!local) {
-      // The packet's current target: its Valiant intermediate while the
-      // detour is pending, its destination's edge switch afterwards.
-      SwitchId target = home;
-      if (p.via_switch != kInvalidSwitch) {
-        if (p.via_switch == id_) {
-          p.via_switch = kInvalidSwitch;  // detour complete; head home
-        } else {
-          target = p.via_switch;
-        }
-      }
-      // The policy decision happens once, at the source edge (after the
-      // VNI check, so dropped packets never consume the routing RNG);
-      // transit switches follow static minimal routes toward the target.
-      const SwitchId nh = check_src ? choose_route_locked(p, home)
-                                    : static_next_locked(target);
-      const auto up_it =
-          nh == kInvalidSwitch ? uplinks_.end() : uplinks_.find(nh);
-      if (ttl <= 0 || up_it == uplinks_.end()) {
-        ++totals_.dropped_no_route;
-        ++vni_counters.dropped_no_route;
-        result.reason = DropReason::kNoRoute;
-        SHS_DEBUG(kTag) << "switch " << id_ << " has no route toward NIC "
-                        << p.dst << " (ttl " << ttl << ")";
-        return result;
-      }
-      if (up_it->second.state == LinkState::kDown) {
-        // The route exists but its link is dead: either the packet was
-        // already committed to this hop when the failure hit, or the
-        // fabric manager has not republished repaired tables yet.
-        ++totals_.dropped_link_down;
-        ++vni_counters.dropped_link_down;
-        result.reason = DropReason::kLinkDown;
-        SHS_DEBUG(kTag) << "drop: switch " << id_ << " uplink toward "
-                        << up_it->first << " is down";
-        return result;
-      }
-      up = &up_it->second;
-    }
-
-    const int prio = static_cast<int>(p.tc);  // 0 = highest priority
-    if (local) {
-      if (enforce_ && !dst_it->second.vnis.contains(p.vni)) {
-        ++totals_.dropped_dst_unauthorized;
-        ++vni_counters.dropped_dst_unauthorized;
-        result.reason = DropReason::kDstNotAuthorized;
-        SHS_DEBUG(kTag) << "drop: dst port " << p.dst
-                        << " unauthorized for VNI " << p.vni;
-        return result;
-      }
-
-      // Cut-through timing with per-class priority scheduling: the packet
-      // reaches the egress port after one hop latency; it then waits for
-      // all queued traffic of its own or higher priority, plus at most one
-      // in-flight *frame* of lower-priority traffic (frame-granular
-      // preemption).  A single same-class flow already paced by its sender
-      // sees no extra delay; incast congestion queues; bulk traffic cannot
-      // stall low-latency traffic by more than one frame.
-      Port& dst_port = dst_it->second;
-      const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
-      p.arrival_vt =
-          schedule_egress_locked(at_egress, prio, dst_port.egress_free_vt,
-                                 p.size_bytes, timing_->config().link_rate);
-
-      ++totals_.delivered;
-      totals_.bytes_delivered += p.size_bytes;
-      ++vni_counters.delivered;
-      vni_counters.bytes_delivered += p.size_bytes;
-
-      result.delivered = true;
-      result.arrival_vt = p.arrival_vt;
-      deliver = dst_port.deliver;  // copy out; invoke outside the lock
-    } else {
-      // Transit: traverse this switch, then serialize onto the uplink
-      // (per-link, per-class horizon), then fly the link's latency.
-      Uplink& link = *up;
-      const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
-      link.counters.peak_queue_lag =
-          std::max(link.counters.peak_queue_lag,
-                   lag_of(link, at_egress, prio));
-      const SimTime start = schedule_egress_locked(
-          at_egress, prio, link.egress_free_vt, p.size_bytes, link.rate);
-      p.inject_vt =
-          start + timing_->serialize_time(p.size_bytes, link.rate) +
-          link.latency;
-      ++p.hops;
-      ++link.counters.packets;
-      link.counters.bytes += p.size_bytes;
-      ++totals_.forwarded;
-      totals_.bytes_forwarded += p.size_bytes;
-      ++vni_counters.forwarded;
-      vni_counters.bytes_forwarded += p.size_bytes;
-      next = link.peer;  // forward outside the lock
-    }
+    up = next_up;
   }
-  if (deliver) {
-    deliver(std::move(p));
-    return result;
+
+  const int prio = static_cast<int>(p.tc);  // 0 = highest priority
+  if (local) {
+    SwitchCounters* dst_slab = enforce_ ? dst_port->slab_for(p.vni) : nullptr;
+    if (enforce_ && dst_slab == nullptr) {
+      ++totals_.dropped_dst_unauthorized;
+      ++slab_for_locked(p.vni).dropped_dst_unauthorized;
+      step.result.reason = DropReason::kDstNotAuthorized;
+      return step;
+    }
+    if (dst_slab == nullptr) dst_slab = &slab_for_locked(p.vni);
+
+    // Cut-through timing with per-class priority scheduling: the packet
+    // reaches the egress port after one hop latency; it then waits for
+    // all queued traffic of its own or higher priority, plus at most one
+    // in-flight *frame* of lower-priority traffic (frame-granular
+    // preemption).  A single same-class flow already paced by its sender
+    // sees no extra delay; incast congestion queues; bulk traffic cannot
+    // stall low-latency traffic by more than one frame.
+    const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
+    const DataRate edge_rate = timing_->config().link_rate;
+    if (p.ser_cache_bps != edge_rate.bps()) {
+      p.ser_cache = timing_->serialize_time(p.size_bytes, edge_rate);
+      p.ser_cache_bps = edge_rate.bps();
+    }
+    p.arrival_vt = schedule_egress_locked(
+        at_egress, prio, dst_port->egress_free_vt, p.ser_cache, edge_rate);
+
+    ++totals_.delivered;
+    totals_.bytes_delivered += p.size_bytes;
+    ++dst_slab->delivered;
+    dst_slab->bytes_delivered += p.size_bytes;
+
+    step.result.delivered = true;
+    step.result.arrival_vt = p.arrival_vt;
+    // Delivery happens outside the lock: direct NIC call when the
+    // Fabric wired the port, refcounted callback otherwise.
+    step.nic = dst_port->nic;
+    if (step.nic == nullptr) step.deliver = dst_port->deliver;
+  } else {
+    // Transit: traverse this switch, then serialize onto the uplink
+    // (per-link, per-class horizon), then fly the link's latency.
+    Uplink& link = *up;
+    const SimTime at_egress = p.inject_vt + timing_->hop_latency(p.tc);
+    link.counters.peak_queue_lag =
+        std::max(link.counters.peak_queue_lag,
+                 lag_of(link, at_egress, prio));
+    if (p.ser_cache_bps != link.rate.bps()) {
+      p.ser_cache = timing_->serialize_time(p.size_bytes, link.rate);
+      p.ser_cache_bps = link.rate.bps();
+    }
+    const SimDuration ser = p.ser_cache;
+    const SimTime start = schedule_egress_locked(
+        at_egress, prio, link.egress_free_vt, ser, link.rate);
+    p.inject_vt = start + ser + link.latency;
+    ++p.hops;
+    ++link.counters.packets;
+    link.counters.bytes += p.size_bytes;
+    ++totals_.forwarded;
+    totals_.bytes_forwarded += p.size_bytes;
+    ++vni_counters->forwarded;
+    vni_counters->bytes_forwarded += p.size_bytes;
+    step.next = link.peer;  // forwarded outside the lock
   }
-  return next->admit(std::move(p), /*check_src=*/false, ttl - 1);
+  return step;
 }
 
 SwitchCounters RosettaSwitch::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   return totals_;
 }
 
 SwitchCounters RosettaSwitch::counters_for_vni(Vni vni) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = per_vni_.find(vni);
-  return it == per_vni_.end() ? SwitchCounters{} : it->second;
+  std::lock_guard<SpinLock> lock(mutex_);
+  const auto it = std::lower_bound(
+      slab_index_.begin(), slab_index_.end(), vni,
+      [](const auto& entry, Vni v) { return entry.first < v; });
+  return it != slab_index_.end() && it->first == vni ? *it->second
+                                                     : SwitchCounters{};
 }
 
 std::size_t RosettaSwitch::connected_ports() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return ports_.size();
+  std::lock_guard<SpinLock> lock(mutex_);
+  return connected_ports_;
 }
 
 std::size_t RosettaSwitch::uplink_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return uplinks_.size();
+  std::lock_guard<SpinLock> lock(mutex_);
+  return uplink_count_;
 }
 
 LinkCounters RosettaSwitch::uplink_counters(SwitchId peer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = uplinks_.find(peer);
-  return it == uplinks_.end() ? LinkCounters{} : it->second.counters;
+  std::lock_guard<SpinLock> lock(mutex_);
+  const Uplink* up = uplink_at(peer);
+  return up == nullptr ? LinkCounters{} : up->counters;
 }
 
 SimDuration RosettaSwitch::uplink_queue_lag(SwitchId peer, SimTime at,
                                             TrafficClass tc) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = uplinks_.find(peer);
-  return it == uplinks_.end()
-             ? 0
-             : lag_of(it->second, at, static_cast<int>(tc));
+  std::lock_guard<SpinLock> lock(mutex_);
+  const Uplink* up = uplink_at(peer);
+  return up == nullptr ? 0 : lag_of(*up, at, static_cast<int>(tc));
 }
 
 SimDuration RosettaSwitch::max_uplink_lag(SimTime at) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   SimDuration worst = 0;
-  for (const auto& entry : uplinks_) {
-    worst = std::max(worst, lag_of(entry.second, at, kNumTrafficClasses - 1));
+  for (const Uplink& up : uplinks_) {
+    if (up.peer == nullptr) continue;
+    worst = std::max(worst, lag_of(up, at, kNumTrafficClasses - 1));
   }
   return worst;
 }
 
 SimDuration RosettaSwitch::peak_uplink_lag() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<SpinLock> lock(mutex_);
   SimDuration worst = 0;
-  for (const auto& entry : uplinks_) {
-    worst = std::max(worst, entry.second.counters.peak_queue_lag);
+  for (const Uplink& up : uplinks_) {
+    if (up.peer == nullptr) continue;
+    worst = std::max(worst, up.counters.peak_queue_lag);
   }
   return worst;
 }

@@ -10,15 +10,23 @@
 //
 // Multi-switch fabrics: switches are wired together with directed uplinks
 // (each carrying its own per-link, per-traffic-class virtual-time
-// bandwidth horizon) and routing tables produced by the TopologyPlan.
-// A packet enters at its source NIC's edge switch, which performs the
-// *source* VNI check and the per-packet routing decision (see
-// RoutingPolicy); transit switches forward hop-by-hop along minimal
-// routes toward the packet's current target (its Valiant intermediate,
-// then its destination); the destination's edge switch performs the
-// *destination* VNI check and final egress-port scheduling.  VNI
-// enforcement thus stays an edge property, as on real Slingshot, while
-// inter-switch contention is modeled per link.
+// bandwidth horizon) and routing tables compiled by the fabric manager
+// from the TopologyPlan.  A packet enters at its source NIC's edge
+// switch, which performs the *source* VNI check and the per-packet
+// routing decision (see RoutingPolicy); transit switches forward
+// hop-by-hop along minimal routes toward the packet's current target
+// (its Valiant intermediate, then its destination); the destination's
+// edge switch performs the *destination* VNI check and final egress-port
+// scheduling.  VNI enforcement thus stays an edge property, as on real
+// Slingshot, while inter-switch contention is modeled per link.
+//
+// Hot-path contract (see docs/performance.md): the per-packet critical
+// section under mutex_ is branch-and-array-only — no hashing, no
+// allocation, no logging.  Ports and uplinks live in dense vectors
+// indexed by NicAddr / peer SwitchId; routing state is an immutable
+// CompiledPlan of flat tables; per-VNI counters are pre-resolved slabs
+// (per-port cached pointers for the edge checks, a sorted slab index
+// for transit), created only on the cold authorize/first-drop paths.
 //
 // Congestion telemetry: each uplink's per-class bandwidth horizon doubles
 // as its congestion signal — `queue lag` is how far the horizon is ahead
@@ -28,11 +36,11 @@
 // it to the fabric manager and scheduler telemetry.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "hsn/packet.hpp"
@@ -40,9 +48,12 @@
 #include "hsn/topology.hpp"
 #include "hsn/types.hpp"
 #include "util/rng.hpp"
+#include "util/spinlock.hpp"
 #include "util/status.hpp"
 
 namespace shs::hsn {
+
+class CassiniNic;
 
 /// Why the switch refused to route a packet.
 enum class DropReason : std::uint8_t {
@@ -59,6 +70,13 @@ struct RouteResult {
   DropReason reason = DropReason::kNone;
   SimTime arrival_vt = 0;  ///< valid when delivered
 };
+
+/// Upper bound on NIC addresses a switch will materialize a port slot
+/// for.  The port table is dense (indexed by NicAddr), so an absurd
+/// address from a hand-wired rig must be rejected instead of allocating
+/// gigabytes: real Slingshot fabrics top out well below a million
+/// endpoints per switch.
+constexpr NicAddr kMaxPortAddr = 1u << 20;
 
 /// Hop budget for one packet.  The longest supported route is a Valiant
 /// detour on a dragonfly: up to 3 inter-switch hops to the intermediate
@@ -81,6 +99,12 @@ class RosettaSwitch {
 
   /// Connects a NIC at fabric address `addr`.  Fails if taken.
   Status connect(NicAddr addr, DeliveryFn deliver);
+  /// Fast-path variant: the Fabric connects its own CassiniNic objects
+  /// directly, so delivery is one virtual-free member call instead of a
+  /// std::function dispatch.  The NIC must outlive the switch wiring
+  /// (the Fabric owns both and destroys NICs first, after traffic
+  /// stops).
+  Status connect(NicAddr addr, CassiniNic& nic);
   Status disconnect(NicAddr addr);
 
   // -- Topology wiring (done by the Fabric before any NIC attaches; not
@@ -93,12 +117,13 @@ class RosettaSwitch {
   /// pointers here would form A<->B cycles and leak the whole topology).
   Status add_uplink(RosettaSwitch& peer, DataRate rate,
                     SimDuration latency);
-  /// Installs the NIC-home map and the shared topology plan this switch
-  /// routes by: its static next-hop table, the minimal-candidate sets and
-  /// hop distances adaptive policies consult, and the routing policy
-  /// itself (plan->next_hop[id()] etc.; both shared and immutable).
+  /// Installs the NIC-home map and the compiled routing tables this
+  /// switch routes by: its static next-hop row, the minimal-candidate
+  /// sets and hop distances adaptive policies consult, and the routing
+  /// policy itself.  Both shared and immutable; the fabric manager swaps
+  /// in a freshly compiled snapshot on every republish.
   void set_forwarding(std::shared_ptr<const std::vector<SwitchId>> nic_home,
-                      std::shared_ptr<const TopologyPlan> plan);
+                      std::shared_ptr<const CompiledPlan> plan);
 
   /// Fabric-manager plane: grants/revokes VNI access on a port.  In the
   /// real system the fabric manager programs this; in ours the CXI driver
@@ -158,17 +183,40 @@ class RosettaSwitch {
 
  private:
   struct Port {
-    DeliveryFn deliver;
-    std::unordered_set<Vni> vnis;
+    /// Direct-delivery fast path (Fabric-owned NICs); preferred when set.
+    CassiniNic* nic = nullptr;
+    /// Generic delivery callback (tests, custom rigs).  Shared so it can
+    /// be invoked outside mutex_ with one refcount bump instead of a
+    /// std::function copy per packet.  A connected port has exactly one
+    /// of `nic` / `deliver` set.
+    std::shared_ptr<const DeliveryFn> deliver;
+    /// Authorized VNIs with their pre-resolved counter slabs, ascending
+    /// by VNI.  Ports hold a handful of VNIs, so the edge check is a
+    /// short linear scan — no hashing, and the delivered/dropped
+    /// counters come for free from the cached pointer.
+    std::vector<std::pair<Vni, SwitchCounters*>> vnis;
     /// Per-traffic-class egress horizon.  Priority scheduling: a packet
     /// of class k waits for all queued traffic of class <= k (higher or
     /// equal priority) plus at most one in-flight frame of lower-priority
     /// traffic (preemption is frame-granular, as on Rosetta).
     SimTime egress_free_vt[kNumTrafficClasses] = {0, 0, 0, 0};
+
+    [[nodiscard]] bool connected() const noexcept {
+      return nic != nullptr || deliver != nullptr;
+    }
+    /// Counter slab for `vni` if this port is authorized, else nullptr.
+    [[nodiscard]] SwitchCounters* slab_for(Vni vni) const noexcept {
+      for (const auto& [v, slab] : vnis) {
+        if (v == vni) return slab;
+        if (v > vni) break;  // ascending
+      }
+      return nullptr;
+    }
   };
   /// A directed inter-switch link with its own virtual-time bandwidth
   /// accounting (same priority model as NIC-facing egress ports).
-  /// `peer` is non-owning; see add_uplink.
+  /// `peer` is non-owning; see add_uplink.  An empty slot in the dense
+  /// uplink table has peer == nullptr.
   struct Uplink {
     RosettaSwitch* peer = nullptr;
     DataRate rate;
@@ -177,23 +225,68 @@ class RosettaSwitch {
     SimTime egress_free_vt[kNumTrafficClasses] = {0, 0, 0, 0};
     LinkCounters counters;
   };
+  /// What one locked admission step decided: deliver locally (non-null
+  /// `deliver`), forward to `next`, or drop (`result.reason` set).  The
+  /// delivery/forward happens outside the lock.
+  struct AdmitStep {
+    RouteResult result;
+    CassiniNic* nic = nullptr;  ///< direct local delivery
+    std::shared_ptr<const DeliveryFn> deliver;  ///< callback delivery
+    RosettaSwitch* next = nullptr;
+  };
 
   /// Ingress processing shared by route() (check_src = true) and
   /// hop-by-hop forwarding from a peer switch (check_src = false).
-  RouteResult admit(Packet&& p, bool check_src, int ttl);
+  /// Takes the switch mutex once; mutates `p` in place (the caller moves
+  /// the packet onward per the returned step).
+  AdmitStep admit_step(Packet& p, bool check_src, int ttl);
 
+  /// Port slot for `addr`, or nullptr when empty.  Caller holds mutex_.
+  [[nodiscard]] Port* port_at(NicAddr addr) noexcept {
+    return addr < ports_.size() && ports_[addr].connected() ? &ports_[addr]
+                                                            : nullptr;
+  }
+  [[nodiscard]] const Port* port_at(NicAddr addr) const noexcept {
+    return addr < ports_.size() && ports_[addr].connected() ? &ports_[addr]
+                                                            : nullptr;
+  }
+  /// Uplink slot toward `peer` (regardless of link state), or nullptr.
+  /// Caller holds mutex_.
+  [[nodiscard]] Uplink* uplink_at(SwitchId peer) noexcept {
+    return peer < uplinks_.size() && uplinks_[peer].peer != nullptr
+               ? &uplinks_[peer]
+               : nullptr;
+  }
+  [[nodiscard]] const Uplink* uplink_at(SwitchId peer) const noexcept {
+    return peer < uplinks_.size() && uplinks_[peer].peer != nullptr
+               ? &uplinks_[peer]
+               : nullptr;
+  }
   /// The live uplink toward `peer`, or nullptr when absent or down —
   /// the single definition of "usable link" every routing policy
   /// consults.  Caller holds mutex_.
-  [[nodiscard]] Uplink* live_uplink_locked(SwitchId peer);
+  [[nodiscard]] Uplink* live_uplink_locked(SwitchId peer) noexcept {
+    Uplink* up = uplink_at(peer);
+    return up != nullptr && up->state == LinkState::kUp ? up : nullptr;
+  }
+
+  /// Counter slab for `vni`: binary search over the sorted slab index;
+  /// inserts a zeroed slab on first sight (cold — authorize time or a
+  /// drop/transit of a never-seen VNI).  Caller holds mutex_.
+  SwitchCounters& slab_for_locked(Vni vni);
 
   /// Per-packet routing decision at the source edge switch.  Returns the
   /// chosen neighbor (kInvalidSwitch if none) and may set p.via_switch
   /// when a Valiant detour wins.  Caller holds mutex_.
-  SwitchId choose_route_locked(Packet& p, SwitchId home);
+  SwitchId choose_route_locked(Packet& p, SwitchId home,
+                               SwitchCounters& vni_counters);
   /// Static minimal next hop toward switch `target` (kInvalidSwitch if
   /// the table has no entry).  Caller holds mutex_.
-  [[nodiscard]] SwitchId static_next_locked(SwitchId target) const;
+  [[nodiscard]] SwitchId static_next_locked(SwitchId target) const noexcept {
+    return plan_ != nullptr && id_ < plan_->n && target < plan_->n
+               ? plan_->next(id_, target)
+               : kInvalidSwitch;
+  }
   /// Least-lag minimal candidate toward `target`; falls back to the
   /// static next hop when the plan has no candidate list.  Caller holds
   /// mutex_.
@@ -217,26 +310,42 @@ class RosettaSwitch {
 
   /// Priority-scheduled egress: earliest start for a packet of `prio`
   /// given the per-class horizons, charging frame-granular preemption of
-  /// lower-priority in-flight traffic.  Caller holds mutex_.
+  /// lower-priority in-flight traffic.  `ser_time` is the packet's
+  /// pre-computed serialization on this link — callers need the same
+  /// value for the departure time, so it is computed once per hop.
+  /// Caller holds mutex_.
   SimTime schedule_egress_locked(SimTime at_egress, int prio,
                                  SimTime (&free_vt)[kNumTrafficClasses],
-                                 std::uint64_t size_bytes, DataRate rate);
+                                 SimDuration ser_time, DataRate rate);
 
   const SwitchId id_;
   std::shared_ptr<TimingModel> timing_;
-  mutable std::mutex mutex_;
+  mutable SpinLock mutex_;  ///< guards ~100 ns admission steps; never blocks
   bool enforce_ = true;
   SwitchHealth health_ = SwitchHealth::kHealthy;
-  std::unordered_map<NicAddr, Port> ports_;
-  std::unordered_map<SwitchId, Uplink> uplinks_;
+  /// Dense port table indexed by NicAddr (empty slots between the
+  /// addresses homed here; a switch hosts a contiguous handful, so the
+  /// table stays small).
+  std::vector<Port> ports_;
+  std::size_t connected_ports_ = 0;
+  /// Dense uplink table indexed by peer SwitchId.
+  std::vector<Uplink> uplinks_;
+  std::size_t uplink_count_ = 0;
   std::shared_ptr<const std::vector<SwitchId>> nic_home_;
-  /// Shared routing tables (static next hops, minimal candidates, hop
+  /// Compiled routing tables (static next hops, minimal candidates, hop
   /// distances, policy).  Null until set_forwarding — local-only switch.
-  std::shared_ptr<const TopologyPlan> plan_;
+  std::shared_ptr<const CompiledPlan> plan_;
   /// Valiant intermediate selection stream (seeded; guarded by mutex_).
   Rng route_rng_;
   SwitchCounters totals_;
-  std::unordered_map<Vni, SwitchCounters> per_vni_;
+  /// Per-VNI counter slabs: stable addresses (deque) + a sorted index
+  /// for O(log n) cold lookups.  Edge checks use the per-port cached
+  /// pointers; transit hops hit the one-entry cache (a switch forwards
+  /// long runs of same-VNI traffic).
+  std::deque<SwitchCounters> slab_store_;
+  std::vector<std::pair<Vni, SwitchCounters*>> slab_index_;
+  Vni last_slab_vni_ = kInvalidVni;
+  SwitchCounters* last_slab_ = nullptr;
 };
 
 }  // namespace shs::hsn

@@ -13,6 +13,7 @@
 
 #include "hsn/types.hpp"
 #include "util/rng.hpp"
+#include "util/spinlock.hpp"
 #include "util/units.hpp"
 
 namespace shs::hsn {
@@ -55,22 +56,42 @@ class TimingModel {
 
   [[nodiscard]] const TimingConfig& config() const noexcept { return config_; }
 
+  // All of the per-packet entry points below are defined inline: the
+  // data plane calls them five to nine times per packet, so a call must
+  // cost arithmetic, not a cross-TU function-call round trip.
+
   /// Serialization time of `bytes` on the link (segmented per frame).
-  [[nodiscard]] SimDuration serialize_time(std::uint64_t bytes) const noexcept;
+  [[nodiscard]] SimDuration serialize_time(
+      std::uint64_t bytes) const noexcept {
+    return serialize_time(bytes, config_.link_rate);
+  }
 
   /// Same framing model at an explicit rate (inter-switch links may run
   /// at a different rate than the NIC edge links).
   [[nodiscard]] SimDuration serialize_time(std::uint64_t bytes,
-                                           DataRate rate) const noexcept;
+                                           DataRate rate) const noexcept {
+    // Each frame adds a small header on the wire; model it as 32 bytes.
+    // Sub-frame packets (the per-packet hot case) skip the 64-bit
+    // integer division entirely — the quotient is exactly 1 there.
+    constexpr std::uint64_t kFrameHeader = 32;
+    const std::uint64_t frames =
+        bytes <= config_.frame_bytes
+            ? 1
+            : (bytes + config_.frame_bytes - 1) / config_.frame_bytes;
+    const std::uint64_t wire_bytes = bytes + frames * kFrameHeader;
+    return rate.transfer_time(wire_bytes);
+  }
 
   /// One-hop latency for `tc`, with jitter.
-  SimDuration hop_latency(TrafficClass tc);
+  SimDuration hop_latency(TrafficClass tc) {
+    return jittered(config_.hop_latency + tc_penalty(tc));
+  }
 
   /// Sender-side overhead, with jitter.
-  SimDuration tx_overhead();
+  SimDuration tx_overhead() { return jittered(config_.tx_overhead); }
 
   /// Receiver-side overhead, with jitter.
-  SimDuration rx_overhead();
+  SimDuration rx_overhead() { return jittered(config_.rx_overhead); }
 
   /// Queueing penalty for a lower-priority class on a contended port.
   [[nodiscard]] SimDuration tc_penalty(TrafficClass tc) const noexcept {
@@ -79,11 +100,25 @@ class TimingModel {
   }
 
   /// Applies seeded multiplicative jitter to `d`.
-  SimDuration jittered(SimDuration d);
+  SimDuration jittered(SimDuration d) {
+    if (config_.jitter_amplitude == 0.0) {
+      // Deterministic configurations (determinism tests, packet-rate
+      // benches) skip the lock and the RNG draw entirely.  The jitter
+      // factor would be exactly 1.0, and the timing stream is private
+      // to this class, so the skipped draw is unobservable.
+      return run_bias_ == 1.0
+                 ? d
+                 : static_cast<SimDuration>(static_cast<double>(d) *
+                                            run_bias_);
+    }
+    std::lock_guard<SpinLock> lock(mutex_);
+    const double factor = run_bias_ * rng_.jitter(config_.jitter_amplitude);
+    return static_cast<SimDuration>(static_cast<double>(d) * factor);
+  }
 
  private:
   TimingConfig config_;
-  std::mutex mutex_;
+  SpinLock mutex_;  ///< jitter draws are ~ns-long; see spinlock.hpp
   Rng rng_;
   double run_bias_ = 1.0;
 };

@@ -16,39 +16,47 @@ std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 /// minimal next hops per (switch, destination).  Topology-agnostic, so
 /// every builder (and any future topology) gets correct candidate sets
 /// for free.  A non-null `failures` filter excludes dead links and
-/// switches from the graph — the fabric-manager re-plan path.
+/// switches from the graph — the fabric-manager re-plan path, which
+/// also passes a `scratch` so repeated republishes reuse the adjacency
+/// and distance workspace instead of re-allocating it.
 void finalize_routing_metadata(TopologyPlan& plan,
-                               const FailureSet* failures = nullptr) {
+                               const FailureSet* failures = nullptr,
+                               PlanScratch* scratch = nullptr) {
   const std::size_t n = plan.switch_count;
-  std::vector<std::vector<SwitchId>> out(n);
+  PlanScratch local;
+  PlanScratch& ws = scratch != nullptr ? *scratch : local;
+  ws.out.resize(n);
+  for (auto& neighbors : ws.out) neighbors.clear();
   for (const TopologyPlan::PlannedLink& link : plan.links) {
     if (failures != nullptr && failures->link_dead(link.from, link.to)) {
       continue;
     }
-    out[link.from].push_back(link.to);
+    ws.out[link.from].push_back(link.to);
   }
-  for (auto& neighbors : out) {
+  for (auto& neighbors : ws.out) {
     std::sort(neighbors.begin(), neighbors.end());
   }
 
   plan.min_hops.assign(n, {});
-  std::vector<int> dist(n);
+  ws.dist.resize(n);
   for (std::size_t s = 0; s < n; ++s) {
-    std::fill(dist.begin(), dist.end(), -1);
-    dist[s] = 0;
-    std::deque<SwitchId> queue{static_cast<SwitchId>(s)};
-    while (!queue.empty()) {
-      const SwitchId u = queue.front();
-      queue.pop_front();
-      for (const SwitchId v : out[u]) {
-        if (dist[v] >= 0) continue;
-        dist[v] = dist[u] + 1;
-        queue.push_back(v);
+    plan.min_hops[s].reserve(n > 0 ? n - 1 : 0);
+    std::fill(ws.dist.begin(), ws.dist.end(), -1);
+    ws.dist[s] = 0;
+    ws.queue.clear();
+    ws.queue.push_back(static_cast<SwitchId>(s));
+    while (!ws.queue.empty()) {
+      const SwitchId u = ws.queue.front();
+      ws.queue.pop_front();
+      for (const SwitchId v : ws.out[u]) {
+        if (ws.dist[v] >= 0) continue;
+        ws.dist[v] = ws.dist[u] + 1;
+        ws.queue.push_back(v);
       }
     }
     for (std::size_t d = 0; d < n; ++d) {
-      if (d != s && dist[d] > 0) {
-        plan.min_hops[s][static_cast<SwitchId>(d)] = dist[d];
+      if (d != s && ws.dist[d] > 0) {
+        plan.min_hops[s][static_cast<SwitchId>(d)] = ws.dist[d];
       }
     }
   }
@@ -58,9 +66,10 @@ void finalize_routing_metadata(TopologyPlan& plan,
   // order, so candidate lists are deterministically ordered.
   plan.candidates.assign(n, {});
   for (std::size_t s = 0; s < n; ++s) {
+    plan.candidates[s].reserve(plan.min_hops[s].size());
     for (const auto& [d, hops] : plan.min_hops[s]) {
       auto& list = plan.candidates[s][d];
-      for (const SwitchId v : out[s]) {
+      for (const SwitchId v : ws.out[s]) {
         if (v == d && hops == 1) {
           list.push_back(v);
         } else if (v != d) {
@@ -230,7 +239,8 @@ TopologyPlan TopologyPlan::build(const TopologyConfig& config,
 }
 
 TopologyPlan TopologyPlan::replan(const FailureSet& failures,
-                                  std::uint64_t new_version) const {
+                                  std::uint64_t new_version,
+                                  PlanScratch* scratch) const {
   TopologyPlan plan = *this;
   plan.version = new_version;
   if (failures.empty()) {
@@ -239,7 +249,7 @@ TopologyPlan TopologyPlan::replan(const FailureSet& failures,
     // fail/restore cycle returns the fabric to byte-identical routing.
     return plan;
   }
-  finalize_routing_metadata(plan, &failures);
+  finalize_routing_metadata(plan, &failures, scratch);
 
   // Static next hops over the survivors: for each reachable (s, d) pair,
   // a seeded hash of the pair picks among the minimal candidates.  Like
@@ -249,6 +259,7 @@ TopologyPlan TopologyPlan::replan(const FailureSet& failures,
   plan.next_hop.assign(plan.switch_count, {});
   for (std::size_t s = 0; s < plan.switch_count; ++s) {
     if (failures.switch_dead(static_cast<SwitchId>(s))) continue;
+    plan.next_hop[s].reserve(plan.candidates[s].size());
     for (const auto& [d, cands] : plan.candidates[s]) {
       if (cands.empty()) continue;
       const std::uint64_t pair_key =
@@ -258,6 +269,57 @@ TopologyPlan TopologyPlan::replan(const FailureSet& failures,
     }
   }
   return plan;
+}
+
+void TopologyPlan::compile_into(CompiledPlan& out) const {
+  const std::size_t n = switch_count;
+  out.n = n;
+  out.routing = routing;
+  out.version = version;
+  out.group_of.assign(group_of.begin(), group_of.end());
+  out.df_groups =
+      group_of.empty() ? 0 : static_cast<SwitchId>(group_of.back() + 1);
+  out.df_per_group =
+      out.df_groups == 0
+          ? 0
+          : static_cast<SwitchId>(group_of.size() / out.df_groups);
+
+  out.next_hop.assign(n * n, kInvalidSwitch);
+  for (std::size_t s = 0; s < next_hop.size() && s < n; ++s) {
+    for (const auto& [d, nh] : next_hop[s]) {
+      out.next_hop[s * n + d] = nh;
+    }
+  }
+
+  out.min_hops.assign(n * n, kUnreachableHops);
+  for (std::size_t s = 0; s < min_hops.size() && s < n; ++s) {
+    for (const auto& [d, hops] : min_hops[s]) {
+      out.min_hops[s * n + d] = hops;
+    }
+  }
+
+  // CSR candidates: per-cell sizes, exclusive prefix sum, then a fill
+  // pass in (s, d) order — flat output independent of map iteration
+  // order, list contents already ascending from the BFS derivation.
+  out.cand_begin.assign(n * n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < candidates.size() && s < n; ++s) {
+    for (const auto& [d, list] : candidates[s]) {
+      out.cand_begin[s * n + d + 1] =
+          static_cast<std::uint32_t>(list.size());
+      total += list.size();
+    }
+  }
+  for (std::size_t cell = 1; cell <= n * n; ++cell) {
+    out.cand_begin[cell] += out.cand_begin[cell - 1];
+  }
+  out.cand.resize(total);
+  for (std::size_t s = 0; s < candidates.size() && s < n; ++s) {
+    for (const auto& [d, list] : candidates[s]) {
+      std::copy(list.begin(), list.end(),
+                out.cand.begin() + out.cand_begin[s * n + d]);
+    }
+  }
 }
 
 }  // namespace shs::hsn

@@ -19,6 +19,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -115,6 +117,62 @@ struct FailureSet {
   }
 };
 
+/// Forwarding state compiled into flat, index-addressed tables — what
+/// switches actually consult per packet.  NIC addresses, switch ids, and
+/// routing targets are dense integers, so the per-packet critical
+/// section can be branch-and-array-only: no hashing, no allocation.
+///
+/// Layout: all pairwise tables are row-major `n x n` vectors indexed by
+/// `s * n + d`; candidate sets use a CSR layout (`cand_begin[cell] ..
+/// cand_begin[cell + 1]` indexes into `cand`), preserving the ascending
+/// switch-id order adaptive tie-breaking relies on.  A CompiledPlan is
+/// an immutable snapshot: the fabric manager compiles one per published
+/// TopologyPlan version and swaps it atomically into every switch.
+struct CompiledPlan {
+  std::size_t n = 0;  ///< switch count (row stride)
+  RoutingPolicy routing = RoutingPolicy::kMinimal;
+  std::uint64_t version = 0;
+  /// Static minimal next hop per (switch, target); kInvalidSwitch when
+  /// unreachable.
+  std::vector<SwitchId> next_hop;
+  /// BFS hop distances; TopologyPlan::kUnreachableHops when unreachable.
+  std::vector<std::int32_t> min_hops;
+  /// CSR offsets (n*n + 1 entries) and data of the minimal-candidate
+  /// neighbor sets, ascending per cell.
+  std::vector<std::uint32_t> cand_begin;
+  std::vector<SwitchId> cand;
+  /// Dragonfly group per switch; empty for other topologies.
+  std::vector<SwitchId> group_of;
+  /// Dragonfly constants precomputed at compile time (0 when not a
+  /// dragonfly): group count and switches per group — the per-packet
+  /// Valiant draw must not re-derive them with a division.
+  SwitchId df_groups = 0;
+  SwitchId df_per_group = 0;
+
+  [[nodiscard]] SwitchId next(SwitchId s, SwitchId d) const noexcept {
+    return next_hop[static_cast<std::size_t>(s) * n + d];
+  }
+  [[nodiscard]] int hops_between(SwitchId s, SwitchId d) const noexcept {
+    if (s == d) return 0;
+    return min_hops[static_cast<std::size_t>(s) * n + d];
+  }
+  [[nodiscard]] std::span<const SwitchId> candidates(
+      SwitchId s, SwitchId d) const noexcept {
+    const std::size_t cell = static_cast<std::size_t>(s) * n + d;
+    return {cand.data() + cand_begin[cell],
+            cand.data() + cand_begin[cell + 1]};
+  }
+};
+
+/// Reusable workspace for BFS re-planning and plan compilation.  The
+/// fabric manager keeps one across republishes so repeated failures do
+/// not re-allocate the per-switch adjacency/distance scratch each time.
+struct PlanScratch {
+  std::vector<std::vector<SwitchId>> out;  ///< adjacency, reused rows
+  std::vector<int> dist;
+  std::deque<SwitchId> queue;
+};
+
 /// The instantiated wiring for one fabric.  `build` is total: degenerate
 /// configurations are clamped (zero counts become one) rather than
 /// rejected, so Fabric::create never fails on topology grounds.
@@ -182,9 +240,21 @@ struct TopologyPlan {
   /// same determinism contract as the initial fat-tree spine selection.
   /// Dead switches route nothing and are routed to by nobody.  Must be
   /// called on the pristine (version 0) plan, whose `links` describe the
-  /// full wiring.
+  /// full wiring.  A non-null `scratch` is reused for the BFS workspace
+  /// (the fabric manager passes one across republishes).
   [[nodiscard]] TopologyPlan replan(const FailureSet& failures,
-                                    std::uint64_t new_version) const;
+                                    std::uint64_t new_version,
+                                    PlanScratch* scratch = nullptr) const;
+
+  /// Flattens the map-based tables into `out` (see CompiledPlan),
+  /// reusing its buffers.  Deterministic: the flat layout depends only
+  /// on table *contents*, never on unordered_map iteration order.
+  void compile_into(CompiledPlan& out) const;
+  [[nodiscard]] CompiledPlan compile() const {
+    CompiledPlan out;
+    compile_into(out);
+    return out;
+  }
 };
 
 }  // namespace shs::hsn

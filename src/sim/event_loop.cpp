@@ -5,10 +5,15 @@
 
 namespace shs::sim {
 
+void EventLoop::push_event(Event e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), EventOrder{});
+}
+
 EventLoop::TaskId EventLoop::push(SimTime t, Callback cb, SimDuration period) {
   const TaskId id = next_id_++;
   callbacks_.emplace(id, std::move(cb));
-  queue_.push(Event{std::max(t, now_), next_seq_++, id, period});
+  push_event(Event{std::max(t, now_), next_seq_++, id, period});
   return id;
 }
 
@@ -30,20 +35,43 @@ bool EventLoop::cancel(TaskId id) {
   const auto it = callbacks_.find(id);
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
-  cancelled_.insert(id);  // lazily dropped when the queue entry surfaces
+  cancelled_.insert(id);  // lazily dropped when the heap entry surfaces
+  // Keep the heap within 2x the live entries: without this, a workload
+  // that schedules and cancels in a loop (connection retries, churn
+  // tests) grows the queue and the cancelled set without bound even
+  // though pending() stays small.
+  if (cancelled_.size() > callbacks_.size() &&
+      heap_.size() > kInitialQueueCapacity) {
+    compact();
+  }
   return true;
 }
 
+void EventLoop::compact() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const auto c = cancelled_.find(heap_[i].id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);  // reclaimed here instead of lazily on pop
+      continue;
+    }
+    heap_[kept++] = heap_[i];
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), EventOrder{});
+}
+
 bool EventLoop::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    Event e = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), EventOrder{});
+    Event e = heap_.back();
+    heap_.pop_back();
     const auto cancelled_it = cancelled_.find(e.id);
     if (cancelled_it != cancelled_.end()) {
       cancelled_.erase(cancelled_it);
       continue;
     }
-    out = std::move(e);
+    out = e;
     return true;
   }
   return false;
@@ -59,7 +87,7 @@ std::size_t EventLoop::run_until_idle(std::size_t max_events) {
     if (cb_it == callbacks_.end()) continue;  // cancelled mid-flight
     if (e.period > 0) {
       // Re-arm before running so the callback may cancel itself.
-      queue_.push(Event{now_ + e.period, next_seq_++, e.id, e.period});
+      push_event(Event{now_ + e.period, next_seq_++, e.id, e.period});
       cb_it->second();
     } else {
       Callback cb = std::move(cb_it->second);
@@ -75,20 +103,20 @@ std::size_t EventLoop::run_until(SimTime t) {
   std::size_t executed = 0;
   stop_requested_ = false;
   while (!stop_requested_) {
-    if (queue_.empty()) break;
+    if (heap_.empty()) break;
     // Peek through cancellations without executing past `t`.
     Event e;
     if (!pop_next(e)) break;
     if (e.time > t) {
       // Put it back; it belongs to the future.
-      queue_.push(e);
+      push_event(e);
       break;
     }
     now_ = std::max(now_, e.time);
     const auto cb_it = callbacks_.find(e.id);
     if (cb_it == callbacks_.end()) continue;
     if (e.period > 0) {
-      queue_.push(Event{now_ + e.period, next_seq_++, e.id, e.period});
+      push_event(Event{now_ + e.period, next_seq_++, e.id, e.period});
       cb_it->second();
     } else {
       Callback cb = std::move(cb_it->second);

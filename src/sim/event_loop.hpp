@@ -10,12 +10,18 @@
 // ordered by insertion), so every admission-test run is reproducible.  The
 // RDMA data path does NOT use this loop — it uses per-link virtual-time
 // accounting in src/hsn so that application threads can block naturally.
+//
+// Memory: the event queue is a binary heap over a reserved vector.
+// Cancellation is lazy (a cancelled id is dropped when its heap entry
+// surfaces), but the heap is compacted whenever cancelled entries
+// outnumber live ones, so queue memory stays bounded under arbitrary
+// schedule/cancel churn — long-running soak workloads cannot grow the
+// loop without growing the number of genuinely pending tasks.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -31,7 +37,7 @@ class EventLoop {
   using TaskId = std::uint64_t;
   static constexpr TaskId kInvalidTask = 0;
 
-  EventLoop() = default;
+  EventLoop() { heap_.reserve(kInitialQueueCapacity); }
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -74,7 +80,16 @@ class EventLoop {
   /// Number of pending (non-cancelled) events.
   [[nodiscard]] std::size_t pending() const noexcept;
 
+  /// Heap entries currently held (pending + not-yet-reclaimed cancelled).
+  /// Compaction keeps this within a small factor of pending() — the
+  /// observable the churn-boundedness test asserts on.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return heap_.size();
+  }
+
  private:
+  static constexpr std::size_t kInitialQueueCapacity = 256;
+
   struct Event {
     SimTime time = 0;
     std::uint64_t seq = 0;  ///< tie-breaker: FIFO among equal timestamps
@@ -82,6 +97,9 @@ class EventLoop {
     SimDuration period = 0;  ///< > 0 for periodic tasks
     // Callbacks live in a side map so cancel() can free them eagerly.
   };
+  /// Max-heap comparator that makes the (time, seq)-smallest entry the
+  /// heap top — std::push_heap/std::pop_heap with this ordering yield a
+  /// min-queue, exactly the old std::priority_queue behaviour.
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -90,13 +108,19 @@ class EventLoop {
   };
 
   TaskId push(SimTime t, Callback cb, SimDuration period);
+  void push_event(Event e);
   bool pop_next(Event& out);
+  /// Removes every cancelled entry from the heap in one pass and
+  /// restores the heap property.  Ordering of the survivors is fully
+  /// determined by (time, seq), so compaction never perturbs execution
+  /// order — it only reclaims memory.
+  void compact();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   TaskId next_id_ = 1;
   bool stop_requested_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<Event> heap_;  ///< binary heap under EventOrder
   std::unordered_set<TaskId> cancelled_;
   std::unordered_map<TaskId, Callback> callbacks_;
 };

@@ -54,8 +54,11 @@ class Rng {
 
   /// Uniform integer in [0, n).  n must be > 0.
   std::uint64_t uniform_u64(std::uint64_t n) noexcept {
-    // Lemire's nearly-divisionless bounded generation (simplified).
-    return next() % n;
+    // Power-of-two bounds (common: dragonfly group fan-outs, ring sizes)
+    // take a mask instead of the 64-bit divide; the result is exactly
+    // next() % n either way, so seeded streams are unaffected.
+    const std::uint64_t x = next();
+    return (n & (n - 1)) == 0 ? x & (n - 1) : x % n;
   }
 
   /// Normal variate via Box–Muller (no cached second value; simple and

@@ -1,0 +1,58 @@
+// spinlock.hpp — a tiny test-and-test-and-set spinlock for critical
+// sections that are a few dozen nanoseconds long and never block.
+//
+// The data-plane hot path (switch admission, NIC injection scheduling,
+// timing jitter draws) holds its locks for branch-and-array work only —
+// no allocation, no I/O, no nested blocking.  For such sections an
+// uncontended std::mutex spends more time in lock/unlock bookkeeping
+// than the section itself; this lock is a single relaxed load plus one
+// acquire exchange on the fast path.  Do NOT use it around anything
+// that can block (condition variables, queue waits) — those keep
+// std::mutex.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace shs {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // Test-and-test-and-set: spin on a plain load so waiting cores
+      // hammer their cache line, not the interconnect.  After a bounded
+      // burst, yield — on an oversubscribed machine the holder may be
+      // preempted, and burning the rest of our quantum would only delay
+      // its release (pathological on single-core CI runners).
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+          __builtin_ia32_pause();
+#endif
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace shs

@@ -117,12 +117,52 @@ TEST(Nic, EndpointLimitEnforced) {
   auto f = Fabric::create(1, timing);
   NicLimits limits;
   limits.max_endpoints = 4;
-  CassiniNic nic(10, f->switch_ptr(), f->timing(), limits);
+  // A standalone NIC wired straight to the switch (no Fabric::inject):
+  // the unit-test form of the injection callback.
+  CassiniNic nic(
+      10,
+      [sw = f->switch_ptr()](Packet&& p) { return sw->route(std::move(p)); },
+      f->timing(), limits);
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(nic.alloc_endpoint(1, TrafficClass::kBestEffort).is_ok());
   }
   EXPECT_EQ(nic.alloc_endpoint(1, TrafficClass::kBestEffort).code(),
             Code::kResourceExhausted);
+}
+
+TEST(Switch, CallbackDeliveryAndDisconnect) {
+  // The generic DeliveryFn port path (custom rigs; Fabric-owned NICs
+  // use the direct CassiniNic wiring instead) delivers and disconnects.
+  auto f = Fabric::create(2);
+  auto sw = f->switch_ptr();
+  std::vector<Packet> got;
+  ASSERT_TRUE(
+      sw->connect(10, [&](Packet&& p) { got.push_back(std::move(p)); })
+          .is_ok());
+  ASSERT_TRUE(sw->authorize_vni(0, 300).is_ok());
+  ASSERT_TRUE(sw->authorize_vni(10, 300).is_ok());
+  Packet p;
+  p.src = 0;
+  p.dst = 10;
+  p.vni = 300;
+  p.size_bytes = 8;
+  EXPECT_TRUE(sw->route(std::move(p)).delivered);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].dst, 10u);
+
+  ASSERT_TRUE(sw->disconnect(10).is_ok());
+  Packet q;
+  q.src = 0;
+  q.dst = 10;
+  q.vni = 300;
+  q.size_bytes = 8;
+  const RouteResult rr = sw->route(std::move(q));
+  EXPECT_FALSE(rr.delivered);
+  EXPECT_EQ(rr.reason, DropReason::kUnknownDestination);
+
+  // Absurd addresses are rejected instead of materializing port slots.
+  EXPECT_EQ(sw->connect(0xfffffff0u, [](Packet&&) {}).code(),
+            Code::kInvalidArgument);
 }
 
 TEST(Nic, FreedEndpointStopsReceiving) {

@@ -293,6 +293,85 @@ TEST(FabricRoutingDeterminism, FailureRecoveryEpisodesAreDeterministic) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Golden digests: the flat-table data plane (compiled routing tables,
+// dense port/uplink vectors, pre-resolved counter slabs) is a pure
+// *representation* change — per-seed results must be bit-identical to
+// the hash-table implementation it replaced.  These constants were
+// recorded from the pre-refactor tree (unordered_map forwarding state)
+// with the exact workloads below; any divergence means the data plane's
+// behavior changed, not just its layout.
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_digest(
+    const std::vector<std::pair<SimTime, int>>& trace) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& [t, hops] : trace) {
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(t));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(hops));
+  }
+  return h;
+}
+
+std::uint64_t episode_digest(const FailureEpisode& e) {
+  std::uint64_t h = trace_digest(e.trace);
+  h = fnv1a_mix(h, e.delivered);
+  h = fnv1a_mix(h, e.dropped_link_down);
+  return h;
+}
+
+TEST(FabricRoutingDeterminism, GoldenDigestsMatchPreFlatTableRecording) {
+  struct Golden {
+    hsn::RoutingPolicy policy;
+    std::uint64_t fat_tree_route;
+    std::uint64_t dragonfly_route;
+    std::uint64_t fat_tree_fail;
+    std::uint64_t dragonfly_fail;
+  };
+  // Recorded from the hash-table tree at PR-4 head (seed 0xd3ad routed
+  // traffic, seed 0xfade failure episodes), zero-jitter timing.
+  const Golden goldens[] = {
+      {hsn::RoutingPolicy::kMinimal, 0x3b14b508480f6d75ULL,
+       0x9b749cdb47a37e46ULL, 0x8ee07b7ef1e87d77ULL, 0xb344da764e087497ULL},
+      {hsn::RoutingPolicy::kValiant, 0x926fe200a28f5443ULL,
+       0x1130d8e76fc9a73fULL, 0xcc39dbbd28f96431ULL, 0x5afd436144dced58ULL},
+      {hsn::RoutingPolicy::kUgal, 0x4b23c0d0195e2685ULL,
+       0xd57b32e3c7933dacULL, 0x9b2ffbeb243f418fULL, 0xf851c9f772d79ff8ULL},
+  };
+  for (const Golden& g : goldens) {
+    SCOPED_TRACE(hsn::routing_policy_name(g.policy));
+
+    hsn::TopologyConfig fat_tree;
+    fat_tree.kind = hsn::TopologyKind::kFatTree;
+    fat_tree.nodes_per_switch = 8;
+    fat_tree.spines = 4;
+    fat_tree.routing = g.policy;
+    EXPECT_EQ(trace_digest(routed_trace(fat_tree, 32, 0xd3ad)),
+              g.fat_tree_route);
+    EXPECT_EQ(episode_digest(failure_episode(fat_tree, 32, /*switch=*/true,
+                                             5, 0, 0xfade)),
+              g.fat_tree_fail);
+
+    hsn::TopologyConfig dragonfly;
+    dragonfly.kind = hsn::TopologyKind::kDragonfly;
+    dragonfly.nodes_per_switch = 4;
+    dragonfly.switches_per_group = 4;
+    dragonfly.routing = g.policy;
+    EXPECT_EQ(trace_digest(routed_trace(dragonfly, 64, 0xd3ad)),
+              g.dragonfly_route);
+    EXPECT_EQ(episode_digest(failure_episode(dragonfly, 64, /*switch=*/false,
+                                             2, 8, 0xfade)),
+              g.dragonfly_fail);
+  }
+}
+
 TEST(FabricRoutingDeterminism, IdenticalSeedsIdenticalTracesPerPolicy) {
   for (const auto policy :
        {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,

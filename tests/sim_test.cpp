@@ -147,5 +147,39 @@ TEST(EventLoop, MaxEventsBound) {
   EXPECT_EQ(ran, 4);
 }
 
+TEST(EventLoop, ScheduleCancelChurnStaysBounded) {
+  // A workload that schedules and immediately cancels (retry loops,
+  // churn tests) must not grow the queue: lazy cancellation is
+  // compacted, so queue_depth() tracks pending(), not the total number
+  // of cancels ever issued.
+  EventLoop loop;
+  const auto keeper = loop.schedule_at(1'000'000, [] {});
+  for (int i = 0; i < 100'000; ++i) {
+    const auto id = loop.schedule_at(500'000 + i, [] {});
+    EXPECT_TRUE(loop.cancel(id));
+  }
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_LE(loop.queue_depth(), 512u);  // 2x the initial reserve
+
+  // Interleaved survivors: cancel every other task, depth stays O(live).
+  std::vector<EventLoop::TaskId> live;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto id = loop.schedule_at(600'000 + i, [] {});
+    if (i % 2 == 0) {
+      EXPECT_TRUE(loop.cancel(id));
+    } else {
+      live.push_back(id);
+    }
+  }
+  EXPECT_EQ(loop.pending(), 1u + live.size());
+  EXPECT_LE(loop.queue_depth(), 2 * (1u + live.size()) + 512u);
+
+  // The survivors (and the keeper) still execute exactly once.
+  loop.run_until_idle();
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.queue_depth(), 0u);
+  EXPECT_FALSE(loop.cancel(keeper));  // already executed
+}
+
 }  // namespace
 }  // namespace shs::sim

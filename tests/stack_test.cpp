@@ -167,6 +167,26 @@ TEST(StackLifecycleTest, ManySequentialJobsRecycleVnisAfterQuarantine) {
   EXPECT_EQ(stack.registry().allocated_count(), 0u);
 }
 
+TEST(StackRerouteTest, ReroutePublishesNewCompiledPlan) {
+  // A stack-level failure injection must end with the fabric manager
+  // publishing a freshly compiled plan version after fm_reroute_delay.
+  StackConfig cfg;
+  cfg.nodes = 32;
+  cfg.topology.kind = hsn::TopologyKind::kFatTree;
+  cfg.topology.nodes_per_switch = 8;
+  cfg.topology.spines = 4;
+  SlingshotStack stack(cfg);
+  EXPECT_EQ(stack.published_plan_version(), 0u);
+  ASSERT_TRUE(stack.fail_link(0, 4).is_ok());  // leaf 0 -> spine 0
+  EXPECT_EQ(stack.published_plan_version(), 0u);  // loss window still open
+  stack.run_for(4 * cfg.fm_reroute_delay);
+  EXPECT_EQ(stack.published_plan_version(), 1u);
+  EXPECT_EQ(stack.reroute_events(), 1u);
+  ASSERT_TRUE(stack.restore_link(0, 4).is_ok());
+  stack.run_for(4 * cfg.fm_reroute_delay);
+  EXPECT_EQ(stack.published_plan_version(), 2u);
+}
+
 TEST(StackCountersTest, CxiCniCountsMatchPods) {
   SlingshotStack stack;
   auto job = stack.submit_job({.name = "counted",
