@@ -30,6 +30,37 @@ using namespace shs;
 
 namespace {
 
+/// Per-reason drop breakdown of the fabric's accounting, labeled with
+/// the stable drop_reason_name() strings — the audit trail that shows
+/// every lost packet was counted under exactly one reason (plus the
+/// NIC-side RX-overflow backpressure counter, which lives on the NICs
+/// rather than the switches).
+void print_drop_breakdown(core::SlingshotStack& stack) {
+  const auto t = stack.fabric().total_counters();
+  const struct {
+    hsn::DropReason reason;
+    std::uint64_t count;
+  } rows[] = {
+      {hsn::DropReason::kSrcNotAuthorized, t.dropped_src_unauthorized},
+      {hsn::DropReason::kDstNotAuthorized, t.dropped_dst_unauthorized},
+      {hsn::DropReason::kUnknownDestination, t.dropped_unknown_dst},
+      {hsn::DropReason::kNoRoute, t.dropped_no_route},
+      {hsn::DropReason::kLinkDown, t.dropped_link_down},
+      {hsn::DropReason::kLossInjected, t.dropped_loss},
+      {hsn::DropReason::kCorrupt, t.dropped_corrupt},
+      {hsn::DropReason::kAckLost, t.ack_lost},
+      {hsn::DropReason::kRxOverflow, stack.fabric().total_rx_overflow()},
+  };
+  std::printf("    drop breakdown (%llu switch drops, %llu delivered):\n",
+              static_cast<unsigned long long>(t.dropped_total()),
+              static_cast<unsigned long long>(t.delivered));
+  for (const auto& row : rows) {
+    if (row.count == 0) continue;
+    std::printf("      %-16s %llu\n", hsn::drop_reason_name(row.reason),
+                static_cast<unsigned long long>(row.count));
+  }
+}
+
 /// Edge switch of a pod's node (kInvalidSwitch when unbound).
 hsn::SwitchId pod_switch(core::SlingshotStack& stack, const k8s::Pod& pod) {
   for (std::size_t i = 0; i < stack.node_count(); ++i) {
@@ -124,8 +155,10 @@ void data_plane_scenarios() {
               send_once(4).status().to_string().c_str());
   const auto dropped =
       stack.fabric().total_counters().dropped_link_down;
-  std::printf("    packets lost to the failure window: %llu\n\n",
+  std::printf("    packets lost to the failure window: %llu\n",
               static_cast<unsigned long long>(dropped));
+  print_drop_breakdown(stack);
+  std::printf("\n");
 
   // -- 5. Leaf death: drain and reschedule. ---------------------------------
   std::printf("[5] killing leaf %u (home of pod %s)...\n", leaf_a,
@@ -152,6 +185,7 @@ void data_plane_scenarios() {
   (void)stack.restore_switch(leaf_a);
   stack.run_for(cfg.fm_reroute_delay * 2);
   std::printf("    leaf restored; fabric healthy again\n");
+  print_drop_breakdown(stack);
 }
 
 }  // namespace

@@ -73,6 +73,18 @@ SlingshotStack::SlingshotStack(StackConfig config)
   // reprogramming delay), not synchronously at injection time.
   fabric_->manager().set_auto_repair(false);
 
+  if (config_.reliability.enabled) {
+    fabric_->set_reliability(config_.reliability);
+    // Retransmit timers live on the event loop's clock: each backoff
+    // advances the loop, so a scheduled repair (schedule_reroute) can
+    // fire mid-retry and the retransmit completes on the new tables.
+    // The running() guard makes the hook a no-op if a send ever happens
+    // inside a loop callback.
+    fabric_->set_retry_hook([this](int /*attempt*/, SimDuration backoff) {
+      if (!loop_.running()) loop_.run_for(backoff);
+    });
+  }
+
   // The real VNI Endpoint is an HTTP service; the hooks round-trip every
   // request and response through the JSON webhook codec so the
   // serialization boundary is honest (no shared pointers between the

@@ -58,6 +58,16 @@ struct StackConfig {
   /// and the repaired tables landing on every switch.  Packets routed in
   /// that window onto the dead element are dropped and counted.
   SimDuration fm_reroute_delay = from_millis(5);
+  /// NIC-level reliable delivery (retransmit/backoff/dedup; see
+  /// docs/reliability.md).  Off by default — the paper's fabric relies
+  /// on link-level reliability, so benches measure the raw path.  When
+  /// enabled, the stack installs a retry hook that advances the event
+  /// loop through each backoff, so a scheduled fabric-manager repair
+  /// (fm_reroute_delay) can land *during* an op's retry window and the
+  /// op completes on the republished tables.  That hook drives the loop
+  /// from the sender's thread: enable only for single-threaded drivers
+  /// (examples, chaos harnesses) — not under multi-threaded MPI ranks.
+  hsn::ReliabilityConfig reliability{};
   std::uint64_t seed = 0x5005;
   /// Install the CXI CNI plugin into the chain.  Disabling it models a
   /// stock cluster (pods with vni annotations then fail to launch).
@@ -186,6 +196,13 @@ class SlingshotStack {
   /// failure actually produced a republished (re-compiled) plan.
   [[nodiscard]] std::uint64_t published_plan_version() const {
     return fabric_->manager().plan_version();
+  }
+  /// Reliable-delivery accounting summed over every NIC (all zeros when
+  /// `StackConfig::reliability` is off) — the stack-metrics view of
+  /// retransmits, suppressed duplicates, exhausted budgets, and ops
+  /// recovered across a replan.
+  [[nodiscard]] hsn::ReliabilityCounters reliability_counters() const {
+    return fabric_->reliability_totals();
   }
 
  private:

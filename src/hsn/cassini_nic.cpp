@@ -29,6 +29,14 @@ Status drop_status(DropReason r) {
       return unavailable("switch: no route to destination switch");
     case DropReason::kLinkDown:
       return unavailable("switch: dead link or failed switch on the path");
+    case DropReason::kLossInjected:
+      return unavailable("fabric: packet lost on a lossy link");
+    case DropReason::kCorrupt:
+      return unavailable("fabric: packet corrupted in transit");
+    case DropReason::kAckLost:
+      return unavailable("fabric: delivery unacknowledged (ACK lost)");
+    case DropReason::kRxOverflow:
+      return resource_exhausted("nic: receiver RX ring overflow");
     case DropReason::kNone:
       break;
   }
@@ -260,11 +268,144 @@ void CassiniNic::count_tx_drop(const RouteResult& rr, EndpointId src_ep,
   if (const auto ep = find_ep(src_ep)) {
     Event e;
     e.type = Event::Type::kError;
-    e.status = drop_status(rr.reason);
+    e.status = drop_status_for(rr.reason);
     e.op_id = op_id;
     e.vt = error_vt;
     push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
   }
+}
+
+bool CassiniNic::transient_reason(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kNoRoute:       // replan may restore a path
+    case DropReason::kLinkDown:      // dead/flapped element, repair pending
+    case DropReason::kLossInjected:
+    case DropReason::kCorrupt:
+    case DropReason::kAckLost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status CassiniNic::drop_status_for(DropReason r) const {
+  if (rel_.enabled && transient_reason(r)) {
+    return unavailable(strfmt(
+        "reliable delivery failed after %d attempts (last: %s)",
+        rel_.max_retries + 1, drop_reason_name(r)));
+  }
+  return drop_status(r);
+}
+
+std::uint64_t CassiniNic::plan_version_now() const {
+  return fabric_ != nullptr ? fabric_->manager().plan_version() : 0;
+}
+
+void CassiniNic::set_reliability(const ReliabilityConfig& cfg) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  rel_ = cfg;
+  rel_rng_.reseed(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (addr_ + 1)));
+}
+
+ReliabilityCounters CassiniNic::reliability_counters() const {
+  ReliabilityCounters out;
+  out.retransmits =
+      counters_.rel_retransmits.load(std::memory_order_relaxed);
+  out.duplicates =
+      counters_.rel_duplicates.load(std::memory_order_relaxed);
+  out.budget_exhausted =
+      counters_.rel_budget_exhausted.load(std::memory_order_relaxed);
+  out.recovered = counters_.rel_recovered.load(std::memory_order_relaxed);
+  out.recovered_after_replan =
+      counters_.rel_recovered_after_replan.load(std::memory_order_relaxed);
+  return out;
+}
+
+RouteResult CassiniNic::inject_reliable(Packet& proto, SimTime& vt_io) {
+  proto.reliable = true;
+  RouteResult rr;
+  std::uint64_t plan_v0 = 0;
+  bool have_v0 = false;
+  for (int attempt = 0;; ++attempt) {
+    {
+      // Each attempt sends a copy; `proto` stays intact as the
+      // retransmit master.  The copy is fields-only for the size-only
+      // packets the benches send; payload-carrying packets pay one
+      // buffer copy per attempt (reliability is off on the PR 5 hot
+      // path, so this costs nothing when disabled).
+      Packet copy = proto;
+      rr = inject(std::move(copy));
+    }
+    if (rr.delivered) {
+      if (attempt > 0) {
+        counters_.rel_recovered.fetch_add(1, std::memory_order_relaxed);
+        if (have_v0 && plan_version_now() != plan_v0) {
+          counters_.rel_recovered_after_replan.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      return rr;
+    }
+    if (!transient_reason(rr.reason) || attempt >= rel_.max_retries) {
+      if (transient_reason(rr.reason)) {
+        counters_.rel_budget_exhausted.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      }
+      return rr;
+    }
+    if (!have_v0) {
+      // Captured lazily at the first failure so the (overwhelmingly
+      // common) first-attempt success never touches the manager's lock.
+      plan_v0 = plan_version_now();
+      have_v0 = true;
+    }
+    // Exponential backoff with seeded jitter, capped at rto_max.
+    SimDuration rto = rel_.rto_base;
+    for (int i = 0; i < attempt && rto < rel_.rto_max; ++i) {
+      rto = static_cast<SimDuration>(static_cast<double>(rto) *
+                                     rel_.backoff_factor);
+    }
+    rto = std::min(rto, rel_.rto_max);
+    double jitter = 1.0;
+    if (rel_.jitter > 0.0) {
+      std::lock_guard<SpinLock> lock(mutex_);
+      jitter = rel_rng_.jitter(rel_.jitter);
+    }
+    const auto backoff =
+        static_cast<SimDuration>(static_cast<double>(rto) * jitter);
+    counters_.rel_retransmits.fetch_add(1, std::memory_order_relaxed);
+    if (retry_hook_) retry_hook_(attempt + 1, backoff);
+    vt_io += backoff;
+    {
+      // The retransmitted copy re-queues on the TX link at the
+      // backed-off time — and, crucially, re-enters the fabric through
+      // Fabric::inject, which always routes by the manager's currently
+      // published tables: a retransmit straddling a replan picks up the
+      // new CompiledPlan automatically.
+      std::lock_guard<SpinLock> lock(mutex_);
+      proto.inject_vt = schedule_tx_locked(vt_io, proto.tc, proto.ser_cache);
+      ++tx_packets_;
+    }
+  }
+}
+
+bool CassiniNic::accept_reliable(const Packet& p) {
+  // NIC-global sequence numbers make (src, seq) unique per sender; 44
+  // bits of seq + 20 bits of src (kMaxPortAddr) pack into one key.
+  const std::uint64_t key = (static_cast<std::uint64_t>(p.src) << 44) |
+                            (p.seq & ((1ULL << 44) - 1));
+  std::lock_guard<SpinLock> lock(dedup_lock_);
+  if (!rel_seen_.insert(key).second) {
+    counters_.rel_duplicates.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  rel_seen_fifo_.push_back(key);
+  const std::size_t window = rel_.dedup_window > 0 ? rel_.dedup_window : 1;
+  if (rel_seen_fifo_.size() > window) {
+    rel_seen_.erase(rel_seen_fifo_.front());
+    rel_seen_fifo_.pop_front();
+  }
+  return true;
 }
 
 Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
@@ -304,10 +445,15 @@ Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
     ++tx_packets_;
   }
 
-  const RouteResult rr = inject(std::move(p));
+  // Send-buffer hold time: with reliability on, retries push the local
+  // completion out by their backoff (the buffer stays pinned until the
+  // final attempt left the NIC).
+  SimTime done_vt = accepted_vt;
+  const RouteResult rr = rel_.enabled ? inject_reliable(p, done_vt)
+                                      : inject(std::move(p));
   if (!rr.delivered) {
-    count_tx_drop(rr, ep_id, op_id, accepted_vt);
-    return Result<SimTime>(drop_status(rr.reason));
+    count_tx_drop(rr, ep_id, op_id, done_vt);
+    return Result<SimTime>(drop_status_for(rr.reason));
   }
   if (op_id != 0) {
     // Selective completion, like FI_SELECTIVE_COMPLETION: only requested
@@ -316,10 +462,10 @@ Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
     e.type = Event::Type::kSendComplete;
     e.op_id = op_id;
     e.size = size_bytes;
-    e.vt = accepted_vt;
+    e.vt = done_vt;
     push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
   }
-  return accepted_vt;
+  return done_vt;
 }
 
 Result<SimTime> CassiniNic::rdma_write(EndpointId ep_id, NicAddr dst,
@@ -355,12 +501,14 @@ Result<SimTime> CassiniNic::rdma_write(EndpointId ep_id, NicAddr dst,
     p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
     ++tx_packets_;
   }
-  const RouteResult rr = inject(std::move(p));
+  SimTime done_vt = accepted_vt;
+  const RouteResult rr = rel_.enabled ? inject_reliable(p, done_vt)
+                                      : inject(std::move(p));
   if (!rr.delivered) {
-    count_tx_drop(rr, ep_id, op_id, accepted_vt);
-    return Result<SimTime>(drop_status(rr.reason));
+    count_tx_drop(rr, ep_id, op_id, done_vt);
+    return Result<SimTime>(drop_status_for(rr.reason));
   }
-  return accepted_vt;
+  return done_vt;
 }
 
 Result<SimTime> CassiniNic::rdma_read(EndpointId ep_id, NicAddr dst,
@@ -395,15 +543,24 @@ Result<SimTime> CassiniNic::rdma_read(EndpointId ep_id, NicAddr dst,
     p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
     ++tx_packets_;
   }
-  const RouteResult rr = inject(std::move(p));
+  SimTime done_vt = accepted_vt;
+  const RouteResult rr = rel_.enabled ? inject_reliable(p, done_vt)
+                                      : inject(std::move(p));
   if (!rr.delivered) {
-    count_tx_drop(rr, ep_id, op_id, accepted_vt);
-    return Result<SimTime>(drop_status(rr.reason));
+    count_tx_drop(rr, ep_id, op_id, done_vt);
+    return Result<SimTime>(drop_status_for(rr.reason));
   }
-  return accepted_vt;
+  return done_vt;
 }
 
 void CassiniNic::deliver(Packet&& p) {
+  // Duplicate suppression for reliable traffic: a retransmit whose
+  // earlier copy was delivered-but-unacknowledged must have no second
+  // effect — not an RX push, not an MR write, not a completion event.
+  // One check covers every PacketOp.
+  if (p.reliable && !accept_reliable(p)) {
+    return;
+  }
   std::optional<Packet> reply;
   switch (p.op) {
     // Two-sided and completion traffic resolves its endpoint through the
@@ -419,15 +576,25 @@ void CassiniNic::deliver(Packet&& p) {
         counters_.rx_vni_mismatch.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      bool notify;
+      bool notify = false;
+      bool overflow = false;
       {
         std::lock_guard<SpinLock> ep_lock(ep->qlock);
         if (ep->rx.size() >= limits_.max_rx_queue_packets) {
-          (void)ep->rx.pop_front();  // oldest-first drop at the cap
+          // Tail-drop the arriving packet, counted (kRxOverflow):
+          // backpressure must be observable, and data the receiver
+          // already holds must never be silently destroyed to admit
+          // more.
+          overflow = true;
+        } else {
+          ep->rx.push_back(std::move(p));
+          ++ep->rx_accepted;
+          notify = ep->waiters > 0;
         }
-        ep->rx.push_back(std::move(p));
-        ++ep->rx_accepted;
-        notify = ep->waiters > 0;
+      }
+      if (overflow) {
+        counters_.rx_overflow.fetch_add(1, std::memory_order_relaxed);
+        return;
       }
       if (notify) {
         std::lock_guard<std::mutex> wl(ep->wmutex);
@@ -534,7 +701,15 @@ void CassiniNic::deliver(Packet&& p) {
     }
   }
   if (reply) {
-    (void)inject(std::move(*reply));
+    if (rel_.enabled) {
+      // Completion traffic (RMA ACKs / read responses) rides the same
+      // retransmit protocol: losing the ACK of a delivered write must
+      // not strand the initiator's completion.
+      SimTime vt = reply->inject_vt;
+      (void)inject_reliable(*reply, vt);
+    } else {
+      (void)inject(std::move(*reply));
+    }
   }
 }
 
@@ -653,6 +828,7 @@ NicCounters CassiniNic::counters() const {
   out.rx_vni_mismatch =
       counters_.rx_vni_mismatch.load(std::memory_order_relaxed);
   out.rma_denied = counters_.rma_denied.load(std::memory_order_relaxed);
+  out.rx_overflow = counters_.rx_overflow.load(std::memory_order_relaxed);
   {
     std::lock_guard<SpinLock> lock(mutex_);
     out.tx_packets = tx_packets_;

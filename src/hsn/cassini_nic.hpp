@@ -36,8 +36,10 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <functional>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "hsn/packet.hpp"
@@ -80,6 +82,44 @@ struct NicCounters {
   std::uint64_t rx_unknown_ep = 0;    ///< arrived for a freed endpoint
   std::uint64_t rx_vni_mismatch = 0;  ///< NIC-side VNI double-check failed
   std::uint64_t rma_denied = 0;       ///< RMA to missing/foreign-VNI MR
+  /// Two-sided packets tail-dropped because the destination endpoint's
+  /// RX ring was at max_rx_queue_packets (DropReason::kRxOverflow) —
+  /// a counted, observable drop instead of the silent loss it was.
+  std::uint64_t rx_overflow = 0;
+};
+
+/// NIC-level reliable-delivery protocol knobs (see docs/reliability.md).
+/// Disabled by default: the zero-cost path is one predicted branch per
+/// post.  Configure before traffic starts; not safe to flip mid-flight.
+struct ReliabilityConfig {
+  bool enabled = false;
+  /// Retransmits after the initial attempt; an op that still fails
+  /// degrades into a Status-reported kError completion (never a hang).
+  int max_retries = 8;
+  /// First retransmit timeout; grows by `backoff_factor` per attempt,
+  /// capped at `rto_max`, each draw jittered by ±`jitter` (seeded, so
+  /// per-seed schedules are bit-identical).
+  SimDuration rto_base = from_micros(10);
+  double backoff_factor = 2.0;
+  SimDuration rto_max = from_millis(2);
+  double jitter = 0.1;
+  std::uint64_t seed = 0x5eed;
+  /// Receiver-side duplicate-suppression window: most recent (src, seq)
+  /// pairs remembered per NIC.
+  std::size_t dedup_window = 1 << 14;
+};
+
+/// Reliable-delivery accounting, per NIC (Fabric::reliability_totals()
+/// sums these fabric-wide; the stack surfaces them in its metrics).
+struct ReliabilityCounters {
+  std::uint64_t retransmits = 0;        ///< retry attempts injected
+  std::uint64_t duplicates = 0;         ///< suppressed at the receiver
+  std::uint64_t budget_exhausted = 0;   ///< ops failed after max_retries
+  std::uint64_t recovered = 0;          ///< ops that needed >= 1 retry
+  /// Recovered ops whose successful attempt routed on a newer
+  /// CompiledPlan than their first try — packets lost in the
+  /// failure->replan window and carried across it by retransmission.
+  std::uint64_t recovered_after_replan = 0;
 };
 
 /// The NIC.  One per node; the Fabric constructs it with an injection
@@ -172,6 +212,25 @@ class CassiniNic {
   Result<Event> poll_event(EndpointId ep);
 
   [[nodiscard]] NicCounters counters() const;
+
+  // -- Reliable delivery (see docs/reliability.md).
+
+  /// Installs the retransmit protocol on this NIC's send paths.  Must be
+  /// called before traffic; reads of the config on the data path are
+  /// unsynchronized by design.
+  void set_reliability(const ReliabilityConfig& cfg);
+  [[nodiscard]] const ReliabilityConfig& reliability() const noexcept {
+    return rel_;
+  }
+  /// Invoked between a failed attempt and its retransmit (outside every
+  /// lock) with the 1-based attempt number and the backoff about to be
+  /// charged.  Harnesses use it to advance control-plane virtual time /
+  /// trigger fabric-manager repair during the retry window.  Only safe
+  /// when sends are single-threaded (the chaos/bench drivers); do not
+  /// install one under multi-threaded MPI ranks.
+  using RetryHook = std::function<void(int attempt, SimDuration backoff)>;
+  void set_retry_hook(RetryHook hook) { retry_hook_ = std::move(hook); }
+  [[nodiscard]] ReliabilityCounters reliability_counters() const;
 
  private:
   /// FIFO of received packets: a power-of-two ring over one contiguous
@@ -303,6 +362,27 @@ class CassiniNic {
   /// set, the generic callback otherwise.
   RouteResult inject(Packet&& p);
 
+  /// Reliable injection: attempts `proto` (kept intact as the
+  /// retransmit master copy) up to 1 + max_retries times, charging
+  /// exponential seeded-jitter backoff to `vt_io` (the caller's
+  /// accepted-time, which the retries push forward) and rescheduling
+  /// each copy on the TX link.  Returns the final RouteResult;
+  /// non-transient reasons (authorization, unknown destination) fail
+  /// fast without consuming budget.
+  RouteResult inject_reliable(Packet& proto, SimTime& vt_io);
+  /// Reasons a retransmit can cure (loss, flaps, dead links awaiting
+  /// replan) vs. permanent rejections.
+  [[nodiscard]] static bool transient_reason(DropReason r) noexcept;
+  /// The fabric manager's published table version (0 without a Fabric).
+  [[nodiscard]] std::uint64_t plan_version_now() const;
+  /// Status for a failed op: annotates transient reasons with the
+  /// exhausted retry budget when reliability is on.
+  [[nodiscard]] Status drop_status_for(DropReason r) const;
+  /// Receiver-side duplicate suppression for reliable packets: records
+  /// (src, seq); false when already seen (the duplicate is counted and
+  /// must be discarded with no effect).
+  bool accept_reliable(const Packet& p);
+
   const NicAddr addr_;
   Fabric* const fabric_ = nullptr;  ///< direct injection fast path
   const InjectFn inject_;           ///< generic fallback (unit-test rigs)
@@ -341,7 +421,27 @@ class CassiniNic {
     std::atomic<std::uint64_t> rx_unknown_ep{0};
     std::atomic<std::uint64_t> rx_vni_mismatch{0};
     std::atomic<std::uint64_t> rma_denied{0};
+    std::atomic<std::uint64_t> rx_overflow{0};
+    std::atomic<std::uint64_t> rel_retransmits{0};
+    std::atomic<std::uint64_t> rel_duplicates{0};
+    std::atomic<std::uint64_t> rel_budget_exhausted{0};
+    std::atomic<std::uint64_t> rel_recovered{0};
+    std::atomic<std::uint64_t> rel_recovered_after_replan{0};
   } counters_;
+
+  // -- Reliable-delivery state.
+  ReliabilityConfig rel_;
+  RetryHook retry_hook_;
+  /// Backoff-jitter stream (guarded by mutex_; reseeded per NIC so
+  /// retry schedules decorrelate across senders but stay per-seed
+  /// deterministic).
+  Rng rel_rng_{0x5eed};
+  /// Duplicate-suppression window: seen (src, seq) keys + FIFO eviction
+  /// order.  Own lock — the receive path must not contend with senders
+  /// on mutex_, and entries are only touched for reliable packets.
+  mutable SpinLock dedup_lock_;
+  std::unordered_set<std::uint64_t> rel_seen_;
+  std::deque<std::uint64_t> rel_seen_fifo_;
 };
 
 }  // namespace shs::hsn

@@ -71,6 +71,45 @@ std::unique_ptr<Fabric> Fabric::create(std::size_t nodes, TimingConfig config,
   return fabric;
 }
 
+Status Fabric::set_link_fault_profile(SwitchId a, SwitchId b,
+                                      const FaultProfile& p) {
+  if (a >= switches_.size() || b >= switches_.size()) {
+    return not_found("no such switch");
+  }
+  const Status ab = switches_[a]->set_uplink_fault_profile(b, p);
+  if (!ab.is_ok()) return ab;
+  return switches_[b]->set_uplink_fault_profile(a, p);
+}
+
+Status Fabric::add_link_flap(SwitchId a, SwitchId b, SimTime down_from,
+                             SimTime down_until) {
+  if (a >= switches_.size() || b >= switches_.size()) {
+    return not_found("no such switch");
+  }
+  const Status ab = switches_[a]->add_uplink_flap(b, down_from, down_until);
+  if (!ab.is_ok()) return ab;
+  return switches_[b]->add_uplink_flap(a, down_from, down_until);
+}
+
+ReliabilityCounters Fabric::reliability_totals() const {
+  ReliabilityCounters totals;
+  for (const auto& nic : nics_) {
+    const ReliabilityCounters c = nic->reliability_counters();
+    totals.retransmits += c.retransmits;
+    totals.duplicates += c.duplicates;
+    totals.budget_exhausted += c.budget_exhausted;
+    totals.recovered += c.recovered;
+    totals.recovered_after_replan += c.recovered_after_replan;
+  }
+  return totals;
+}
+
+std::uint64_t Fabric::total_rx_overflow() const {
+  std::uint64_t total = 0;
+  for (const auto& nic : nics_) total += nic->counters().rx_overflow;
+  return total;
+}
+
 SwitchCounters Fabric::total_counters() const {
   SwitchCounters totals;
   for (const auto& sw : switches_) totals += sw->counters();

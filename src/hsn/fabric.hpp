@@ -117,6 +117,49 @@ class Fabric {
     return manager_->link_up(a, b);
   }
 
+  // -- Lossy/transient fault plane (see docs/reliability.md).  Composes
+  //    with fail_link/fail_switch: those mark elements down through the
+  //    manager (triggering replans); these inject probabilistic loss and
+  //    timed flaps the manager never sees.  Flag-gated on every switch —
+  //    zero cost until armed.
+
+  /// Installs `p` on every switch: all inter-switch uplinks plus every
+  /// edge (switch->NIC) link.
+  void set_fault_profile(const FaultProfile& p) {
+    for (auto& sw : switches_) sw->set_fault_profile(p);
+  }
+  /// Installs `p` on both directions of the physical link (a, b).
+  Status set_link_fault_profile(SwitchId a, SwitchId b,
+                                const FaultProfile& p);
+  /// Flaps both directions of (a, b) for [down_from, down_until) of
+  /// packet virtual time — transient, invisible to the fabric manager.
+  Status add_link_flap(SwitchId a, SwitchId b, SimTime down_from,
+                       SimTime down_until);
+  /// Removes every installed profile and flap window fabric-wide.
+  void clear_fault_profiles() {
+    for (auto& sw : switches_) sw->clear_faults();
+  }
+
+  // -- Reliable delivery (NIC retransmit protocol; docs/reliability.md).
+
+  /// Installs `cfg` on every NIC.  Call before traffic starts.
+  void set_reliability(const ReliabilityConfig& cfg) {
+    for (auto& nic : nics_) nic->set_reliability(cfg);
+  }
+  /// Installs `hook` on every NIC (single-threaded harnesses only; see
+  /// CassiniNic::set_retry_hook).
+  void set_retry_hook(const CassiniNic::RetryHook& hook) {
+    for (auto& nic : nics_) nic->set_retry_hook(hook);
+  }
+  /// Reliability accounting summed across every NIC.
+  [[nodiscard]] ReliabilityCounters reliability_totals() const;
+  /// Total NIC-side RX-ring overflow drops (DropReason::kRxOverflow).
+  [[nodiscard]] std::uint64_t total_rx_overflow() const;
+  /// The fabric manager's currently published table version.
+  [[nodiscard]] std::uint64_t plan_version() const {
+    return manager_->plan_version();
+  }
+
   /// Toggles VNI enforcement on every switch.  The VNI checks are edge
   /// properties (source edge checks the sender, destination edge the
   /// receiver), so a consistent fabric-wide state must reach all

@@ -159,6 +159,11 @@ std::uint64_t FabricManager::repair() {
   return repair_locked();
 }
 
+std::uint64_t FabricManager::repair_if_pending() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return repair_pending_ ? repair_locked() : version_;
+}
+
 std::uint64_t FabricManager::repair_locked() {
   current_ = std::make_shared<const TopologyPlan>(
       base_->replan(failures_, ++version_, &replan_scratch_));

@@ -68,6 +68,12 @@ class FabricManager {
   /// repaired tables to all switches.  Returns the published version.
   std::uint64_t repair();
 
+  /// repair() only when an unrepaired failure/restore is outstanding;
+  /// otherwise a no-op returning the current version.  What NIC
+  /// retransmit hooks call between attempts: an idempotent nudge that
+  /// never bumps the plan version of a healthy fabric.
+  std::uint64_t repair_if_pending();
+
   // -- Observation.
   [[nodiscard]] SwitchHealth switch_health(SwitchId s) const;
   [[nodiscard]] bool link_up(SwitchId a, SwitchId b) const;

@@ -52,6 +52,14 @@ struct Packet {
   /// cleared when the packet reaches the intermediate.
   SwitchId via_switch = kInvalidSwitch;
 
+  /// Set by the sending NIC's reliability layer: retransmitted copies
+  /// keep the original `seq`, and the receiving NIC suppresses
+  /// duplicates of (src, seq) pairs it has already accepted.  The fault
+  /// model also keys its ACK-loss draw off this bit (losing the
+  /// link-level ACK of an unreliable packet is indistinguishable from
+  /// losing the packet).
+  bool reliable = false;
+
   /// Serialization-time cache: wire time is a pure function of
   /// (size_bytes, link rate), and every link a packet crosses usually
   /// runs at the same rate — so switches compute it once per path and
@@ -74,6 +82,16 @@ struct SwitchCounters {
   /// failure hit, or routed in the window before the fabric manager
   /// republished repaired tables.
   std::uint64_t dropped_link_down = 0;
+  /// Fault-model losses (see docs/reliability.md): probabilistic drop on
+  /// a lossy link, and CRC-detected corruption discarded at the next
+  /// hop.  Both zero unless a FaultProfile has been armed.
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_corrupt = 0;
+  /// Reliable packets that WERE delivered but whose link-level ACK was
+  /// lost on the way back: the receiver has the data, the sender sees a
+  /// failure and retransmits (the duplicate is suppressed NIC-side).
+  /// Not a drop — excluded from dropped_total().
+  std::uint64_t ack_lost = 0;
   std::uint64_t bytes_delivered = 0;
   /// Transit traffic handed to an inter-switch uplink by this switch.
   std::uint64_t forwarded = 0;
@@ -85,7 +103,8 @@ struct SwitchCounters {
 
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
     return dropped_src_unauthorized + dropped_dst_unauthorized +
-           dropped_unknown_dst + dropped_no_route + dropped_link_down;
+           dropped_unknown_dst + dropped_no_route + dropped_link_down +
+           dropped_loss + dropped_corrupt;
   }
 
   SwitchCounters& operator+=(const SwitchCounters& c) noexcept {
@@ -95,6 +114,9 @@ struct SwitchCounters {
     dropped_unknown_dst += c.dropped_unknown_dst;
     dropped_no_route += c.dropped_no_route;
     dropped_link_down += c.dropped_link_down;
+    dropped_loss += c.dropped_loss;
+    dropped_corrupt += c.dropped_corrupt;
+    ack_lost += c.ack_lost;
     bytes_delivered += c.bytes_delivered;
     forwarded += c.forwarded;
     bytes_forwarded += c.bytes_forwarded;

@@ -13,10 +13,27 @@ namespace {
 constexpr const char* kTag = "rosetta";
 }
 
+const char* drop_reason_name(DropReason r) noexcept {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kSrcNotAuthorized: return "src_unauthorized";
+    case DropReason::kDstNotAuthorized: return "dst_unauthorized";
+    case DropReason::kUnknownDestination: return "unknown_dst";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kLinkDown: return "link_down";
+    case DropReason::kLossInjected: return "loss_injected";
+    case DropReason::kCorrupt: return "corrupt";
+    case DropReason::kAckLost: return "ack_lost";
+    case DropReason::kRxOverflow: return "rx_overflow";
+  }
+  return "unknown";
+}
+
 RosettaSwitch::RosettaSwitch(std::shared_ptr<TimingModel> timing, SwitchId id,
                              std::uint64_t seed)
     : id_(id), timing_(std::move(timing)),
-      route_rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))) {}
+      route_rng_(seed ^ (0x9e3779b97f4a7c15ULL * (id + 1))),
+      fault_rng_(seed ^ (0xda3e39cb94b95bdbULL * (id + 1))) {}
 
 Status RosettaSwitch::connect(NicAddr addr, DeliveryFn deliver) {
   if (!deliver) {
@@ -203,6 +220,69 @@ LinkState RosettaSwitch::uplink_state(SwitchId peer) const {
   std::lock_guard<SpinLock> lock(mutex_);
   const Uplink* up = uplink_at(peer);
   return up == nullptr ? LinkState::kDown : up->state;
+}
+
+void RosettaSwitch::rearm_faults_locked() noexcept {
+  bool armed = edge_faults_.any();
+  for (const Uplink& up : uplinks_) {
+    if (up.peer == nullptr) continue;
+    if (up.faults.any() || !up.flaps.empty()) {
+      armed = true;
+      break;
+    }
+  }
+  faults_armed_ = armed;
+}
+
+void RosettaSwitch::set_fault_profile(const FaultProfile& p) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  edge_faults_ = p;
+  for (Uplink& up : uplinks_) {
+    if (up.peer != nullptr) up.faults = p;
+  }
+  rearm_faults_locked();
+}
+
+Status RosettaSwitch::set_uplink_fault_profile(SwitchId peer,
+                                               const FaultProfile& p) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  Uplink* up = uplink_at(peer);
+  if (up == nullptr) {
+    return not_found(strfmt("no uplink toward switch %u", peer));
+  }
+  up->faults = p;
+  rearm_faults_locked();
+  return Status::ok();
+}
+
+Status RosettaSwitch::add_uplink_flap(SwitchId peer, SimTime down_from,
+                                      SimTime down_until) {
+  if (down_until <= down_from) {
+    return invalid_argument("flap window must have positive duration");
+  }
+  std::lock_guard<SpinLock> lock(mutex_);
+  Uplink* up = uplink_at(peer);
+  if (up == nullptr) {
+    return not_found(strfmt("no uplink toward switch %u", peer));
+  }
+  up->flaps.emplace_back(down_from, down_until);
+  faults_armed_ = true;
+  return Status::ok();
+}
+
+void RosettaSwitch::clear_faults() {
+  std::lock_guard<SpinLock> lock(mutex_);
+  edge_faults_ = FaultProfile{};
+  for (Uplink& up : uplinks_) {
+    up.faults = FaultProfile{};
+    up.flaps.clear();
+  }
+  faults_armed_ = false;
+}
+
+bool RosettaSwitch::faults_armed() const {
+  std::lock_guard<SpinLock> lock(mutex_);
+  return faults_armed_;
 }
 
 SimTime RosettaSwitch::schedule_egress_locked(
@@ -517,6 +597,32 @@ RosettaSwitch::AdmitStep RosettaSwitch::admit_step(Packet& p, bool check_src,
       step.result.reason = DropReason::kLinkDown;
       return step;
     }
+    if (faults_armed_) {
+      // Transient fault model — one predicted branch on the fault-free
+      // configuration, draws only from the dedicated fault stream.  A
+      // flapped link is indistinguishable from a dead one at the data
+      // plane (but invisible to the fabric manager: no replan).
+      if (!next_up->flaps.empty() && flapped_down(*next_up, p.inject_vt)) {
+        ++totals_.dropped_link_down;
+        ++vni_counters->dropped_link_down;
+        step.result.reason = DropReason::kLinkDown;
+        return step;
+      }
+      if (next_up->faults.drop_rate > 0.0 &&
+          fault_rng_.uniform() < next_up->faults.drop_rate) {
+        ++totals_.dropped_loss;
+        ++vni_counters->dropped_loss;
+        step.result.reason = DropReason::kLossInjected;
+        return step;
+      }
+      if (next_up->faults.corrupt_rate > 0.0 &&
+          fault_rng_.uniform() < next_up->faults.corrupt_rate) {
+        ++totals_.dropped_corrupt;
+        ++vni_counters->dropped_corrupt;
+        step.result.reason = DropReason::kCorrupt;
+        return step;
+      }
+    }
     up = next_up;
   }
 
@@ -530,6 +636,25 @@ RosettaSwitch::AdmitStep RosettaSwitch::admit_step(Packet& p, bool check_src,
       return step;
     }
     if (dst_slab == nullptr) dst_slab = &slab_for_locked(p.vni);
+
+    if (faults_armed_ && edge_faults_.any()) {
+      // Edge-link faults, after the authorization checks (a lossy cable
+      // must never mask an isolation violation).
+      if (edge_faults_.drop_rate > 0.0 &&
+          fault_rng_.uniform() < edge_faults_.drop_rate) {
+        ++totals_.dropped_loss;
+        ++dst_slab->dropped_loss;
+        step.result.reason = DropReason::kLossInjected;
+        return step;
+      }
+      if (edge_faults_.corrupt_rate > 0.0 &&
+          fault_rng_.uniform() < edge_faults_.corrupt_rate) {
+        ++totals_.dropped_corrupt;
+        ++dst_slab->dropped_corrupt;
+        step.result.reason = DropReason::kCorrupt;
+        return step;
+      }
+    }
 
     // Cut-through timing with per-class priority scheduling: the packet
     // reaches the egress port after one hop latency; it then waits for
@@ -558,6 +683,19 @@ RosettaSwitch::AdmitStep RosettaSwitch::admit_step(Packet& p, bool check_src,
     // Fabric wired the port, refcounted callback otherwise.
     step.nic = dst_port->nic;
     if (step.nic == nullptr) step.deliver = dst_port->deliver;
+
+    if (faults_armed_ && p.reliable && edge_faults_.ack_loss_rate > 0.0 &&
+        fault_rng_.uniform() < edge_faults_.ack_loss_rate) {
+      // Lost link-level ACK: the packet IS delivered (the counters and
+      // timing above stand), but the sender is told it was not — it
+      // will retransmit, and the receiving NIC suppresses the
+      // duplicate.  This is the path that exercises exactly-once
+      // semantics end to end.
+      ++totals_.ack_lost;
+      ++dst_slab->ack_lost;
+      step.result.delivered = false;
+      step.result.reason = DropReason::kAckLost;
+    }
   } else {
     // Transit: traverse this switch, then serialize onto the uplink
     // (per-link, per-class horizon), then fly the link's latency.

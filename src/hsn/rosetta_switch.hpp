@@ -63,6 +63,31 @@ enum class DropReason : std::uint8_t {
   kUnknownDestination, ///< no NIC connected at the destination address
   kNoRoute,            ///< no uplink toward the destination / TTL exceeded
   kLinkDown,           ///< dead link or failed switch on the path
+  kLossInjected,       ///< fault model: probabilistic loss on a lossy link
+  kCorrupt,            ///< fault model: CRC failure discarded at next hop
+  kAckLost,            ///< delivered, but the link-level ACK was lost
+  kRxOverflow,         ///< NIC RX ring full (reported by CassiniNic)
+};
+
+/// Stable human-readable name for a drop reason (diagnostics, examples).
+[[nodiscard]] const char* drop_reason_name(DropReason r) noexcept;
+
+/// Per-link transient-fault injection (see docs/reliability.md).  All
+/// rates are independent per-packet probabilities in [0, 1], drawn from
+/// the switch's dedicated fault RNG so enabling faults never perturbs
+/// the routing or timing streams.  Zero-initialized = no faults.
+struct FaultProfile {
+  double drop_rate = 0.0;      ///< packet vanishes on the link
+  double corrupt_rate = 0.0;   ///< CRC-detected corruption; discarded
+  /// Delivered, but the link-level ACK back to the sender is lost.
+  /// Applied only to `Packet::reliable` traffic (the only traffic that
+  /// can observe the difference) at final delivery — this is what
+  /// produces genuine duplicates for the NIC's suppression window.
+  double ack_loss_rate = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || ack_loss_rate > 0.0;
+  }
 };
 
 struct RouteResult {
@@ -152,6 +177,26 @@ class RosettaSwitch {
   Status set_uplink_state(SwitchId peer, LinkState state);
   [[nodiscard]] LinkState uplink_state(SwitchId peer) const;
 
+  // -- Lossy/transient fault model (composes with the health plane; see
+  //    docs/reliability.md).  One `faults_armed_` flag gates every fault
+  //    check on the admission path, so the model is a single predicted
+  //    branch when disabled — off the PR 5 hot-path budget.
+
+  /// Installs `p` as this switch's edge profile (applied at final
+  /// delivery to a local NIC) AND on every existing uplink.
+  void set_fault_profile(const FaultProfile& p);
+  /// Installs `p` on the directed uplink toward `peer` only.
+  Status set_uplink_fault_profile(SwitchId peer, const FaultProfile& p);
+  /// Schedules a transient flap of the uplink toward `peer`: packets
+  /// whose egress falls in [down_from, down_until) see the link down
+  /// (counted as dropped_link_down) without any health-plane event —
+  /// the fabric manager never learns of it, so no replan is triggered.
+  Status add_uplink_flap(SwitchId peer, SimTime down_from,
+                         SimTime down_until);
+  /// Removes every fault profile and flap window; disarms the flag.
+  void clear_faults();
+  [[nodiscard]] bool faults_armed() const;
+
   /// Routes `p` from its src port (which must be local to this switch).
   /// Computes `arrival_vt` from the timing model (per-hop latency,
   /// per-link serialization, egress contention, TC penalty) and invokes
@@ -224,6 +269,10 @@ class RosettaSwitch {
     LinkState state = LinkState::kUp;
     SimTime egress_free_vt[kNumTrafficClasses] = {0, 0, 0, 0};
     LinkCounters counters;
+    /// Fault model: per-link loss/corruption rates and timed down
+    /// windows.  Only consulted when faults_armed_ is set.
+    FaultProfile faults;
+    std::vector<std::pair<SimTime, SimTime>> flaps;
   };
   /// What one locked admission step decided: deliver locally (non-null
   /// `deliver`), forward to `next`, or drop (`result.reason` set).  The
@@ -308,6 +357,18 @@ class RosettaSwitch {
       const Packet& p, SimDuration first_hop_lag, int hops,
       DataRate rate) const;
 
+  /// Recomputes faults_armed_ from the installed profiles and flap
+  /// windows.  Caller holds mutex_.
+  void rearm_faults_locked() noexcept;
+  /// True when a flap window of `up` covers egress time `at`.
+  [[nodiscard]] static bool flapped_down(const Uplink& up,
+                                         SimTime at) noexcept {
+    for (const auto& [from, until] : up.flaps) {
+      if (at >= from && at < until) return true;
+    }
+    return false;
+  }
+
   /// Priority-scheduled egress: earliest start for a packet of `prio`
   /// given the per-class horizons, charging frame-granular preemption of
   /// lower-priority in-flight traffic.  `ser_time` is the packet's
@@ -337,6 +398,17 @@ class RosettaSwitch {
   std::shared_ptr<const CompiledPlan> plan_;
   /// Valiant intermediate selection stream (seeded; guarded by mutex_).
   Rng route_rng_;
+  /// Fault-model draw stream, separate from route_rng_ so arming faults
+  /// never shifts the routing decisions of surviving packets (the
+  /// determinism tests pin goldens on the fault-free stream).  Guarded
+  /// by mutex_.
+  Rng fault_rng_;
+  /// Single gate for every fault check on the admission path: set iff
+  /// any profile or flap window is installed.  Guarded by mutex_.
+  bool faults_armed_ = false;
+  /// Edge profile: applied at final delivery to a locally homed NIC
+  /// (the switch->NIC link).  Guarded by mutex_.
+  FaultProfile edge_faults_;
   SwitchCounters totals_;
   /// Per-VNI counter slabs: stable addresses (deque) + a sorted index
   /// for O(log n) cold lookups.  Edge checks use the per-port cached

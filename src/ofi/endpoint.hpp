@@ -111,6 +111,19 @@ class Endpoint {
     return unexpected_.size();
   }
 
+  /// Reliable-delivery accounting of the underlying NIC (all zeros when
+  /// reliability is off).  With reliability on, a tsend/rma_* whose
+  /// retry budget is exhausted surfaces as Code::kUnavailable (from the
+  /// post) or a kError completion — never a hang; these counters are
+  /// the observability side of that contract.
+  [[nodiscard]] hsn::ReliabilityCounters nic_reliability() const {
+    return nic_.reliability_counters();
+  }
+  /// Underlying NIC drop/queue accounting (rx_overflow backpressure etc).
+  [[nodiscard]] hsn::NicCounters nic_counters() const {
+    return nic_.counters();
+  }
+
  private:
   struct PostedRecv {
     std::uint64_t tag = 0;

@@ -78,6 +78,8 @@ bool EventLoop::pop_next(Event& out) {
 }
 
 std::size_t EventLoop::run_until_idle(std::size_t max_events) {
+  if (running_) return 0;  // no nested dispatch; see running()
+  running_ = true;
   std::size_t executed = 0;
   stop_requested_ = false;
   Event e;
@@ -96,10 +98,13 @@ std::size_t EventLoop::run_until_idle(std::size_t max_events) {
     }
     ++executed;
   }
+  running_ = false;
   return executed;
 }
 
 std::size_t EventLoop::run_until(SimTime t) {
+  if (running_) return 0;  // no nested dispatch; see running()
+  running_ = true;
   std::size_t executed = 0;
   stop_requested_ = false;
   while (!stop_requested_) {
@@ -126,6 +131,7 @@ std::size_t EventLoop::run_until(SimTime t) {
     ++executed;
   }
   now_ = std::max(now_, t);
+  running_ = false;
   return executed;
 }
 

@@ -74,6 +74,14 @@ class EventLoop {
   /// callback completes.  Only meaningful from within a callback.
   void stop() noexcept { stop_requested_ = true; }
 
+  /// True while a run_* call is dispatching events.  Re-entrant run_*
+  /// calls (e.g. a NIC retry hook advancing the loop from within a
+  /// callback the loop itself is executing) are refused — they return 0
+  /// without dispatching — because nested dispatch would interleave
+  /// now_ updates and break the (time, seq) execution order.  Callers
+  /// that may run in both contexts guard with `if (!loop.running())`.
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
   /// True when no events are pending.
   [[nodiscard]] bool idle() const noexcept;
 
@@ -120,6 +128,7 @@ class EventLoop {
   std::uint64_t next_seq_ = 1;
   TaskId next_id_ = 1;
   bool stop_requested_ = false;
+  bool running_ = false;  ///< re-entrancy guard; see running()
   std::vector<Event> heap_;  ///< binary heap under EventOrder
   std::unordered_set<TaskId> cancelled_;
   std::unordered_map<TaskId, Callback> callbacks_;

@@ -277,6 +277,80 @@ TEST(FabricManager, IndependentLinkFailureSurvivesSwitchRestore) {
   EXPECT_EQ(f->switch_at(0).uplink_state(4), LinkState::kUp);
 }
 
+// -- Reliable delivery across faults. ---------------------------------------
+
+TEST(Reliability, RetransmitCarriesOpAcrossReplan) {
+  // Spine 4 dies with the repaired tables withheld; reliability is on
+  // and the retry hook nudges the fabric manager on the second retry —
+  // the op's retransmit then routes on the *republished* plan.  This is
+  // the "retransmit straddles a replan" contract: no op is lost to the
+  // failure->repair window.
+  auto f = make_fat_tree();
+  f->manager().set_auto_repair(false);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+  f->set_retry_hook([&f](int attempt, SimDuration) {
+    if (attempt >= 2) (void)f->manager().repair_if_pending();
+  });
+
+  std::vector<EndpointId> eps;
+  for (NicAddr a = 0; a < 16; ++a) {
+    eps.push_back(
+        f->nic(a).alloc_endpoint(kVni, TrafficClass::kBulkData).value());
+  }
+  ASSERT_TRUE(f->fail_switch(4).is_ok());
+  ASSERT_TRUE(f->manager().repair_pending());
+
+  // Every cross-leaf op completes — pairs hashed onto the dead spine
+  // recover by retransmission across the replan.
+  for (NicAddr s = 0; s < 16; ++s) {
+    const NicAddr d = (s + 4) % 16;
+    EXPECT_TRUE(send_one(*f, s, eps[s], d, eps[d], 7)) << unsigned(s);
+  }
+  EXPECT_FALSE(f->manager().repair_pending());
+  EXPECT_EQ(f->plan()->version, 1u);
+  const ReliabilityCounters rc = f->reliability_totals();
+  EXPECT_GT(rc.retransmits, 0u);
+  EXPECT_GE(rc.recovered_after_replan, 1u);
+  EXPECT_EQ(rc.budget_exhausted, 0u);
+  // The failure window was real: the first attempts did drop.
+  EXPECT_GT(f->total_counters().dropped_link_down, 0u);
+}
+
+TEST(Reliability, BackoffEscapesTimedLinkFlap) {
+  // Both of leaf 0's uplinks flap down for the first 200us of virtual
+  // time.  An op injected at vt=0 keeps failing while the flap holds;
+  // exponential backoff pushes its retransmits' virtual time past the
+  // flap window and the op completes — no replan needed, no hang.
+  auto f = make_fat_tree();
+  const SimDuration kFlapEnd = from_micros(200);
+  ASSERT_TRUE(f->switch_at(0).add_uplink_flap(4, 0, kFlapEnd).is_ok());
+  ASSERT_TRUE(f->switch_at(0).add_uplink_flap(5, 0, kFlapEnd).is_ok());
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  auto src = f->nic(0).alloc_endpoint(kVni, TrafficClass::kBulkData);
+  auto dst = f->nic(4).alloc_endpoint(kVni, TrafficClass::kBulkData);
+  auto r = f->nic(0).post_send(src.value(), 4, dst.value(), 1, 4096, {},
+                               /*vt=*/0);
+  ASSERT_TRUE(r.is_ok()) << r.status().message();
+  // The completion time cleared the flap window.
+  EXPECT_GT(r.value(), kFlapEnd);
+  const ReliabilityCounters rc = f->reliability_totals();
+  EXPECT_GE(rc.retransmits, 1u);
+  EXPECT_EQ(rc.budget_exhausted, 0u);
+  EXPECT_GT(f->total_counters().dropped_link_down, 0u);
+  // A fresh op after the window sails through with no new retries.
+  const auto before = f->reliability_totals().retransmits;
+  ASSERT_TRUE(f->nic(0)
+                  .post_send(src.value(), 4, dst.value(), 2, 4096, {},
+                             kFlapEnd + from_micros(10))
+                  .is_ok());
+  EXPECT_EQ(f->reliability_totals().retransmits, before);
+}
+
 }  // namespace
 }  // namespace shs::hsn
 
@@ -362,6 +436,41 @@ TEST(SchedulerFaultTolerance, NeverBindsBehindUnhealthySwitch) {
   for (const auto& p : running_pods(stack, job.value())) {
     EXPECT_NE(switch_of_pod(stack, p), 0u) << p.status.node;
   }
+}
+
+TEST(StackReliability, RetransmitsRideOutScheduledRepair) {
+  // Stack-level integration: reliability on, spine failure injected via
+  // the stack (which schedules the fabric-manager repair after
+  // fm_reroute_delay of *event-loop* time).  The stack's retry hook
+  // advances the loop through each backoff, so the repair lands inside
+  // the retry window and affected ops complete on the new tables.
+  StackConfig cfg = fault_stack_config();
+  cfg.reliability.enabled = true;
+  cfg.fm_reroute_delay = from_micros(500);
+  SlingshotStack stack(cfg);
+  auto& f = stack.fabric();
+  constexpr hsn::Vni kVni = 77;
+  std::vector<hsn::EndpointId> eps;
+  for (hsn::NicAddr a = 0; a < 8; ++a) {
+    ASSERT_TRUE(f.switch_for(a)->authorize_vni(a, kVni).is_ok());
+    eps.push_back(
+        f.nic(a).alloc_endpoint(kVni, hsn::TrafficClass::kBulkData).value());
+  }
+
+  ASSERT_TRUE(stack.fail_switch(4).is_ok());  // repair due in 500us
+  const std::uint64_t v0 = stack.published_plan_version();
+  for (hsn::NicAddr s = 0; s < 8; ++s) {
+    const hsn::NicAddr d = static_cast<hsn::NicAddr>((s + 2) % 8);
+    auto r = f.nic(s).post_send(eps[s], d, eps[d], 1, 4096, {}, /*vt=*/0);
+    EXPECT_TRUE(r.is_ok()) << unsigned(s) << ": " << r.status().message();
+  }
+  // The backoff-driven loop progression carried the repair.
+  EXPECT_GE(stack.reroute_events(), 1u);
+  EXPECT_GT(stack.published_plan_version(), v0);
+  const auto rc = stack.reliability_counters();
+  EXPECT_GT(rc.retransmits, 0u);
+  EXPECT_GE(rc.recovered_after_replan, 1u);
+  EXPECT_EQ(rc.budget_exhausted, 0u);
 }
 
 }  // namespace

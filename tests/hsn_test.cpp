@@ -338,5 +338,171 @@ TEST(Timing, TrafficClassPenaltyOrdering) {
             tm.tc_penalty(TrafficClass::kBulkData));
 }
 
+// -- RX-ring backpressure. --------------------------------------------------
+
+TEST(Nic, RxOverflowIsCountedTailDrop) {
+  auto f = Fabric::create(1);
+  NicLimits limits;
+  limits.max_rx_queue_packets = 4;
+  CassiniNic rx_nic(
+      10,
+      [sw = f->switch_ptr()](Packet&& p) { return sw->route(std::move(p)); },
+      f->timing(), limits);
+  ASSERT_TRUE(f->switch_ptr()->connect(10, rx_nic).is_ok());
+  ASSERT_TRUE(f->switch_ptr()->authorize_vni(0, 100).is_ok());
+  ASSERT_TRUE(f->switch_ptr()->authorize_vni(10, 100).is_ok());
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = rx_nic.alloc_endpoint(100, TrafficClass::kBestEffort);
+
+  // The undrained receiver fills at 4; the overflow packets are
+  // tail-dropped and *counted* — never a silent loss, and never a
+  // destroyed packet the receiver had already accepted.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        f->nic(0).post_send(ep0.value(), 10, ep1.value(), i, 8, {}, 0)
+            .is_ok());
+  }
+  EXPECT_EQ(rx_nic.counters().rx_overflow, 2u);
+  EXPECT_EQ(rx_nic.counters().rx_packets, 4u);
+  // The oldest data survived (tail drop, not head drop).
+  auto first = rx_nic.poll_rx(ep1.value());
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value().tag, 0u);
+  // Draining restores acceptance.
+  (void)rx_nic.drain_rx(ep1.value());
+  ASSERT_TRUE(
+      f->nic(0).post_send(ep0.value(), 10, ep1.value(), 9, 8, {}, 0)
+          .is_ok());
+  EXPECT_EQ(rx_nic.counters().rx_overflow, 2u);
+}
+
+// -- NIC-level reliable delivery. -------------------------------------------
+
+TEST(Nic, ReliabilityRetransmitsThroughLoss) {
+  auto f = make_fabric();
+  FaultProfile lossy;
+  lossy.drop_rate = 0.3;
+  f->set_fault_profile(lossy);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  SimTime vt = 0;
+  const int kSends = 200;
+  for (int i = 0; i < kSends; ++i) {
+    auto r = f->nic(0).post_send(ep0.value(), 1, ep1.value(), i, 64, {}, vt);
+    ASSERT_TRUE(r.is_ok()) << r.status().message();
+    vt = r.value();
+  }
+  // Every send completed despite 30% per-delivery loss; the receiver
+  // holds exactly one copy of each.
+  EXPECT_EQ(f->nic(1).counters().rx_packets, unsigned(kSends));
+  const ReliabilityCounters rc = f->reliability_totals();
+  EXPECT_GT(rc.retransmits, 0u);
+  EXPECT_GT(rc.recovered, 0u);
+  EXPECT_EQ(rc.budget_exhausted, 0u);
+  EXPECT_GT(f->total_counters().dropped_loss, 0u);
+}
+
+TEST(Nic, ReliabilityAckLossYieldsSuppressedDuplicates) {
+  auto f = make_fabric();
+  FaultProfile p;
+  p.ack_loss_rate = 0.5;
+  f->set_fault_profile(p);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  SimTime vt = 0;
+  const int kSends = 100;
+  for (int i = 0; i < kSends; ++i) {
+    auto r = f->nic(0).post_send(ep0.value(), 1, ep1.value(), i, 64, {}, vt);
+    ASSERT_TRUE(r.is_ok());
+    vt = r.value();
+  }
+  // ACK loss means the data arrived but the sender retransmitted — the
+  // receiver must see each packet exactly once.
+  EXPECT_EQ(f->nic(1).counters().rx_packets, unsigned(kSends));
+  const ReliabilityCounters rc = f->reliability_totals();
+  EXPECT_GT(rc.duplicates, 0u);
+  EXPECT_GT(f->total_counters().ack_lost, 0u);
+  // ack_lost is not a drop: the fabric delivered every wire copy it
+  // admitted.
+  EXPECT_EQ(f->total_counters().dropped_total(), 0u);
+}
+
+TEST(Nic, ReliabilityBudgetExhaustsIntoStatusNotHang) {
+  auto f = make_fabric();
+  FaultProfile dead;
+  dead.drop_rate = 1.0;
+  f->set_fault_profile(dead);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  rel.max_retries = 3;
+  f->set_reliability(rel);
+
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto r = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 64, {}, 0,
+                               /*op_id=*/77);
+  EXPECT_EQ(r.code(), Code::kUnavailable);
+  const ReliabilityCounters rc = f->reliability_totals();
+  EXPECT_EQ(rc.retransmits, 3u);  // the configured budget, no more
+  EXPECT_EQ(rc.budget_exhausted, 1u);
+  // Graceful degradation: a kError completion carries the same status.
+  auto e = f->nic(0).poll_event(ep0.value());
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(e.value().type, Event::Type::kError);
+  EXPECT_EQ(e.value().status.code(), Code::kUnavailable);
+  EXPECT_EQ(e.value().op_id, 77u);
+}
+
+TEST(Nic, ReliabilityFailsFastOnNonTransientReasons) {
+  auto f = Fabric::create(2);
+  ASSERT_TRUE(f->switch_for(0)->authorize_vni(0, 100).is_ok());
+  // Destination port never authorized: a retransmit cannot cure an
+  // isolation violation, so no budget may be spent on it.
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto r = f->nic(0).post_send(ep0.value(), 1, ep1.value(), 1, 8, {}, 0);
+  EXPECT_EQ(r.code(), Code::kPermissionDenied);
+  EXPECT_EQ(f->reliability_totals().retransmits, 0u);
+}
+
+TEST(Nic, ReliableRdmaWriteCompletesUnderAckLoss) {
+  auto f = make_fabric();
+  FaultProfile p;
+  p.ack_loss_rate = 0.4;
+  f->set_fault_profile(p);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  std::vector<std::byte> target(256);
+  auto mr = f->nic(1).register_mr(ep1.value(), target);
+  ASSERT_TRUE(mr.is_ok());
+  std::vector<std::byte> data(256, std::byte{0xAB});
+
+  for (int i = 0; i < 50; ++i) {
+    auto r = f->nic(0).rdma_write(ep0.value(), 1, mr.value(), 0, 256, data,
+                                  0, /*op_id=*/100 + i);
+    ASSERT_TRUE(r.is_ok());
+    auto e = f->nic(0).wait_event(ep0.value(), 1000);
+    ASSERT_TRUE(e.is_ok());
+    EXPECT_EQ(e.value().type, Event::Type::kRdmaWriteComplete);
+    EXPECT_EQ(e.value().op_id, unsigned(100 + i));
+  }
+  EXPECT_EQ(std::memcmp(target.data(), data.data(), 256), 0);
+}
+
 }  // namespace
 }  // namespace shs::hsn
