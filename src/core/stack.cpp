@@ -15,6 +15,10 @@ SlingshotStack::SlingshotStack(StackConfig config)
   api_ = std::make_unique<k8s::ApiServer>(loop_, config_.k8s_params);
   fabric_ = hsn::Fabric::create(config_.nodes, config_.timing,
                                 master_rng_.next(), config_.topology);
+  if (config_.data_plane_threads > 0) {
+    shard_engine_ = std::make_unique<hsn::ShardEngine>(
+        *fabric_, config_.data_plane_threads);
+  }
   db_ = std::make_unique<db::Database>();
   registry_ = std::make_unique<VniRegistry>(*db_, config_.vni);
   endpoint_ = std::make_unique<VniEndpoint>(*registry_, loop_);

@@ -31,6 +31,7 @@
 #include "cxi/driver.hpp"
 #include "db/database.hpp"
 #include "hsn/fabric.hpp"
+#include "hsn/shard_engine.hpp"
 #include "k8s/api_server.hpp"
 #include "k8s/job_controller.hpp"
 #include "k8s/kubelet.hpp"
@@ -68,6 +69,14 @@ struct StackConfig {
   /// from the sender's thread: enable only for single-threaded drivers
   /// (examples, chaos harnesses) — not under multi-threaded MPI ranks.
   hsn::ReliabilityConfig reliability{};
+  /// Worker threads for the sharded data plane (hsn::ShardEngine).  0
+  /// keeps the legacy synchronous path (NICs walk packets to completion
+  /// inline) and constructs no engine; >= 1 builds an engine over the
+  /// fabric — 1 runs its windows inline (the reference schedule), N > 1
+  /// drives the per-switch-group domains from a worker pool.  Per-seed
+  /// results are bit-identical across thread counts when
+  /// `timing.jitter_amplitude` is 0; see docs/performance.md.
+  int data_plane_threads = 0;
   std::uint64_t seed = 0x5005;
   /// Install the CXI CNI plugin into the chain.  Disabling it models a
   /// stock cluster (pods with vni annotations then fail to launch).
@@ -119,6 +128,12 @@ class SlingshotStack {
   [[nodiscard]] sim::EventLoop& loop() noexcept { return loop_; }
   [[nodiscard]] k8s::ApiServer& api() noexcept { return *api_; }
   [[nodiscard]] hsn::Fabric& fabric() noexcept { return *fabric_; }
+  /// The sharded data-plane engine, or nullptr when
+  /// StackConfig::data_plane_threads is 0.  Driver-thread-only API; see
+  /// hsn/shard_engine.hpp for the windowing/ownership contract.
+  [[nodiscard]] hsn::ShardEngine* shard_engine() noexcept {
+    return shard_engine_.get();
+  }
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
@@ -215,6 +230,9 @@ class SlingshotStack {
   Rng master_rng_;
   std::unique_ptr<k8s::ApiServer> api_;
   std::unique_ptr<hsn::Fabric> fabric_;
+  /// Declared after fabric_ so it is destroyed first (its worker pool
+  /// must quiesce while the fabric is still alive).
+  std::unique_ptr<hsn::ShardEngine> shard_engine_;
   std::unique_ptr<db::Database> db_;
   std::unique_ptr<VniRegistry> registry_;
   std::unique_ptr<VniEndpoint> endpoint_;

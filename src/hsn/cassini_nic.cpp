@@ -408,6 +408,88 @@ bool CassiniNic::accept_reliable(const Packet& p) {
   return true;
 }
 
+Result<CassiniNic::PreparedSend> CassiniNic::prepare_send(
+    EndpointId ep_id, NicAddr dst, EndpointId dst_ep, std::uint64_t tag,
+    std::uint64_t size_bytes, SimTime local_vt) {
+  // The build/schedule prefix of post_send(), verbatim: same field
+  // setup, same accepted_vt, same locked seq + TX-horizon charge — so an
+  // engine-driven send is bit-identical in virtual time to a legacy one.
+  const auto ep = find_ep(ep_id);
+  if (!ep) {
+    return Result<PreparedSend>(
+        not_found(strfmt("NIC %u: no endpoint %u", addr_, ep_id)));
+  }
+  PreparedSend out;
+  Packet& p = out.packet;
+  p.src = addr_;
+  p.dst = dst;
+  p.src_ep = ep_id;
+  p.dst_ep = dst_ep;
+  p.vni = ep->vni;
+  p.tc = ep->tc;
+  p.op = PacketOp::kSend;
+  p.size_bytes = size_bytes;
+  p.tag = tag;
+  p.reliable = rel_.enabled;
+  out.accepted_vt = local_vt + timing_->tx_overhead();
+  p.ser_cache = timing_->serialize_time(size_bytes);
+  p.ser_cache_bps = timing_->config().link_rate.bps();
+  {
+    std::lock_guard<SpinLock> lock(mutex_);
+    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    p.inject_vt = schedule_tx_locked(out.accepted_vt, ep->tc, p.ser_cache);
+    ++tx_packets_;
+  }
+  return Result<PreparedSend>(std::move(out));
+}
+
+SimDuration CassiniNic::schedule_retransmit(Packet& proto, int attempt,
+                                            SimTime& vt_io) {
+  // Mirrors one backoff iteration of inject_reliable: retry #1 waits
+  // rto_base, each later retry doubles (factor) up to rto_max, jittered
+  // by the same seeded per-NIC stream.
+  SimDuration rto = rel_.rto_base;
+  for (int i = 1; i < attempt && rto < rel_.rto_max; ++i) {
+    rto = static_cast<SimDuration>(static_cast<double>(rto) *
+                                   rel_.backoff_factor);
+  }
+  rto = std::min(rto, rel_.rto_max);
+  double jitter = 1.0;
+  if (rel_.jitter > 0.0) {
+    std::lock_guard<SpinLock> lock(mutex_);
+    jitter = rel_rng_.jitter(rel_.jitter);
+  }
+  const auto backoff =
+      static_cast<SimDuration>(static_cast<double>(rto) * jitter);
+  counters_.rel_retransmits.fetch_add(1, std::memory_order_relaxed);
+  vt_io += backoff;
+  {
+    std::lock_guard<SpinLock> lock(mutex_);
+    proto.inject_vt = schedule_tx_locked(vt_io, proto.tc, proto.ser_cache);
+    ++tx_packets_;
+  }
+  return backoff;
+}
+
+void CassiniNic::note_tx_drop(DropReason r, EndpointId src_ep,
+                              std::uint64_t op_id, SimTime error_vt,
+                              bool budget_exhausted) {
+  if (budget_exhausted) {
+    counters_.rel_budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+  }
+  RouteResult rr;
+  rr.reason = r;
+  count_tx_drop(rr, src_ep, op_id, error_vt);
+}
+
+void CassiniNic::note_recovered(bool after_replan) {
+  counters_.rel_recovered.fetch_add(1, std::memory_order_relaxed);
+  if (after_replan) {
+    counters_.rel_recovered_after_replan.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
 Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
                                       EndpointId dst_ep, std::uint64_t tag,
                                       std::uint64_t size_bytes,

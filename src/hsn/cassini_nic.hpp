@@ -232,6 +232,51 @@ class CassiniNic {
   void set_retry_hook(RetryHook hook) { retry_hook_ = std::move(hook); }
   [[nodiscard]] ReliabilityCounters reliability_counters() const;
 
+  // -- Sharded data-plane engine hooks (see hsn/shard_engine.hpp).  The
+  //    engine splits post_send into prepare (build + TX scheduling,
+  //    here) and walk (hop-by-hop across domains, engine-side), then
+  //    reports each op's outcome back on the engine's driver thread at
+  //    a window barrier via the note_* calls below.  All four are
+  //    driver-thread-only by contract.
+
+  /// A packet built and TX-scheduled but not yet handed to the fabric.
+  struct PreparedSend {
+    Packet packet;
+    /// local_vt + tx overhead — the base the retransmit backoff grows
+    /// from (post_send's `done_vt`).
+    SimTime accepted_vt = 0;
+  };
+  /// Engine-side prefix of post_send(): validates the endpoint, builds
+  /// the kSend packet (size-only, no payload), assigns its NIC-global
+  /// sequence number and charges the TX link horizon.  Does not inject,
+  /// retry, or raise completion events; packet.reliable is pre-set from
+  /// this NIC's ReliabilityConfig.
+  Result<PreparedSend> prepare_send(EndpointId ep, NicAddr dst,
+                                    EndpointId dst_ep, std::uint64_t tag,
+                                    std::uint64_t size_bytes,
+                                    SimTime local_vt);
+  /// Charges one retransmit of master packet `proto` for 1-based retry
+  /// number `attempt`: recomputes the capped exponential backoff, draws
+  /// the seeded jitter, advances `vt_io` (the op's send-buffer hold
+  /// time) by the backoff, re-schedules the TX horizon (updating
+  /// proto.inject_vt) and counts the retransmit.  Returns the backoff.
+  SimDuration schedule_retransmit(Packet& proto, int attempt,
+                                  SimTime& vt_io);
+  /// Terminal-failure accounting for an engine-driven send: TX-drop
+  /// counter plus a kError event on the source endpoint's queue;
+  /// `budget_exhausted` additionally counts a reliable op that ran out
+  /// of retries.
+  void note_tx_drop(DropReason r, EndpointId src_ep, std::uint64_t op_id,
+                    SimTime error_vt, bool budget_exhausted);
+  /// Recovery accounting for an engine-driven reliable op that needed
+  /// >= 1 retransmit before delivering.
+  void note_recovered(bool after_replan);
+  /// True when `r` is worth retrying under the reliable protocol (the
+  /// engine's retry/fail-fast decision, same predicate post_send uses).
+  [[nodiscard]] static bool is_transient(DropReason r) noexcept {
+    return transient_reason(r);
+  }
+
  private:
   /// FIFO of received packets: a power-of-two ring over one contiguous
   /// buffer.  A deque allocates and frees block nodes as the queue

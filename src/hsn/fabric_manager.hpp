@@ -79,6 +79,15 @@ class FabricManager {
   [[nodiscard]] bool link_up(SwitchId a, SwitchId b) const;
   /// The currently published plan (never null).
   [[nodiscard]] std::shared_ptr<const TopologyPlan> plan() const;
+  /// The pristine version-0 plan — the fabric's ground-truth cabling,
+  /// immutable for the manager's lifetime (no lock needed).  Failure
+  /// state never edits it; repairs re-derive from it.  The sharded
+  /// data-plane engine reads link latencies from here so its lookahead
+  /// windows survive replans unchanged.
+  [[nodiscard]] std::shared_ptr<const TopologyPlan> base_plan()
+      const noexcept {
+    return base_;
+  }
   /// The flat-table compilation of the published plan — what switches
   /// route by (never null; same version as plan()).
   [[nodiscard]] std::shared_ptr<const CompiledPlan> compiled_plan() const;

@@ -477,6 +477,22 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home,
   return static_next_locked(home);
 }
 
+RouteResult RosettaSwitch::step(Packet& p, bool check_src, int ttl,
+                                RosettaSwitch** next) {
+  *next = nullptr;
+  AdmitStep step = admit_step(p, check_src, ttl);
+  if (step.nic != nullptr) {
+    step.nic->deliver(std::move(p));
+    return step.result;
+  }
+  if (step.deliver != nullptr) {
+    (*step.deliver)(std::move(p));
+    return step.result;
+  }
+  *next = step.next;  // nullptr => dropped (reason recorded)
+  return step.result;
+}
+
 RouteResult RosettaSwitch::route(Packet&& p) {
   // Iterative hop-by-hop walk: each switch takes its own mutex for one
   // admission step, and the packet object travels the whole path by
@@ -485,19 +501,10 @@ RouteResult RosettaSwitch::route(Packet&& p) {
   bool check_src = true;
   int ttl = kMaxFabricHops;
   for (;;) {
-    AdmitStep step = sw->admit_step(p, check_src, ttl);
-    if (step.nic != nullptr) {
-      step.nic->deliver(std::move(p));
-      return step.result;
-    }
-    if (step.deliver != nullptr) {
-      (*step.deliver)(std::move(p));
-      return step.result;
-    }
-    if (step.next == nullptr) {
-      return step.result;  // dropped (reason recorded)
-    }
-    sw = step.next;
+    RosettaSwitch* next = nullptr;
+    const RouteResult result = sw->step(p, check_src, ttl, &next);
+    if (next == nullptr) return result;  // delivered or dropped
+    sw = next;
     check_src = false;
     --ttl;
   }

@@ -204,6 +204,20 @@ class RosettaSwitch {
   /// through peer switches — or drops.
   RouteResult route(Packet&& p);
 
+  /// One admission step of the hop-by-hop walk, exposed for external
+  /// drivers (the sharded data-plane engine) that interleave hops from
+  /// many packets in virtual-time order instead of walking each packet
+  /// to completion.  Takes this switch's mutex once.  Outcomes:
+  ///  - delivered locally (or consumed with reason == kAckLost): the
+  ///    packet has been moved into the NIC/callback, `*next` is null;
+  ///  - dropped: `*next` is null, `result.reason` set, `p` untouched
+  ///    beyond the admission mutations;
+  ///  - forward: `*next` is the peer switch for the following step and
+  ///    `p.inject_vt` has been advanced to its arrival there.  The
+  ///    caller passes check_src = false and ttl - 1 on that next step.
+  /// route() is exactly this in a loop; semantics are identical.
+  RouteResult step(Packet& p, bool check_src, int ttl, RosettaSwitch** next);
+
   [[nodiscard]] SwitchCounters counters() const;
   [[nodiscard]] SwitchCounters counters_for_vni(Vni vni) const;
   [[nodiscard]] std::size_t connected_ports() const;

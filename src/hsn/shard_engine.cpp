@@ -1,0 +1,373 @@
+#include "hsn/shard_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hsn/fabric.hpp"
+
+namespace shs::hsn {
+
+ShardEngine::ShardEngine(Fabric& fabric, int threads)
+    : fabric_(fabric), threads_(std::max(threads, 1)) {
+  // -- Domain partition: a pure function of the topology, never of the
+  //    thread count.  Dragonfly groups map onto domains (intra-group
+  //    links are the short ones; the long global links become the
+  //    cross-domain hand-offs that fund the lookahead).  Every other
+  //    topology gets one domain per switch.
+  const std::size_t n = fabric.switch_count();
+  const TopologyConfig& topo = fabric.topology();
+  domain_of_switch_.resize(n, 0);
+  std::size_t nd = 0;
+  if (topo.kind == TopologyKind::kDragonfly && topo.switches_per_group > 0) {
+    for (std::size_t s = 0; s < n; ++s) {
+      domain_of_switch_[s] =
+          static_cast<std::uint32_t>(s / topo.switches_per_group);
+      nd = std::max(nd, static_cast<std::size_t>(domain_of_switch_[s]) + 1);
+    }
+  } else {
+    for (std::size_t s = 0; s < n; ++s) {
+      domain_of_switch_[s] = static_cast<std::uint32_t>(s);
+    }
+    nd = n;
+  }
+  nd = std::max<std::size_t>(nd, 1);
+  domains_.resize(nd);
+  for (std::size_t i = 0; i < nd; ++i) {
+    domains_[i].id = static_cast<std::uint32_t>(i);
+    domains_[i].outbox.resize(nd);
+    domains_[i].notices.resize(nd);
+  }
+  switch_ptr_.resize(n, nullptr);
+  for (std::size_t s = 0; s < n; ++s) switch_ptr_[s] = &fabric.switch_at(s);
+  home_domain_of_nic_.resize(fabric.node_count(), 0);
+  for (std::size_t a = 0; a < fabric.node_count(); ++a) {
+    const SwitchId home = fabric.home_switch(static_cast<NicAddr>(a));
+    home_domain_of_nic_[a] =
+        home == kInvalidSwitch ? 0 : domain_of_switch_[home];
+  }
+
+  // -- Lookahead.  Every cross-domain hand-off advances the packet's
+  //    virtual time by at least one switch traversal plus the link's
+  //    flight latency (admit_step: inject_vt' = egress_start + ser +
+  //    link.latency, egress_start >= inject_vt + hop_latency(tc)).  The
+  //    hop floor discounts the worst possible downward jitter/run-bias
+  //    so the bound stays conservative even on jittered configs (which
+  //    are not digest-stable across thread counts, but must still never
+  //    violate window causality).  Derived from the manager's pristine
+  //    base plan: link *latencies* never change across replans, so the
+  //    window width survives failures and repairs unchanged.
+  const TimingConfig& tcfg = fabric.timing()->config();
+  const double floor_factor =
+      std::max(0.0, 1.0 - tcfg.jitter_amplitude) *
+      std::max(0.0, 1.0 - tcfg.run_bias_amplitude);
+  const auto hop_floor = static_cast<SimDuration>(
+      static_cast<double>(tcfg.hop_latency) * floor_factor);
+  SimDuration min_link = std::numeric_limits<SimDuration>::max();
+  if (const auto base = fabric.manager().base_plan()) {
+    for (const auto& link : base->links) {
+      if (link.from < n && link.to < n &&
+          domain_of_switch_[link.from] != domain_of_switch_[link.to]) {
+        min_link = std::min(min_link, link.latency);
+      }
+    }
+  }
+  if (nd <= 1 || min_link == std::numeric_limits<SimDuration>::max()) {
+    // One domain (or fully disconnected domains): windows are unbounded
+    // and the engine degenerates to a single sequential drain.
+    lookahead_ = 0;
+  } else {
+    lookahead_ = std::max<SimDuration>(min_link + hop_floor, 1);
+  }
+
+  // -- Worker pool.  More workers than domains would only idle; one
+  //    domain (or threads <= 1) runs inline on the driver, which is the
+  //    schedule every parallel run must reproduce bit-for-bit.
+  if (threads_ > 1 && nd > 1) {
+    const int w = std::min(threads_, static_cast<int>(nd));
+    workers_.reserve(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardEngine::stage_attempt(Domain& home, Packet&& p,
+                                std::uint32_t attempt) {
+  Item it;
+  it.at = fabric_.home_switch(p.src);
+  it.p = std::move(p);
+  it.ttl = kMaxFabricHops;
+  it.check_src = true;
+  it.attempt = attempt;
+  it.seq = take_seq(home);
+  ++attempts_injected_;
+  home.heap.push_back(std::move(it));
+  std::push_heap(home.heap.begin(), home.heap.end(), ItemAfter{});
+}
+
+Status ShardEngine::post_send(NicAddr src, EndpointId ep, NicAddr dst,
+                              EndpointId dst_ep, std::uint64_t tag,
+                              std::uint64_t size_bytes, SimTime local_vt) {
+  CassiniNic& nic = fabric_.nic(src);
+  auto prepared =
+      nic.prepare_send(ep, dst, dst_ep, tag, size_bytes, local_vt);
+  if (!prepared.is_ok()) return prepared.status();
+  CassiniNic::PreparedSend ps = std::move(prepared).value();
+  Domain& home = domains_[home_domain_of_nic_[src]];
+  if (ps.packet.reliable) {
+    OpState op;
+    op.master = ps.packet;  // retransmit master; attempts send copies
+    op.vt_io = ps.accepted_vt;
+    home.ops.emplace(op_key(src, ps.packet.seq), std::move(op));
+  }
+  stage_attempt(home, std::move(ps.packet), 0);
+  return Status::ok();
+}
+
+SimTime ShardEngine::earliest_pending() const {
+  SimTime t = kNoPendingWork;
+  for (const auto& d : domains_) {
+    if (!d.heap.empty()) t = std::min(t, d.heap.front().p.inject_vt);
+  }
+  return t;
+}
+
+std::uint64_t ShardEngine::in_flight() const {
+  std::uint64_t count = 0;
+  for (const auto& d : domains_) {
+    count += d.heap.size();
+    for (const auto& box : d.outbox) count += box.size();
+  }
+  return count;
+}
+
+void ShardEngine::flush() {
+  for (;;) {
+    const SimTime start = earliest_pending();
+    if (start == kNoPendingWork) return;
+    SimTime end = kNoPendingWork;
+    if (lookahead_ > 0 && start < kNoPendingWork - lookahead_) {
+      end = start + lookahead_;
+    }
+    run_window(end);
+    ++windows_run_;
+    barrier_merge();
+    if (barrier_observer_) barrier_observer_();
+  }
+}
+
+void ShardEngine::run_window(SimTime window_end) {
+  if (workers_.empty()) {
+    for (auto& d : domains_) run_domain_window(d, window_end);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  window_end_ = window_end;
+  next_domain_.store(0, std::memory_order_relaxed);
+  done_count_ = 0;
+  ++epoch_;
+  pool_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return done_count_ == workers_.size(); });
+}
+
+void ShardEngine::worker_main() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    SimTime window_end;
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_cv_.wait(lk,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      window_end = window_end_;
+    }
+    // Dynamic domain claiming: which worker runs which domain is
+    // load-balancing only — a domain's schedule depends solely on its
+    // heap contents, so the claim order cannot affect results.
+    for (;;) {
+      const std::size_t d =
+          next_domain_.fetch_add(1, std::memory_order_relaxed);
+      if (d >= domains_.size()) break;
+      run_domain_window(domains_[d], window_end);
+    }
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      if (++done_count_ == workers_.size()) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardEngine::run_domain_window(Domain& d, SimTime window_end) {
+  // Strict (vt, seq) order within the domain; items this window spawns
+  // (intra-domain forwards) join the heap and are processed in turn if
+  // they still land before the window edge.
+  while (!d.heap.empty() && d.heap.front().p.inject_vt < window_end) {
+    std::pop_heap(d.heap.begin(), d.heap.end(), ItemAfter{});
+    Item it = std::move(d.heap.back());
+    d.heap.pop_back();
+    step_item(d, std::move(it));
+  }
+}
+
+void ShardEngine::step_item(Domain& d, Item&& it) {
+  // The step may consume the packet (delivery and ACK-lost delivery
+  // both move it into the NIC), so everything a notice needs is
+  // captured first.
+  const NicAddr src = it.p.src;
+  const EndpointId src_ep = it.p.src_ep;
+  const std::uint64_t nic_seq = it.p.seq;
+  const bool reliable = it.p.reliable;
+  const SimTime vt_before = it.p.inject_vt;
+
+  RosettaSwitch* next = nullptr;
+  const RouteResult rr =
+      switch_ptr_[it.at]->step(it.p, it.check_src, it.ttl, &next);
+
+  if (next != nullptr) {
+    // Forwarded; admit_step advanced p.inject_vt to the arrival at the
+    // peer.  Cross-domain hops park in the outbox until the barrier —
+    // by the lookahead bound they are dated at or beyond the window
+    // edge, so the destination domain cannot need them this window.
+    it.check_src = false;
+    --it.ttl;
+    it.at = next->id();
+    const std::uint32_t target = domain_of_switch_[it.at];
+    if (target == d.id) {
+      d.heap.push_back(std::move(it));
+      std::push_heap(d.heap.begin(), d.heap.end(), ItemAfter{});
+    } else {
+      d.outbox[target].push_back(std::move(it));
+    }
+    return;
+  }
+
+  if (rr.delivered) {
+    if (reliable) {
+      // Success notice so the driver can retire the op state (and count
+      // a recovery when earlier attempts failed).
+      Notice n;
+      n.kind = Notice::Kind::kDelivered;
+      n.src = src;
+      n.src_ep = src_ep;
+      n.nic_seq = nic_seq;
+      n.vt = rr.arrival_vt;
+      n.attempt = it.attempt;
+      d.notices[home_domain_of_nic_[src]].push_back(n);
+    }
+    return;
+  }
+
+  // Failed attempt: dropped, or consumed with its ACK lost.  The
+  // retry/fail-fast decision uses the same predicate the synchronous
+  // path does; the actual retransmit is charged on the driver thread at
+  // the barrier (deterministic per-NIC RNG draw order).
+  Notice n;
+  n.src = src;
+  n.src_ep = src_ep;
+  n.nic_seq = nic_seq;
+  n.reason = rr.reason;
+  n.vt = vt_before;
+  n.attempt = it.attempt;
+  if (reliable && CassiniNic::is_transient(rr.reason)) {
+    const auto budget = static_cast<std::uint32_t>(
+        std::max(fabric_.nic(src).reliability().max_retries, 0));
+    if (it.attempt < budget) {
+      n.kind = Notice::Kind::kRetry;
+    } else {
+      n.kind = Notice::Kind::kDrop;
+      n.budget_exhausted = true;
+    }
+  } else {
+    n.kind = Notice::Kind::kDrop;
+  }
+  d.notices[home_domain_of_nic_[src]].push_back(n);
+}
+
+void ShardEngine::barrier_merge() {
+  // Deterministic merge: destination domain id, then source domain id,
+  // then FIFO within each outbox.  (Heap pop order depends only on the
+  // unique (vt, seq) keys, so the insertion order here is immaterial to
+  // results — the fixed order keeps retransmit RNG draws, error-event
+  // pushes, and op retirement identical across thread counts.)
+  const std::size_t nd = domains_.size();
+  for (std::size_t dst = 0; dst < nd; ++dst) {
+    Domain& to = domains_[dst];
+    for (std::size_t from = 0; from < nd; ++from) {
+      auto& box = domains_[from].outbox[dst];
+      for (Item& it : box) {
+        to.heap.push_back(std::move(it));
+        std::push_heap(to.heap.begin(), to.heap.end(), ItemAfter{});
+      }
+      box.clear();
+    }
+  }
+  for (std::size_t dst = 0; dst < nd; ++dst) {
+    for (std::size_t from = 0; from < nd; ++from) {
+      auto& pending = domains_[from].notices[dst];
+      for (const Notice& n : pending) process_notice(n);
+      pending.clear();
+    }
+  }
+}
+
+void ShardEngine::process_notice(const Notice& n) {
+  CassiniNic& nic = fabric_.nic(n.src);
+  Domain& home = domains_[home_domain_of_nic_[n.src]];
+  const std::uint64_t key = op_key(n.src, n.nic_seq);
+  switch (n.kind) {
+    case Notice::Kind::kDelivered: {
+      const auto it = home.ops.find(key);
+      if (it == home.ops.end()) break;
+      if (n.attempt > 0) {
+        const bool after_replan =
+            it->second.have_v0 &&
+            fabric_.plan_version() != it->second.plan_v0;
+        nic.note_recovered(after_replan);
+      }
+      home.ops.erase(it);
+      break;
+    }
+    case Notice::Kind::kRetry: {
+      const auto it = home.ops.find(key);
+      if (it == home.ops.end()) break;
+      OpState& op = it->second;
+      if (!op.have_v0) {
+        // Captured at the first failure, as on the synchronous path:
+        // recovery on a newer plan version counts as carried-across-
+        // replan.
+        op.plan_v0 = fabric_.plan_version();
+        op.have_v0 = true;
+      }
+      ++op.attempt;
+      (void)nic.schedule_retransmit(op.master,
+                                    static_cast<int>(op.attempt), op.vt_io);
+      Packet copy = op.master;
+      stage_attempt(home, std::move(copy), op.attempt);
+      break;
+    }
+    case Notice::Kind::kDrop: {
+      SimTime error_vt = n.vt;
+      const auto it = home.ops.find(key);
+      if (it != home.ops.end()) {
+        error_vt = it->second.vt_io;  // post_send's done_vt semantics
+        home.ops.erase(it);
+      }
+      nic.note_tx_drop(n.reason, n.src_ep, 0, error_vt,
+                       n.budget_exhausted);
+      break;
+    }
+  }
+}
+
+}  // namespace shs::hsn

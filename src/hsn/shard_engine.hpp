@@ -1,0 +1,217 @@
+// shard_engine.hpp — conservative parallel data plane: the fabric's
+// switches are partitioned into sequential *domains* (dragonfly groups;
+// one switch per domain elsewhere), each domain is driven by exactly one
+// worker thread at a time, and domains advance together through
+// conservative virtual-time windows [T, T + L) whose width L (the
+// *lookahead*) is derived from the minimum latency of any cross-domain
+// link.  Inside a window a domain processes its pending packet hops in
+// (virtual time, sequence) order; hops that cross a domain boundary are
+// buffered in per-destination outboxes and merged at the window barrier
+// in a fixed order (destination domain id, then source domain id, then
+// FIFO).  Because every cross-domain hop arrives at least one lookahead
+// in the future, no domain can receive work dated inside the window it
+// is executing — so the schedule, and therefore every per-seed golden
+// digest, is bit-identical whether the windows run on 1 thread or N.
+//
+// Thread-safety contract (see docs/performance.md, "Threading model"):
+//   - All public methods are driver-thread-only.  The engine owns the
+//     worker pool internally; callers never see worker threads.
+//   - Between flush() calls (and inside a barrier observer) the workers
+//     are quiescent and every fabric/NIC counter read is coherent.
+//   - Control-plane mutations (fail_link, repair, set_fault_profile,
+//     VNI churn, ...) are only legal between flushes.
+//   - Determinism across thread counts additionally requires
+//     TimingConfig::jitter_amplitude == 0 (jitter draws come from one
+//     shared RNG whose draw order is schedule-dependent otherwise).
+//
+// The engine drives two-sided sends (post_send).  One-sided RMA stays on
+// the legacy synchronous path: its target-side reply injection re-enters
+// the fabric from the delivery callback, which would escape the
+// domain-ownership discipline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "hsn/packet.hpp"
+#include "hsn/rosetta_switch.hpp"
+#include "hsn/types.hpp"
+#include "util/status.hpp"
+#include "util/units.hpp"
+
+namespace shs::hsn {
+
+class Fabric;
+
+class ShardEngine {
+ public:
+  /// Builds the domain partition and lookahead from `fabric`'s topology
+  /// and spawns `threads` workers (<= 1 runs windows inline on the
+  /// driver thread — the reference schedule).  The fabric must outlive
+  /// the engine; topology wiring must be complete.
+  ShardEngine(Fabric& fabric, int threads);
+  ~ShardEngine();
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  /// Stages a two-sided send exactly as CassiniNic::post_send would
+  /// accept it (same TX scheduling, same sequence numbers), to be walked
+  /// through the fabric by the next flush().  Size-only; completion
+  /// events are not raised (op_id 0 semantics), but terminal failures
+  /// still push kError events at flush time.  With reliability enabled
+  /// on the source NIC the op gets the full retransmit protocol, driven
+  /// at window barriers.
+  Status post_send(NicAddr src, EndpointId ep, NicAddr dst,
+                   EndpointId dst_ep, std::uint64_t tag,
+                   std::uint64_t size_bytes, SimTime local_vt);
+
+  /// Runs conservative windows until every staged packet (including
+  /// retransmits it spawns) has delivered or terminally dropped.
+  void flush();
+
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+  [[nodiscard]] SimDuration lookahead() const noexcept { return lookahead_; }
+  /// Windows executed across all flushes (one barrier each).
+  [[nodiscard]] std::uint64_t windows_run() const noexcept {
+    return windows_run_;
+  }
+  /// Fabric-injection attempts staged so far: posts plus retransmits.
+  /// Every attempt terminates in exactly one switch-counter bucket
+  /// (delivered — including ACK-lost deliveries — or one drop reason),
+  /// so at any barrier:
+  ///   attempts_injected() == delivered + dropped_total() + in_flight().
+  [[nodiscard]] std::uint64_t attempts_injected() const noexcept {
+    return attempts_injected_;
+  }
+  /// Attempts currently staged in domain heaps or outboxes (0 after
+  /// flush() returns).  Driver-thread-only, like everything else.
+  [[nodiscard]] std::uint64_t in_flight() const;
+
+  /// Installs `fn` to run on the driver thread at every window barrier,
+  /// after outbox/notice merging, while all workers are quiescent —
+  /// the hook counter-invariant tests use to observe mid-flush state
+  /// coherently.  Pass nullptr to remove.
+  void set_barrier_observer(std::function<void()> fn) {
+    barrier_observer_ = std::move(fn);
+  }
+
+ private:
+  /// One staged hop of one packet attempt: `p` parked at switch `at`,
+  /// ordered by (p.inject_vt, seq).
+  struct Item {
+    Packet p;
+    SwitchId at = kInvalidSwitch;
+    std::uint64_t seq = 0;  ///< globally unique, thread-count-invariant
+    std::int32_t ttl = 0;
+    bool check_src = false;
+    std::uint32_t attempt = 0;  ///< 0 = first try, n = nth retransmit
+  };
+  /// Max-heap comparator giving the (vt, seq)-minimum at front().
+  struct ItemAfter {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.p.inject_vt != b.p.inject_vt) {
+        return a.p.inject_vt > b.p.inject_vt;
+      }
+      return a.seq > b.seq;
+    }
+  };
+  /// Outcome of a terminal step, reported to the op's home domain and
+  /// processed on the driver thread at the barrier.
+  struct Notice {
+    enum class Kind : std::uint8_t { kDelivered, kRetry, kDrop };
+    Kind kind = Kind::kDrop;
+    NicAddr src = kInvalidNic;
+    EndpointId src_ep = 0;
+    std::uint64_t nic_seq = 0;  ///< NIC-assigned Packet::seq (op key)
+    DropReason reason = DropReason::kNone;
+    SimTime vt = 0;
+    std::uint32_t attempt = 0;
+    bool budget_exhausted = false;
+  };
+  /// Retransmit state for one reliable op, owned by its home domain's
+  /// map but only ever touched by the driver thread.
+  struct OpState {
+    Packet master;
+    SimTime vt_io = 0;  ///< accepted_vt plus charged backoffs
+    std::uint64_t plan_v0 = 0;
+    bool have_v0 = false;
+    std::uint32_t attempt = 0;
+  };
+  struct Domain {
+    std::uint32_t id = 0;
+    std::vector<Item> heap;  ///< binary heap via std::push/pop_heap
+    /// Cross-domain hops produced this window, per destination domain.
+    std::vector<std::vector<Item>> outbox;
+    /// Terminal outcomes this window, per home (= source) domain.
+    std::vector<std::vector<Notice>> notices;
+    std::uint64_t next_seq = 0;
+    /// Reliable ops homed here, keyed (src NIC << 44 | packet seq).
+    std::unordered_map<std::uint64_t, OpState> ops;
+  };
+
+  static std::uint64_t op_key(NicAddr src, std::uint64_t nic_seq) noexcept {
+    return (static_cast<std::uint64_t>(src) << 44) |
+           (nic_seq & ((1ULL << 44) - 1));
+  }
+  std::uint64_t take_seq(Domain& d) noexcept {
+    return d.next_seq++ * domains_.size() + d.id;
+  }
+
+  void stage_attempt(Domain& home, Packet&& p, std::uint32_t attempt);
+  /// Pops and steps every item dated before `window_end` (worker or
+  /// inline driver; must be the domain's only toucher).
+  void run_domain_window(Domain& d, SimTime window_end);
+  void step_item(Domain& d, Item&& it);
+  /// Merges outboxes and processes notices in deterministic order.
+  void barrier_merge();
+  void process_notice(const Notice& n);
+  /// Launches one window [*, window_end) across all domains on the
+  /// worker pool (or inline when threads_ <= 1).
+  void run_window(SimTime window_end);
+  void worker_main();
+  /// Earliest staged virtual time across all domains, or
+  /// `kNoPendingWork` when every heap is empty.
+  [[nodiscard]] SimTime earliest_pending() const;
+
+  static constexpr SimTime kNoPendingWork =
+      std::numeric_limits<SimTime>::max();
+
+  Fabric& fabric_;
+  int threads_ = 1;
+  SimDuration lookahead_ = 0;
+  std::vector<std::uint32_t> domain_of_switch_;
+  std::vector<std::uint32_t> home_domain_of_nic_;
+  std::vector<RosettaSwitch*> switch_ptr_;
+  std::vector<Domain> domains_;
+  std::uint64_t attempts_injected_ = 0;
+  std::uint64_t windows_run_ = 0;
+  std::function<void()> barrier_observer_;
+
+  // -- Worker pool.  Epoch-driven: the driver publishes window_end_ and
+  //    bumps epoch_ under pool_mu_; workers claim domains via the
+  //    next_domain_ ticket and report completion under the same mutex.
+  //    The mutex hand-offs give every domain mutation a happens-before
+  //    edge to the driver's barrier work (and to the next window's
+  //    workers), so the engine is race-free by construction.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;   // workers: new epoch / shutdown
+  std::condition_variable done_cv_;   // driver: all workers done
+  std::uint64_t epoch_ = 0;
+  std::size_t done_count_ = 0;
+  SimTime window_end_ = 0;
+  bool shutdown_ = false;
+  std::atomic<std::size_t> next_domain_{0};
+};
+
+}  // namespace shs::hsn

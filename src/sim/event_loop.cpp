@@ -130,7 +130,11 @@ std::size_t EventLoop::run_until(SimTime t) {
     }
     ++executed;
   }
-  now_ = std::max(now_, t);
+  // Advance the clock to the window end only on a clean drain.  If
+  // stop() aborted the window there may be events with timestamps in
+  // (now_, t] still queued; jumping now_ to t would make them fire with
+  // the clock already past their own timestamps on the next run.
+  if (!stop_requested_) now_ = std::max(now_, t);
   running_ = false;
   return executed;
 }

@@ -23,7 +23,6 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() noexcept {
-    int spins = 0;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
         return;
@@ -33,6 +32,12 @@ class SpinLock {
       // burst, yield — on an oversubscribed machine the holder may be
       // preempted, and burning the rest of our quantum would only delay
       // its release (pathological on single-core CI runners).
+      //
+      // The burst budget resets for every contended wait: a thread that
+      // loses the race repeatedly still gets its pause burst each time
+      // instead of degenerating permanently to yield() after the first
+      // 64 pauses of the call.
+      int spins = 0;
       while (locked_.load(std::memory_order_relaxed)) {
         if (++spins < 64) {
 #if defined(__x86_64__) || defined(__i386__)

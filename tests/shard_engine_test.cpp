@@ -1,0 +1,204 @@
+// shard_engine_test.cpp — conservative-window parallel data plane
+// (hsn::ShardEngine): domain partitioning, lookahead derivation, window
+// accounting, and — the reason the barrier observer exists — coherent
+// multi-field counter snapshots while worker threads are live.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hsn/fabric.hpp"
+#include "hsn/shard_engine.hpp"
+#include "util/units.hpp"
+
+namespace shs::hsn {
+namespace {
+
+constexpr Vni kVni = 42;
+
+TimingConfig flat_timing() {
+  TimingConfig t;
+  t.jitter_amplitude = 0.0;
+  t.run_bias_amplitude = 0.0;
+  return t;
+}
+
+std::vector<EndpointId> open_endpoints(Fabric& f, std::size_t nodes) {
+  std::vector<EndpointId> eps;
+  eps.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<NicAddr>(i);
+    EXPECT_TRUE(f.switch_for(addr)->authorize_vni(addr, kVni).is_ok());
+    eps.push_back(
+        f.nic(addr).alloc_endpoint(kVni, TrafficClass::kBulkData).value());
+  }
+  return eps;
+}
+
+void post_all_pairs(ShardEngine& engine, const std::vector<EndpointId>& eps,
+                    std::size_t nodes, int rounds) {
+  const std::size_t half = nodes / 2;
+  for (int k = 0; k < rounds; ++k) {
+    for (std::size_t s = 0; s < half; ++s) {
+      const auto dst = static_cast<NicAddr>(half + s);
+      ASSERT_TRUE(engine
+                      .post_send(static_cast<NicAddr>(s), eps[s], dst,
+                                 eps[dst], static_cast<std::uint64_t>(k),
+                                 16 * 1024, 0)
+                      .is_ok());
+    }
+  }
+}
+
+TEST(ShardEngine, SingleSwitchCollapsesToOneInlineDomain) {
+  TopologyConfig topo;  // kSingleSwitch
+  auto f = Fabric::create(8, flat_timing(), 0x51, topo);
+  ShardEngine engine(*f, 4);
+  // One domain => nothing to overlap; the pool is never spawned and
+  // every window runs inline on the driver thread.
+  EXPECT_EQ(engine.domain_count(), 1u);
+  EXPECT_EQ(engine.lookahead(), 0);  // no cross-domain link => unbounded
+
+  const auto eps = open_endpoints(*f, 8);
+  post_all_pairs(engine, eps, 8, 4);
+  engine.flush();
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_EQ(f->total_counters().delivered, 4u * 4u);
+  EXPECT_EQ(f->total_counters().dropped_total(), 0u);
+  EXPECT_EQ(engine.attempts_injected(), 4u * 4u);
+  // Unbounded window: the whole flush is a single barrier.
+  EXPECT_EQ(engine.windows_run(), 1u);
+}
+
+TEST(ShardEngine, DragonflyPartitionsPerGroupWithPositiveLookahead) {
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kDragonfly;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  auto f = Fabric::create(64, flat_timing(), 0x52, topo);
+  ShardEngine engine(*f, 4);
+  // 16 switches / 4 per group => 4 sequential domains.
+  EXPECT_EQ(engine.domain_count(), 4u);
+  EXPECT_EQ(engine.threads(), 4);
+  EXPECT_GT(engine.lookahead(), 0);
+
+  const auto eps = open_endpoints(*f, 64);
+  post_all_pairs(engine, eps, 64, 8);
+  engine.flush();
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_EQ(f->total_counters().delivered, 32u * 8u);
+  EXPECT_EQ(f->total_counters().dropped_total(), 0u);
+  // Bounded lookahead forces the flush through many conservative
+  // windows, each one a real barrier.
+  EXPECT_GT(engine.windows_run(), 4u);
+}
+
+TEST(ShardEngine, FlushWithNothingStagedIsANoOp) {
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kDragonfly;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  auto f = Fabric::create(64, flat_timing(), 0x53, topo);
+  ShardEngine engine(*f, 2);
+  engine.flush();
+  EXPECT_EQ(engine.windows_run(), 0u);
+  EXPECT_EQ(engine.attempts_injected(), 0u);
+}
+
+TEST(ShardEngine, PostSendValidatesEndpointLikeTheNic) {
+  TopologyConfig topo;
+  auto f = Fabric::create(4, flat_timing(), 0x54, topo);
+  const auto eps = open_endpoints(*f, 4);
+  ShardEngine engine(*f, 1);
+  // Bogus source endpoint is rejected at staging time, not at flush.
+  EXPECT_FALSE(
+      engine.post_send(0, static_cast<EndpointId>(9999), 1, eps[1], 7, 64, 0)
+          .is_ok());
+  EXPECT_EQ(engine.attempts_injected(), 0u);
+}
+
+// The tentpole satellite: counters are snapshotted only at window
+// barriers, where the workers are quiescent — so a multi-field read
+// (injected vs delivered vs per-reason drops) can never observe a torn
+// in-between state.  This runs with 4 live worker threads, a lossy
+// fault profile AND the retransmit protocol armed, and asserts the
+// cross-field conservation law at every single barrier:
+//
+//   attempts_injected == delivered + dropped_total + in_flight
+//
+// (ACK-lost attempts count as delivered at the switch; each retransmit
+// is a fresh counted attempt.)  At flush exit in_flight is zero and the
+// law collapses to injected == delivered + sum-of-drop-reasons.
+TEST(ShardEngine, CounterInvariantHoldsAtEveryBarrierWithWorkersLive) {
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kDragonfly;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  topo.routing = RoutingPolicy::kUgal;
+  auto f = Fabric::create(64, flat_timing(), 0x55, topo);
+
+  FaultProfile lossy;
+  lossy.drop_rate = 0.03;
+  lossy.ack_loss_rate = 0.01;
+  f->set_fault_profile(lossy);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  ShardEngine engine(*f, 4);
+  ASSERT_EQ(engine.domain_count(), 4u);
+
+  std::uint64_t barriers_checked = 0;
+  engine.set_barrier_observer([&] {
+    const auto totals = f->total_counters();
+    ASSERT_EQ(engine.attempts_injected(),
+              totals.delivered + totals.dropped_total() + engine.in_flight())
+        << "torn snapshot at barrier " << barriers_checked;
+    ++barriers_checked;
+  });
+
+  const auto eps = open_endpoints(*f, 64);
+  post_all_pairs(engine, eps, 64, 12);
+  engine.flush();
+
+  EXPECT_EQ(barriers_checked, engine.windows_run());
+  EXPECT_GT(barriers_checked, 4u);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  const auto totals = f->total_counters();
+  EXPECT_EQ(engine.attempts_injected(),
+            totals.delivered + totals.dropped_total());
+  // The episode actually exercised the loss + retransmit machinery.
+  EXPECT_GT(f->reliability_totals().retransmits, 0u);
+  EXPECT_GT(engine.attempts_injected(), 32u * 12u);
+}
+
+// Retransmits spawned by one flush may outlive the posts that caused
+// them; flush() must not return while any attempt is still in flight.
+TEST(ShardEngine, FlushDrainsRetransmitsBeforeReturning) {
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kDragonfly;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  auto f = Fabric::create(64, flat_timing(), 0x56, topo);
+  FaultProfile lossy;
+  lossy.drop_rate = 0.05;
+  f->set_fault_profile(lossy);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  ShardEngine engine(*f, 2);
+  const auto eps = open_endpoints(*f, 64);
+  for (int burst = 0; burst < 3; ++burst) {
+    post_all_pairs(engine, eps, 64, 4);
+    engine.flush();
+    EXPECT_EQ(engine.in_flight(), 0u);
+    const auto totals = f->total_counters();
+    EXPECT_EQ(engine.attempts_injected(),
+              totals.delivered + totals.dropped_total());
+  }
+  EXPECT_GT(f->reliability_totals().retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace shs::hsn

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hsn/fabric.hpp"
+#include "hsn/shard_engine.hpp"
 #include "sim/event_loop.hpp"
 #include "util/rng.hpp"
 
@@ -511,6 +512,299 @@ TEST(FabricRoutingDeterminism, LossyFailureEpisodesMatchPinnedDigests) {
     EXPECT_EQ(lossy_episode_digest(b), lossy_episode_digest(a));
     // A different seed genuinely reshuffles the fault schedule.
     EXPECT_NE(lossy_episode_digest(lossy_failure_episode(g.policy, 0xbead)),
+              lossy_episode_digest(a));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded data-plane determinism: the conservative-window engine
+// (hsn::ShardEngine) must produce bit-identical per-seed results no
+// matter how many worker threads drive its domains — the domain
+// partition, window boundaries, per-domain (vt, seq) processing order,
+// and barrier merge order are all pure functions of the input.  The
+// engine interleaves hops across packets in virtual-time order (unlike
+// the legacy depth-first walk), so its schedule is compared against
+// itself across thread counts, not against the legacy goldens above.
+
+std::vector<std::pair<SimTime, int>> sharded_trace(
+    const hsn::TopologyConfig& topo, std::size_t nodes, std::uint64_t seed,
+    int threads) {
+  hsn::TimingConfig flat;
+  flat.jitter_amplitude = 0.0;
+  flat.run_bias_amplitude = 0.0;
+  auto f = hsn::Fabric::create(nodes, flat, seed, topo);
+  hsn::ShardEngine engine(*f, threads);
+  constexpr hsn::Vni kVni = 99;
+  std::vector<hsn::EndpointId> eps;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<hsn::NicAddr>(i);
+    EXPECT_TRUE(f->switch_for(addr)->authorize_vni(addr, kVni).is_ok());
+    eps.push_back(f->nic(addr)
+                      .alloc_endpoint(kVni, hsn::TrafficClass::kBulkData)
+                      .value());
+  }
+  const std::size_t half = nodes / 2;
+  for (int k = 0; k < 24; ++k) {
+    for (std::size_t s = 0; s < half; ++s) {
+      const auto dst = static_cast<hsn::NicAddr>(half + s);
+      EXPECT_TRUE(engine
+                      .post_send(static_cast<hsn::NicAddr>(s), eps[s], dst,
+                                 eps[dst], static_cast<std::uint64_t>(k),
+                                 32 * 1024, 0)
+                      .is_ok());
+    }
+  }
+  engine.flush();
+  EXPECT_EQ(engine.in_flight(), 0u);
+  std::vector<std::pair<SimTime, int>> trace;
+  for (std::size_t d = half; d < nodes; ++d) {
+    while (true) {
+      auto pkt = f->nic(static_cast<hsn::NicAddr>(d)).poll_rx(eps[d]);
+      if (!pkt.is_ok()) break;
+      trace.emplace_back(pkt.value().arrival_vt,
+                         static_cast<int>(pkt.value().hops));
+    }
+  }
+  EXPECT_EQ(f->total_counters().dropped_total(), 0u);
+  EXPECT_EQ(f->total_counters().delivered + f->total_counters().dropped_total(),
+            engine.attempts_injected());
+  return trace;
+}
+
+FailureEpisode sharded_failure_episode(const hsn::TopologyConfig& topo,
+                                       std::size_t nodes,
+                                       bool fail_whole_switch,
+                                       hsn::SwitchId victim_a,
+                                       hsn::SwitchId victim_b,
+                                       std::uint64_t seed, int threads) {
+  hsn::TimingConfig flat;
+  flat.jitter_amplitude = 0.0;
+  flat.run_bias_amplitude = 0.0;
+  auto f = hsn::Fabric::create(nodes, flat, seed, topo);
+  f->manager().set_auto_repair(false);
+  hsn::ShardEngine engine(*f, threads);
+  constexpr hsn::Vni kVni = 99;
+  std::vector<hsn::EndpointId> eps;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<hsn::NicAddr>(i);
+    EXPECT_TRUE(f->switch_for(addr)->authorize_vni(addr, kVni).is_ok());
+    eps.push_back(f->nic(addr)
+                      .alloc_endpoint(kVni, hsn::TrafficClass::kBulkData)
+                      .value());
+  }
+  const std::size_t half = nodes / 2;
+  // Control-plane mutations are only legal between flushes, so each
+  // burst is posted and fully flushed before the next episode phase.
+  const auto burst = [&](int rounds, std::uint64_t tag_base) {
+    for (int k = 0; k < rounds; ++k) {
+      for (std::size_t s = 0; s < half; ++s) {
+        const auto dst = static_cast<hsn::NicAddr>(half + s);
+        EXPECT_TRUE(engine
+                        .post_send(static_cast<hsn::NicAddr>(s), eps[s], dst,
+                                   eps[dst], tag_base + k, 32 * 1024, 0)
+                        .is_ok());
+      }
+    }
+    engine.flush();
+  };
+
+  burst(8, 0);  // healthy baseline
+  if (fail_whole_switch) {
+    EXPECT_TRUE(f->fail_switch(victim_a).is_ok());
+  } else {
+    EXPECT_TRUE(f->fail_link(victim_a, victim_b).is_ok());
+  }
+  burst(8, 100);          // open loss window: stale tables, dead element
+  f->manager().repair();  // re-plan lands
+  burst(8, 200);          // converged on the repaired routes
+  if (fail_whole_switch) {
+    EXPECT_TRUE(f->restore_switch(victim_a).is_ok());
+  } else {
+    EXPECT_TRUE(f->restore_link(victim_a, victim_b).is_ok());
+  }
+  f->manager().repair();
+  burst(8, 300);  // back on pristine routing
+
+  FailureEpisode episode;
+  for (std::size_t d = half; d < nodes; ++d) {
+    while (true) {
+      auto pkt = f->nic(static_cast<hsn::NicAddr>(d)).poll_rx(eps[d]);
+      if (!pkt.is_ok()) break;
+      episode.trace.emplace_back(pkt.value().arrival_vt,
+                                 static_cast<int>(pkt.value().hops));
+    }
+  }
+  episode.delivered = f->total_counters().delivered;
+  episode.dropped_link_down = f->total_counters().dropped_link_down;
+  return episode;
+}
+
+/// The lossy chaos episode on the sharded engine: probabilistic loss +
+/// ACK loss + a timed flap + a mid-run link failure, with the NIC
+/// retransmit protocol recovering through it — retransmits are charged
+/// at window barriers instead of inline.  No retry hook (the engine
+/// forbids control-plane work mid-flush); the repair lands between
+/// bursts instead, so ops failing inside a burst retry against stale
+/// tables until their budget runs out — deterministically.
+LossyEpisode sharded_lossy_episode(hsn::RoutingPolicy policy,
+                                   std::uint64_t seed, int threads) {
+  hsn::TimingConfig flat;
+  flat.jitter_amplitude = 0.0;
+  flat.run_bias_amplitude = 0.0;
+  hsn::TopologyConfig topo;
+  topo.kind = hsn::TopologyKind::kDragonfly;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  topo.routing = policy;
+  constexpr std::size_t nodes = 64;
+  auto f = hsn::Fabric::create(nodes, flat, seed, topo);
+  f->manager().set_auto_repair(false);
+
+  hsn::FaultProfile lossy;
+  lossy.drop_rate = 0.02;
+  lossy.ack_loss_rate = 0.01;
+  f->set_fault_profile(lossy);
+  EXPECT_TRUE(f->add_link_flap(1, 4, 0, from_micros(500)).is_ok());
+  hsn::ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  hsn::ShardEngine engine(*f, threads);
+  constexpr hsn::Vni kVni = 99;
+  std::vector<hsn::EndpointId> eps;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<hsn::NicAddr>(i);
+    EXPECT_TRUE(f->switch_for(addr)->authorize_vni(addr, kVni).is_ok());
+    eps.push_back(f->nic(addr)
+                      .alloc_endpoint(kVni, hsn::TrafficClass::kBulkData)
+                      .value());
+  }
+  const std::size_t half = nodes / 2;
+  const auto burst = [&](int rounds, std::uint64_t tag_base) {
+    for (int k = 0; k < rounds; ++k) {
+      for (std::size_t s = 0; s < half; ++s) {
+        const auto dst = static_cast<hsn::NicAddr>(half + s);
+        EXPECT_TRUE(engine
+                        .post_send(static_cast<hsn::NicAddr>(s), eps[s], dst,
+                                   eps[dst], tag_base + k, 32 * 1024, 0)
+                        .is_ok());
+      }
+    }
+    engine.flush();
+  };
+
+  burst(8, 0);  // lossy + flapping baseline
+  EXPECT_TRUE(f->fail_link(2, 8).is_ok());
+  burst(8, 100);  // loss window: budgets may exhaust against stale tables
+  (void)f->manager().repair_if_pending();
+  burst(8, 200);  // converged on repaired routes, still lossy
+  EXPECT_TRUE(f->restore_link(2, 8).is_ok());
+  (void)f->manager().repair_if_pending();
+  burst(8, 300);  // pristine routing, faults still armed
+
+  LossyEpisode e;
+  for (std::size_t d = half; d < nodes; ++d) {
+    while (true) {
+      auto pkt = f->nic(static_cast<hsn::NicAddr>(d)).poll_rx(eps[d]);
+      if (!pkt.is_ok()) break;
+      e.trace.emplace_back(pkt.value().arrival_vt,
+                           static_cast<int>(pkt.value().hops));
+    }
+  }
+  const auto totals = f->total_counters();
+  e.delivered = totals.delivered;
+  e.dropped_loss = totals.dropped_loss;
+  e.dropped_link_down = totals.dropped_link_down;
+  const auto rc = f->reliability_totals();
+  e.retransmits = rc.retransmits;
+  e.duplicates = rc.duplicates;
+  return e;
+}
+
+TEST(ShardedDataPlaneDeterminism, RoutedTracesMatchAcrossThreadCounts) {
+  for (const auto policy :
+       {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
+        hsn::RoutingPolicy::kUgal}) {
+    SCOPED_TRACE(hsn::routing_policy_name(policy));
+
+    hsn::TopologyConfig fat_tree;
+    fat_tree.kind = hsn::TopologyKind::kFatTree;
+    fat_tree.nodes_per_switch = 8;
+    fat_tree.spines = 4;
+    fat_tree.routing = policy;
+    const auto ft1 = sharded_trace(fat_tree, 32, 0xd3ad, 1);
+    EXPECT_FALSE(ft1.empty());
+    EXPECT_EQ(ft1, sharded_trace(fat_tree, 32, 0xd3ad, 4));
+
+    hsn::TopologyConfig dragonfly;
+    dragonfly.kind = hsn::TopologyKind::kDragonfly;
+    dragonfly.nodes_per_switch = 4;
+    dragonfly.switches_per_group = 4;
+    dragonfly.routing = policy;
+    const auto df1 = sharded_trace(dragonfly, 64, 0xd3ad, 1);
+    EXPECT_FALSE(df1.empty());
+    EXPECT_EQ(df1, sharded_trace(dragonfly, 64, 0xd3ad, 2));
+    EXPECT_EQ(df1, sharded_trace(dragonfly, 64, 0xd3ad, 4));
+    // A different seed still reshuffles results (guards against the
+    // engine collapsing to something seed-independent).
+    if (policy == hsn::RoutingPolicy::kValiant) {
+      EXPECT_NE(df1, sharded_trace(dragonfly, 64, 0x0bad, 4));
+    }
+  }
+}
+
+TEST(ShardedDataPlaneDeterminism, FailureEpisodesMatchAcrossThreadCounts) {
+  for (const auto policy :
+       {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
+        hsn::RoutingPolicy::kUgal}) {
+    SCOPED_TRACE(hsn::routing_policy_name(policy));
+
+    hsn::TopologyConfig fat_tree;
+    fat_tree.kind = hsn::TopologyKind::kFatTree;
+    fat_tree.nodes_per_switch = 8;
+    fat_tree.spines = 4;
+    fat_tree.routing = policy;
+    const auto ft1 =
+        sharded_failure_episode(fat_tree, 32, /*switch=*/true, 5, 0, 0xfade,
+                                1);
+    EXPECT_GT(ft1.delivered, 0u);
+    EXPECT_EQ(ft1, sharded_failure_episode(fat_tree, 32, true, 5, 0, 0xfade,
+                                           4));
+
+    hsn::TopologyConfig dragonfly;
+    dragonfly.kind = hsn::TopologyKind::kDragonfly;
+    dragonfly.nodes_per_switch = 4;
+    dragonfly.switches_per_group = 4;
+    dragonfly.routing = policy;
+    const auto df1 = sharded_failure_episode(dragonfly, 64, /*switch=*/false,
+                                             2, 8, 0xfade, 1);
+    EXPECT_GT(df1.delivered, 0u);
+    EXPECT_EQ(df1, sharded_failure_episode(dragonfly, 64, false, 2, 8,
+                                           0xfade, 4));
+    if (policy == hsn::RoutingPolicy::kMinimal) {
+      // The loss window really opened on the static policy.
+      EXPECT_GT(df1.dropped_link_down, 0u);
+    }
+  }
+}
+
+TEST(ShardedDataPlaneDeterminism, LossyEpisodesMatchAcrossThreadCounts) {
+  for (const auto policy :
+       {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
+        hsn::RoutingPolicy::kUgal}) {
+    SCOPED_TRACE(hsn::routing_policy_name(policy));
+    const LossyEpisode a = sharded_lossy_episode(policy, 0xfeed, 1);
+    // The episode exercised what it claims: loss, recovery, dedup.
+    EXPECT_GT(a.delivered, 0u);
+    EXPECT_GT(a.dropped_loss, 0u);
+    EXPECT_GT(a.retransmits, 0u);
+    EXPECT_GT(a.duplicates, 0u);
+    const LossyEpisode b = sharded_lossy_episode(policy, 0xfeed, 4);
+    EXPECT_EQ(lossy_episode_digest(a), lossy_episode_digest(b));
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    // A different seed genuinely reshuffles the fault schedule.
+    EXPECT_NE(lossy_episode_digest(sharded_lossy_episode(policy, 0xbead, 4)),
               lossy_episode_digest(a));
   }
 }

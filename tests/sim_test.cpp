@@ -128,6 +128,28 @@ TEST(EventLoop, StopInterruptsRun) {
   EXPECT_EQ(ran, 2);
 }
 
+TEST(EventLoop, StopMidWindowDoesNotAdvancePastPendingEvents) {
+  // Regression: run_until() used to clamp now_ to the window end even
+  // when stop() aborted the window, so an event still queued inside the
+  // window would later fire with now() already past its timestamp.
+  EventLoop loop;
+  std::vector<SimTime> fired;
+  loop.schedule_at(10, [&] {
+    fired.push_back(loop.now());
+    loop.stop();
+  });
+  loop.schedule_at(20, [&] { fired.push_back(loop.now()); });
+  EXPECT_EQ(loop.run_until(100), 1u);
+  // The aborted window leaves the clock at the last dispatched event;
+  // the t=20 event is still pending and still in the future.
+  EXPECT_EQ(loop.now(), 10);
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_EQ(loop.run_until(100), 1u);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  // A clean drain does advance to the window end.
+  EXPECT_EQ(loop.now(), 100);
+}
+
 TEST(EventLoop, PendingCountsLiveTasks) {
   EventLoop loop;
   const auto a = loop.schedule_at(10, [] {});

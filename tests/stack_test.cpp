@@ -47,6 +47,20 @@ TEST(StackConfigTest, FourNodeCluster) {
   EXPECT_EQ(nodes.size(), 4u);
 }
 
+TEST(StackConfigTest, DataPlaneThreadsWiresShardEngine) {
+  // Default stays on the legacy synchronous data plane.
+  SlingshotStack legacy;
+  EXPECT_EQ(legacy.shard_engine(), nullptr);
+
+  StackConfig cfg;
+  cfg.nodes = 4;
+  cfg.data_plane_threads = 2;
+  SlingshotStack sharded(cfg);
+  ASSERT_NE(sharded.shard_engine(), nullptr);
+  EXPECT_EQ(sharded.shard_engine()->threads(), 2);
+  EXPECT_GE(sharded.shard_engine()->domain_count(), 1u);
+}
+
 TEST(StackSubmitTest, RejectsNamelessJob) {
   SlingshotStack stack;
   EXPECT_EQ(stack.submit_job({}).code(), Code::kInvalidArgument);
