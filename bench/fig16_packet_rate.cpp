@@ -234,6 +234,132 @@ SeriesResult run_sharded_series(int threads, std::size_t nodes, int rounds,
   return r;
 }
 
+// Mixed-verb series: the same sharded UGAL scenario with a 50/50 blend
+// of tagged sends and one-sided RDMA writes (size-only, like the send
+// path).  Every NIC registers an MR so all writes are authorized; each
+// write produces two fabric deliveries (the request at the target, the
+// completion ACK back at the initiator), so the loss gate checks
+// delivered == sends + 2*writes exactly, with zero drops.  The pps
+// number counts posted operations, making it comparable with the
+// send-only sharded series above.
+struct RmaMixResult {
+  SeriesResult base;
+  std::uint64_t expected_delivered = 0;
+};
+
+RmaMixResult run_rma_mix_series(int threads, std::size_t nodes, int rounds,
+                                std::uint64_t seed) {
+  hsn::TopologyConfig topo;
+  topo.kind = hsn::TopologyKind::kDragonfly;
+  topo.routing = hsn::RoutingPolicy::kUgal;
+  topo.nodes_per_switch = 8;
+  topo.switches_per_group = 4;
+  hsn::TimingConfig timing;
+  timing.jitter_amplitude = 0.0;
+  timing.run_bias_amplitude = 0.0;
+
+  auto fabric = hsn::Fabric::create(nodes, timing, seed, topo);
+  fabric->set_enforcement(true);
+  hsn::ShardEngine engine(*fabric, threads);
+
+  std::vector<hsn::EndpointId> eps;
+  std::vector<hsn::CassiniNic*> nics;
+  std::vector<hsn::RKey> rkeys;
+  std::vector<std::vector<std::byte>> regions(nodes);
+  eps.reserve(nodes);
+  nics.reserve(nodes);
+  rkeys.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<hsn::NicAddr>(i);
+    if (!fabric->switch_for(addr)->authorize_vni(addr, kTenantVni).is_ok()) {
+      std::fprintf(stderr, "authorize_vni failed for NIC %zu\n", i);
+      std::exit(2);
+    }
+    nics.push_back(&fabric->nic(addr));
+    auto ep = nics.back()->alloc_endpoint(kTenantVni,
+                                          hsn::TrafficClass::kBulkData);
+    if (!ep.is_ok()) std::exit(2);
+    eps.push_back(ep.value());
+    regions[i].resize(2 * kPacketBytes);
+    auto rkey = nics.back()->register_mr(eps.back(), regions[i]);
+    if (!rkey.is_ok()) std::exit(2);
+    rkeys.push_back(rkey.value());
+  }
+
+  const std::size_t half = nodes / 2;
+  std::vector<hsn::NicAddr> dst_of(nodes);
+  for (std::size_t s = 0; s < nodes; ++s) {
+    dst_of[s] = static_cast<hsn::NicAddr>((s + half) % nodes);
+  }
+  std::uint64_t next_op = 1;
+  // Alternates send / write per (source, round) so both verbs interleave
+  // inside every conservative window, not in separate phases.
+  const auto pump_round = [&](int k, std::uint64_t tag) {
+    for (std::size_t s = 0; s < nodes; ++s) {
+      const hsn::NicAddr dst = dst_of[s];
+      if (((s + static_cast<std::size_t>(k)) & 1) == 0) {
+        (void)engine.post_send(static_cast<hsn::NicAddr>(s), eps[s], dst,
+                               eps[dst], tag, kPacketBytes, 0);
+      } else {
+        (void)engine.post_rma_write(static_cast<hsn::NicAddr>(s), eps[s], dst,
+                                    rkeys[dst], /*offset=*/0, kPacketBytes,
+                                    {}, 0, next_op++);
+      }
+    }
+  };
+  const auto drain_one = [](auto* nic, hsn::EndpointId ep) {
+    if constexpr (requires { nic->drain_rx(ep); }) {
+      (void)nic->drain_rx(ep);
+    } else {
+      while (nic->poll_rx(ep).is_ok()) {
+      }
+    }
+  };
+  // RMA completions land on the event queue, not the RX ring — drain
+  // both so neither grows across flush batches.
+  const auto drain = [&] {
+    for (std::size_t d = 0; d < nodes; ++d) {
+      drain_one(nics[d], eps[d]);
+      while (nics[d]->poll_event(eps[d]).is_ok()) {
+      }
+    }
+  };
+
+  for (int k = 0; k < 8; ++k) pump_round(k, static_cast<std::uint64_t>(k));
+  engine.flush();
+  drain();
+  const hsn::SwitchCounters warm = fabric->total_counters();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < rounds; ++k) {
+    pump_round(k, 1000 + static_cast<std::uint64_t>(k));
+    if ((k & 31) == 31) {
+      engine.flush();
+      drain();
+    }
+  }
+  engine.flush();
+  drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const std::uint64_t ops = static_cast<std::uint64_t>(rounds) * nodes;
+  const std::uint64_t writes = ops / 2;  // exact: nodes is even
+  const std::uint64_t sends = ops - writes;
+
+  const hsn::SwitchCounters totals = fabric->total_counters();
+  RmaMixResult r;
+  r.base.name = "rma_mix_t" + std::to_string(threads);
+  r.base.packets = ops;
+  r.base.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.base.pps =
+      r.base.wall_s > 0 ? static_cast<double>(ops) / r.base.wall_s : 0;
+  r.base.delivered = totals.delivered - warm.delivered;
+  r.base.dropped = totals.dropped_total() - warm.dropped_total();
+  r.base.forwarded = totals.forwarded - warm.forwarded;
+  r.expected_delivered = sends + 2 * writes;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,6 +437,47 @@ int main(int argc, char** argv) {
                    r.name.c_str(),
                    static_cast<unsigned long long>(r.delivered),
                    static_cast<unsigned long long>(r.packets),
+                   static_cast<unsigned long long>(r.dropped));
+      ok = false;
+    }
+    records.push_back(shs::bench::JsonObject{}
+                          .add("figure", "fig16")
+                          .add("series", r.name)
+                          .add("nodes", static_cast<std::uint64_t>(nodes))
+                          .add("topology", "dragonfly")
+                          .add("enforcement", true)
+                          .add("packet_bytes", kPacketBytes)
+                          .add("packets", r.packets)
+                          .add("wall_seconds", r.wall_s)
+                          .add("packets_per_sec", r.pps)
+                          .add("forwarded", r.forwarded)
+                          .add("dropped", r.dropped)
+                          .add("threads", static_cast<std::uint64_t>(threads))
+                          .str());
+  }
+
+  // Mixed-verb series: 50/50 send / one-sided write through the engine.
+  // Delivered must equal sends + 2*writes (request + completion ACK per
+  // write) with zero drops — the unified completion path is loss-free.
+  for (const int threads : {1, 4}) {
+    const RmaMixResult m = run_rma_mix_series(threads, nodes, rounds, seed);
+    const SeriesResult& r = m.base;
+    std::printf("fig16,%s,%llu,%.4f,%.0f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.packets), r.wall_s, r.pps);
+    std::printf(
+        "#   %s: %.0f ops/s wall-clock (%llu delivered of %llu expected, "
+        "%llu dropped)\n",
+        r.name.c_str(), r.pps, static_cast<unsigned long long>(r.delivered),
+        static_cast<unsigned long long>(m.expected_delivered),
+        static_cast<unsigned long long>(r.dropped));
+    if (r.dropped != 0 || r.delivered != m.expected_delivered) {
+      std::fprintf(stderr,
+                   "FAIL(%s): %llu delivered (expected %llu), %llu dropped — "
+                   "mixed send/RMA traffic must be loss-free on a healthy "
+                   "all-authorized fabric\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.delivered),
+                   static_cast<unsigned long long>(m.expected_delivered),
                    static_cast<unsigned long long>(r.dropped));
       ok = false;
     }

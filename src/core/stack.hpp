@@ -73,9 +73,11 @@ struct StackConfig {
   /// keeps the legacy synchronous path (NICs walk packets to completion
   /// inline) and constructs no engine; >= 1 builds an engine over the
   /// fabric — 1 runs its windows inline (the reference schedule), N > 1
-  /// drives the per-switch-group domains from a worker pool.  Per-seed
-  /// results are bit-identical across thread counts when
-  /// `timing.jitter_amplitude` is 0; see docs/performance.md.
+  /// drives the per-switch-group domains from a worker pool.  The
+  /// engine covers the full verb set (sends, one-sided RMA writes and
+  /// reads, their completion replies, and reliable retransmits of all
+  /// of them); per-seed results are bit-identical across thread counts
+  /// when `timing.jitter_amplitude` is 0; see docs/performance.md.
   int data_plane_threads = 0;
   std::uint64_t seed = 0x5005;
   /// Install the CXI CNI plugin into the chain.  Disabling it models a

@@ -408,12 +408,13 @@ bool CassiniNic::accept_reliable(const Packet& p) {
   return true;
 }
 
-Result<CassiniNic::PreparedSend> CassiniNic::prepare_send(
-    EndpointId ep_id, NicAddr dst, EndpointId dst_ep, std::uint64_t tag,
-    std::uint64_t size_bytes, SimTime local_vt) {
-  // The build/schedule prefix of post_send(), verbatim: same field
+Result<CassiniNic::PreparedSend> CassiniNic::prepare_tx(EndpointId ep_id,
+                                                        const TxParams& tx,
+                                                        SimTime local_vt) {
+  // The validate/build/schedule prefix every TX verb shares: same field
   // setup, same accepted_vt, same locked seq + TX-horizon charge — so an
-  // engine-driven send is bit-identical in virtual time to a legacy one.
+  // engine-driven op is bit-identical in virtual time to a legacy one,
+  // and the two paths cannot drift.
   const auto ep = find_ep(ep_id);
   if (!ep) {
     return Result<PreparedSend>(
@@ -422,17 +423,25 @@ Result<CassiniNic::PreparedSend> CassiniNic::prepare_send(
   PreparedSend out;
   Packet& p = out.packet;
   p.src = addr_;
-  p.dst = dst;
+  p.dst = tx.dst;
   p.src_ep = ep_id;
-  p.dst_ep = dst_ep;
+  p.dst_ep = tx.dst_ep;
   p.vni = ep->vni;
   p.tc = ep->tc;
-  p.op = PacketOp::kSend;
-  p.size_bytes = size_bytes;
-  p.tag = tag;
+  p.op = tx.op;
+  p.size_bytes = tx.size_bytes;
+  p.tag = tx.tag;
+  p.rkey = tx.rkey;
+  p.mr_offset = tx.mr_offset;
+  p.op_id = tx.op_id;
+  // Pre-set from the config: inject_reliable would set it anyway, and
+  // the engine path needs it before the packet leaves the NIC.
   p.reliable = rel_.enabled;
+  if (!tx.payload.empty()) {
+    p.payload.assign(tx.payload.begin(), tx.payload.end());
+  }
   out.accepted_vt = local_vt + timing_->tx_overhead();
-  p.ser_cache = timing_->serialize_time(size_bytes);
+  p.ser_cache = timing_->serialize_time(tx.size_bytes);
   p.ser_cache_bps = timing_->config().link_rate.bps();
   {
     std::lock_guard<SpinLock> lock(mutex_);
@@ -441,6 +450,47 @@ Result<CassiniNic::PreparedSend> CassiniNic::prepare_send(
     ++tx_packets_;
   }
   return Result<PreparedSend>(std::move(out));
+}
+
+Result<CassiniNic::PreparedSend> CassiniNic::prepare_send(
+    EndpointId ep_id, NicAddr dst, EndpointId dst_ep, std::uint64_t tag,
+    std::uint64_t size_bytes, SimTime local_vt) {
+  TxParams tx;
+  tx.op = PacketOp::kSend;
+  tx.dst = dst;
+  tx.dst_ep = dst_ep;
+  tx.tag = tag;
+  tx.size_bytes = size_bytes;
+  return prepare_tx(ep_id, tx, local_vt);
+}
+
+Result<CassiniNic::PreparedSend> CassiniNic::prepare_rma_write(
+    EndpointId ep_id, NicAddr dst, RKey rkey, std::uint64_t offset,
+    std::uint64_t size_bytes, std::span<const std::byte> payload,
+    SimTime local_vt, std::uint64_t op_id) {
+  TxParams tx;
+  tx.op = PacketOp::kRdmaWrite;
+  tx.dst = dst;
+  tx.size_bytes = size_bytes;
+  tx.rkey = rkey;
+  tx.mr_offset = offset;
+  tx.op_id = op_id;
+  tx.payload = payload;
+  return prepare_tx(ep_id, tx, local_vt);
+}
+
+Result<CassiniNic::PreparedSend> CassiniNic::prepare_rma_read(
+    EndpointId ep_id, NicAddr dst, RKey rkey, std::uint64_t offset,
+    std::uint64_t size_bytes, SimTime local_vt, std::uint64_t op_id) {
+  TxParams tx;
+  tx.op = PacketOp::kRdmaRead;
+  tx.dst = dst;
+  tx.size_bytes = 64;  // the request is small; data rides the response
+  tx.tag = size_bytes;  // requested length travels in the tag field
+  tx.rkey = rkey;
+  tx.mr_offset = offset;
+  tx.op_id = op_id;
+  return prepare_tx(ep_id, tx, local_vt);
 }
 
 SimDuration CassiniNic::schedule_retransmit(Packet& proto, int attempt,
@@ -495,44 +545,25 @@ Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
                                       std::uint64_t size_bytes,
                                       std::span<const std::byte> payload,
                                       SimTime local_vt, std::uint64_t op_id) {
-  const auto ep = find_ep(ep_id);
-  if (!ep) {
-    return Result<SimTime>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
-                                            ep_id)));
-  }
-  Packet p;
-  p.src = addr_;
-  p.dst = dst;
-  p.src_ep = ep_id;
-  p.dst_ep = dst_ep;
-  p.vni = ep->vni;
-  p.tc = ep->tc;
-  p.op = PacketOp::kSend;
-  p.size_bytes = size_bytes;
-  p.tag = tag;
-  p.op_id = op_id;
-  if (!payload.empty()) {
-    p.payload.assign(payload.begin(), payload.end());
-  }
-
-  // Virtual-time bookkeeping: the caller pays the per-post overhead; the
-  // packet leaves the NIC once the egress link has drained earlier posts.
-  const SimTime accepted_vt = local_vt + timing_->tx_overhead();
-  p.ser_cache = timing_->serialize_time(size_bytes);
-  p.ser_cache_bps = timing_->config().link_rate.bps();
-  {
-    std::lock_guard<SpinLock> lock(mutex_);
-    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
-    ++tx_packets_;
-  }
+  TxParams tx;
+  tx.op = PacketOp::kSend;
+  tx.dst = dst;
+  tx.dst_ep = dst_ep;
+  tx.tag = tag;
+  tx.size_bytes = size_bytes;
+  tx.op_id = op_id;
+  tx.payload = payload;
+  auto prepared = prepare_tx(ep_id, tx, local_vt);
+  if (!prepared.is_ok()) return Result<SimTime>(prepared.status());
+  PreparedSend ps = std::move(prepared).value();
 
   // Send-buffer hold time: with reliability on, retries push the local
   // completion out by their backoff (the buffer stays pinned until the
   // final attempt left the NIC).
-  SimTime done_vt = accepted_vt;
-  const RouteResult rr = rel_.enabled ? inject_reliable(p, done_vt)
-                                      : inject(std::move(p));
+  SimTime done_vt = ps.accepted_vt;
+  const RouteResult rr = rel_.enabled
+                             ? inject_reliable(ps.packet, done_vt)
+                             : inject(std::move(ps.packet));
   if (!rr.delivered) {
     count_tx_drop(rr, ep_id, op_id, done_vt);
     return Result<SimTime>(drop_status_for(rr.reason));
@@ -540,12 +571,14 @@ Result<SimTime> CassiniNic::post_send(EndpointId ep_id, NicAddr dst,
   if (op_id != 0) {
     // Selective completion, like FI_SELECTIVE_COMPLETION: only requested
     // sends generate an event (the OSU window loop posts quietly).
-    Event e;
-    e.type = Event::Type::kSendComplete;
-    e.op_id = op_id;
-    e.size = size_bytes;
-    e.vt = done_vt;
-    push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+    if (const auto ep = find_ep(ep_id)) {
+      Event e;
+      e.type = Event::Type::kSendComplete;
+      e.op_id = op_id;
+      e.size = size_bytes;
+      e.vt = done_vt;
+      push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+    }
   }
   return done_vt;
 }
@@ -556,36 +589,14 @@ Result<SimTime> CassiniNic::rdma_write(EndpointId ep_id, NicAddr dst,
                                        std::span<const std::byte> payload,
                                        SimTime local_vt,
                                        std::uint64_t op_id) {
-  const auto ep = find_ep(ep_id);
-  if (!ep) {
-    return Result<SimTime>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
-                                            ep_id)));
-  }
-  Packet p;
-  p.src = addr_;
-  p.dst = dst;
-  p.src_ep = ep_id;
-  p.vni = ep->vni;
-  p.tc = ep->tc;
-  p.op = PacketOp::kRdmaWrite;
-  p.size_bytes = size_bytes;
-  p.rkey = rkey;
-  p.mr_offset = offset;
-  p.op_id = op_id;
-  if (!payload.empty()) p.payload.assign(payload.begin(), payload.end());
-
-  const SimTime accepted_vt = local_vt + timing_->tx_overhead();
-  p.ser_cache = timing_->serialize_time(size_bytes);
-  p.ser_cache_bps = timing_->config().link_rate.bps();
-  {
-    std::lock_guard<SpinLock> lock(mutex_);
-    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
-    ++tx_packets_;
-  }
-  SimTime done_vt = accepted_vt;
-  const RouteResult rr = rel_.enabled ? inject_reliable(p, done_vt)
-                                      : inject(std::move(p));
+  auto prepared = prepare_rma_write(ep_id, dst, rkey, offset, size_bytes,
+                                    payload, local_vt, op_id);
+  if (!prepared.is_ok()) return Result<SimTime>(prepared.status());
+  PreparedSend ps = std::move(prepared).value();
+  SimTime done_vt = ps.accepted_vt;
+  const RouteResult rr = rel_.enabled
+                             ? inject_reliable(ps.packet, done_vt)
+                             : inject(std::move(ps.packet));
   if (!rr.delivered) {
     count_tx_drop(rr, ep_id, op_id, done_vt);
     return Result<SimTime>(drop_status_for(rr.reason));
@@ -597,37 +608,14 @@ Result<SimTime> CassiniNic::rdma_read(EndpointId ep_id, NicAddr dst,
                                       RKey rkey, std::uint64_t offset,
                                       std::uint64_t size_bytes,
                                       SimTime local_vt, std::uint64_t op_id) {
-  const auto ep = find_ep(ep_id);
-  if (!ep) {
-    return Result<SimTime>(not_found(strfmt("NIC %u: no endpoint %u", addr_,
-                                            ep_id)));
-  }
-  Packet p;
-  p.src = addr_;
-  p.dst = dst;
-  p.src_ep = ep_id;
-  p.vni = ep->vni;
-  p.tc = ep->tc;
-  p.op = PacketOp::kRdmaRead;
-  p.size_bytes = 64;  // the read *request* is small; data rides the response
-  p.rkey = rkey;
-  p.mr_offset = offset;
-  p.op_id = op_id;
-  // Requested length travels in the tag field of the request.
-  p.tag = size_bytes;
-
-  const SimTime accepted_vt = local_vt + timing_->tx_overhead();
-  p.ser_cache = timing_->serialize_time(p.size_bytes);
-  p.ser_cache_bps = timing_->config().link_rate.bps();
-  {
-    std::lock_guard<SpinLock> lock(mutex_);
-    p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
-    ++tx_packets_;
-  }
-  SimTime done_vt = accepted_vt;
-  const RouteResult rr = rel_.enabled ? inject_reliable(p, done_vt)
-                                      : inject(std::move(p));
+  auto prepared = prepare_rma_read(ep_id, dst, rkey, offset, size_bytes,
+                                   local_vt, op_id);
+  if (!prepared.is_ok()) return Result<SimTime>(prepared.status());
+  PreparedSend ps = std::move(prepared).value();
+  SimTime done_vt = ps.accepted_vt;
+  const RouteResult rr = rel_.enabled
+                             ? inject_reliable(ps.packet, done_vt)
+                             : inject(std::move(ps.packet));
   if (!rr.delivered) {
     count_tx_drop(rr, ep_id, op_id, done_vt);
     return Result<SimTime>(drop_status_for(rr.reason));
@@ -636,12 +624,31 @@ Result<SimTime> CassiniNic::rdma_read(EndpointId ep_id, NicAddr dst,
 }
 
 void CassiniNic::deliver(Packet&& p) {
+  std::optional<Packet> reply = deliver_impl(std::move(p));
+  if (reply) {
+    if (rel_.enabled) {
+      // Completion traffic (RMA ACKs / read responses / NACKs) rides the
+      // same retransmit protocol: losing the ACK of a delivered write
+      // must not strand the initiator's completion.
+      SimTime vt = reply->inject_vt;
+      (void)inject_reliable(*reply, vt);
+    } else {
+      (void)inject(std::move(*reply));
+    }
+  }
+}
+
+std::optional<Packet> CassiniNic::deliver_from_engine(Packet&& p) {
+  return deliver_impl(std::move(p));
+}
+
+std::optional<Packet> CassiniNic::deliver_impl(Packet&& p) {
   // Duplicate suppression for reliable traffic: a retransmit whose
   // earlier copy was delivered-but-unacknowledged must have no second
   // effect — not an RX push, not an MR write, not a completion event.
   // One check covers every PacketOp.
   if (p.reliable && !accept_reliable(p)) {
-    return;
+    return std::nullopt;
   }
   std::optional<Packet> reply;
   switch (p.op) {
@@ -652,11 +659,11 @@ void CassiniNic::deliver(Packet&& p) {
       const auto ep = find_ep(p.dst_ep);
       if (ep == nullptr) {
         counters_.rx_unknown_ep.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return std::nullopt;
       }
       if (ep->vni != p.vni) {
         counters_.rx_vni_mismatch.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return std::nullopt;
       }
       bool notify = false;
       bool overflow = false;
@@ -676,20 +683,20 @@ void CassiniNic::deliver(Packet&& p) {
       }
       if (overflow) {
         counters_.rx_overflow.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return std::nullopt;
       }
       if (notify) {
         std::lock_guard<std::mutex> wl(ep->wmutex);
         ep->cv.notify_all();
       }
-      return;
+      return std::nullopt;
     }
 
     case PacketOp::kAck: {
       const auto ep = find_ep(p.dst_ep);
       if (ep == nullptr) {
         counters_.rx_unknown_ep.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return std::nullopt;
       }
       counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
       Event e;
@@ -698,14 +705,14 @@ void CassiniNic::deliver(Packet&& p) {
       e.size = p.tag;  // echoed write size
       e.vt = p.arrival_vt + timing_->rx_overhead();
       push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
-      return;
+      return std::nullopt;
     }
 
     case PacketOp::kRdmaReadResp: {
       const auto ep = find_ep(p.dst_ep);
       if (ep == nullptr) {
         counters_.rx_unknown_ep.fetch_add(1, std::memory_order_relaxed);
-        return;
+        return std::nullopt;
       }
       counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
       Event e;
@@ -715,7 +722,41 @@ void CassiniNic::deliver(Packet&& p) {
       e.vt = p.arrival_vt + timing_->rx_overhead();
       e.data = std::move(p.payload);
       push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
-      return;
+      return std::nullopt;
+    }
+
+    // Initiator side of a denied one-sided op: the target's NACK
+    // completes the op with a *permanent* status — never retried, never
+    // silent (the fail-fast contract of rma_denied).
+    case PacketOp::kRmaNack: {
+      const auto ep = find_ep(p.dst_ep);
+      if (ep == nullptr) {
+        counters_.rx_unknown_ep.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
+      Event e;
+      e.type = Event::Type::kError;
+      switch (static_cast<RmaNackReason>(p.tag)) {
+        case RmaNackReason::kNoSuchMr:
+          e.status = not_found("rma target: no MR registered for rkey");
+          break;
+        case RmaNackReason::kVniMismatch:
+          e.status = permission_denied(
+              "rma target: MR registered on a different VNI");
+          break;
+        case RmaNackReason::kOutOfBounds:
+          e.status = invalid_argument(
+              "rma target: offset + length exceeds the MR");
+          break;
+        default:
+          e.status = internal_error("rma target: malformed NACK");
+          break;
+      }
+      e.op_id = p.op_id;
+      e.vt = p.arrival_vt + timing_->rx_overhead();
+      push_event(*ep, std::move(e), limits_.max_rx_queue_packets);
+      return std::nullopt;
     }
 
     // One-sided targets touch the MR table, so they take the MR mutex —
@@ -727,7 +768,13 @@ void CassiniNic::deliver(Packet&& p) {
       if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
           p.mr_offset + p.size_bytes > mr_it->second.region.size()) {
         counters_.rma_denied.fetch_add(1, std::memory_order_relaxed);
-        return;  // silently dropped, as hardware would NACK eventually
+        const RmaNackReason why =
+            mr_it == mrs_.end()          ? RmaNackReason::kNoSuchMr
+            : mr_it->second.vni != p.vni ? RmaNackReason::kVniMismatch
+                                         : RmaNackReason::kOutOfBounds;
+        lock.unlock();
+        reply = make_rma_nack(p, why);
+        break;
       }
       if (!p.payload.empty()) {
         std::memcpy(mr_it->second.region.data() + p.mr_offset,
@@ -759,7 +806,13 @@ void CassiniNic::deliver(Packet&& p) {
       if (mr_it == mrs_.end() || mr_it->second.vni != p.vni ||
           p.mr_offset + want > mr_it->second.region.size()) {
         counters_.rma_denied.fetch_add(1, std::memory_order_relaxed);
-        return;
+        const RmaNackReason why =
+            mr_it == mrs_.end()          ? RmaNackReason::kNoSuchMr
+            : mr_it->second.vni != p.vni ? RmaNackReason::kVniMismatch
+                                         : RmaNackReason::kOutOfBounds;
+        lock.unlock();
+        reply = make_rma_nack(p, why);
+        break;
       }
       counters_.rx_packets.fetch_add(1, std::memory_order_relaxed);
       Packet resp;
@@ -782,17 +835,29 @@ void CassiniNic::deliver(Packet&& p) {
       break;
     }
   }
-  if (reply) {
-    if (rel_.enabled) {
-      // Completion traffic (RMA ACKs / read responses) rides the same
-      // retransmit protocol: losing the ACK of a delivered write must
-      // not strand the initiator's completion.
-      SimTime vt = reply->inject_vt;
-      (void)inject_reliable(*reply, vt);
-    } else {
-      (void)inject(std::move(*reply));
-    }
-  }
+  // Completion traffic (RMA ACKs / read responses / NACKs) rides the same
+  // retransmit protocol as data when reliability is on: losing the ACK of
+  // a delivered write must not strand the initiator's completion.  The
+  // caller — deliver() on the legacy path, the ShardEngine on the sharded
+  // path — owns injecting the reply back into the fabric.
+  if (reply) reply->reliable = rel_.enabled;
+  return reply;
+}
+
+Packet CassiniNic::make_rma_nack(const Packet& req, RmaNackReason why) {
+  Packet nack;
+  nack.src = addr_;
+  nack.dst = req.src;
+  nack.dst_ep = req.src_ep;
+  nack.vni = req.vni;
+  nack.tc = req.tc;
+  nack.op = PacketOp::kRmaNack;
+  nack.size_bytes = 0;
+  nack.tag = static_cast<std::uint64_t>(why);
+  nack.op_id = req.op_id;
+  nack.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  nack.inject_vt = req.arrival_vt + timing_->rx_overhead();
+  return nack;
 }
 
 Result<Packet> CassiniNic::wait_rx(EndpointId ep_id, int real_timeout_ms) {

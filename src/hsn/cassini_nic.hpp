@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <functional>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -66,6 +67,16 @@ struct Event {
   std::uint64_t size = 0;
   SimTime vt = 0;              ///< virtual completion time
   std::vector<std::byte> data; ///< RDMA-read response payload
+};
+
+/// Why a target NIC refused a one-sided op (carried back to the
+/// initiator in a kRmaNack packet's `tag`).  All three are *permanent*
+/// failures: retransmitting the same request can never succeed, so the
+/// initiator completes the op immediately with a non-retryable status.
+enum class RmaNackReason : std::uint8_t {
+  kNoSuchMr = 1,     ///< rkey does not name a registered region
+  kVniMismatch = 2,  ///< MR is registered on a different VNI
+  kOutOfBounds = 3,  ///< offset + length exceeds the region
 };
 
 /// NIC hardware resource limits (per NIC).
@@ -146,8 +157,20 @@ class CassiniNic {
 
   /// Fabric-side entry point: the edge switch's delivery callback.
   /// Dispatches by PacketOp; never holds an endpoint lock while
-  /// re-entering the fabric (loopback RMA replies).
+  /// re-entering the fabric (loopback RMA replies).  One-sided targets
+  /// that owe the initiator a reply (ACK / read response / NACK) inject
+  /// it back into the fabric synchronously from here.
   void deliver(Packet&& p);
+
+  /// Engine-side delivery: identical to deliver() except that a reply
+  /// the target owes is *returned* (TX-scheduled onto this NIC's seq
+  /// stream but not injected) instead of re-entering the fabric from the
+  /// delivery callback.  The sharded engine stages it as a fresh attempt
+  /// in the target's own domain, so reply traffic obeys the same
+  /// (domain, vt, seq) merge order as everything else.  The returned
+  /// packet's `reliable` flag is pre-set from this NIC's
+  /// ReliabilityConfig; nullopt when the packet needed no reply.
+  std::optional<Packet> deliver_from_engine(Packet&& p);
 
   // -- Endpoint lifecycle (invoked by the CXI driver after authentication).
 
@@ -255,6 +278,24 @@ class CassiniNic {
                                     EndpointId dst_ep, std::uint64_t tag,
                                     std::uint64_t size_bytes,
                                     SimTime local_vt);
+  /// Engine-side prefix of rdma_write(): same packet rdma_write would
+  /// inject (payload copied when non-empty), same accepted_vt, seq and
+  /// TX charge.  The completion (kRdmaWriteComplete via the target's
+  /// ACK, or kError via a NACK/drop) is raised with `op_id` when the
+  /// reply lands.
+  Result<PreparedSend> prepare_rma_write(EndpointId ep, NicAddr dst,
+                                         RKey rkey, std::uint64_t offset,
+                                         std::uint64_t size_bytes,
+                                         std::span<const std::byte> payload,
+                                         SimTime local_vt,
+                                         std::uint64_t op_id);
+  /// Engine-side prefix of rdma_read(): the small read *request* packet
+  /// (wanted length rides in `tag`, as on the synchronous path).
+  Result<PreparedSend> prepare_rma_read(EndpointId ep, NicAddr dst,
+                                        RKey rkey, std::uint64_t offset,
+                                        std::uint64_t size_bytes,
+                                        SimTime local_vt,
+                                        std::uint64_t op_id);
   /// Charges one retransmit of master packet `proto` for 1-based retry
   /// number `attempt`: recomputes the capped exponential backoff, draws
   /// the seeded jitter, advances `vt_io` (the op's send-buffer hold
@@ -388,12 +429,42 @@ class CassiniNic {
     std::vector<std::atomic<EpChunk*>> chunks;
   };
 
+  /// Everything that varies between the TX verbs; prepare_tx supplies
+  /// the invariant parts (src addressing, VNI/TC binding, reliability
+  /// flag, serialization cache, seq and TX-horizon charge).
+  struct TxParams {
+    PacketOp op = PacketOp::kSend;
+    NicAddr dst = kInvalidNic;
+    EndpointId dst_ep = 0;
+    std::uint64_t tag = 0;
+    std::uint64_t size_bytes = 0;
+    RKey rkey = 0;
+    std::uint64_t mr_offset = 0;
+    std::uint64_t op_id = 0;
+    std::span<const std::byte> payload;
+  };
+  /// The one validate/build/schedule prefix every TX verb shares —
+  /// post_send, rdma_write, rdma_read, and the engine's prepare_*
+  /// hooks all delegate here, so the legacy and engine paths cannot
+  /// drift: endpoint validation, packet field setup, accepted_vt,
+  /// serialization cache, and the locked seq + TX-horizon charge.
+  Result<PreparedSend> prepare_tx(EndpointId ep, const TxParams& tx,
+                                  SimTime local_vt);
+
   [[nodiscard]] Endpoint* find_ep(EndpointId ep) const;
   /// Ensures a slot for `id` exists and returns it.  Caller holds mutex_.
   std::atomic<Endpoint*>& ep_slot_locked(EndpointId id);
   static void push_event(Endpoint& ep, Event e, std::size_t cap);
   void count_tx_drop(const RouteResult& rr, EndpointId src_ep,
                      std::uint64_t op_id, SimTime error_vt);
+  /// Shared body of deliver()/deliver_from_engine(): consumes the
+  /// packet, applies its effect, and returns the reply the target owes
+  /// (TX-sequenced, `reliable` pre-set, not injected) — the two public
+  /// entry points differ only in who routes that reply.
+  std::optional<Packet> deliver_impl(Packet&& p);
+  /// Builds the fail-fast NACK a target owes the initiator of a denied
+  /// one-sided op (reason code in `tag`, op_id echoed).
+  Packet make_rma_nack(const Packet& req, RmaNackReason why);
   /// Injection scheduling: computes when a packet of `tc` leaves the NIC
   /// given `accepted_vt`, honouring per-class priority (same model as the
   /// switch egress).  `ser_time` is the packet's serialization on the

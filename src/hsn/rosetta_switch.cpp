@@ -479,10 +479,23 @@ SwitchId RosettaSwitch::choose_route_locked(Packet& p, SwitchId home,
 
 RouteResult RosettaSwitch::step(Packet& p, bool check_src, int ttl,
                                 RosettaSwitch** next) {
+  CassiniNic* deliver_to = nullptr;
+  const RouteResult result = step(p, check_src, ttl, next, &deliver_to);
+  if (deliver_to != nullptr) deliver_to->deliver(std::move(p));
+  return result;
+}
+
+RouteResult RosettaSwitch::step(Packet& p, bool check_src, int ttl,
+                                RosettaSwitch** next,
+                                CassiniNic** deliver_to) {
   *next = nullptr;
+  *deliver_to = nullptr;
   AdmitStep step = admit_step(p, check_src, ttl);
   if (step.nic != nullptr) {
-    step.nic->deliver(std::move(p));
+    // Deferred delivery: the caller applies the packet's effect on the
+    // NIC (and owns the target-side reply).  Set on kAckLost too — the
+    // packet reached the NIC; only the fabric ACK was lost.
+    *deliver_to = step.nic;
     return step.result;
   }
   if (step.deliver != nullptr) {

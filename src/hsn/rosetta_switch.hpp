@@ -218,6 +218,19 @@ class RosettaSwitch {
   /// route() is exactly this in a loop; semantics are identical.
   RouteResult step(Packet& p, bool check_src, int ttl, RosettaSwitch** next);
 
+  /// Variant for drivers that own delivery ordering (the ShardEngine):
+  /// identical admission semantics, but when the packet would land on a
+  /// NIC attached via the direct-fabric path, the packet is NOT handed
+  /// to the NIC — `*deliver_to` is set and `p` left intact so the caller
+  /// can invoke `CassiniNic::deliver_from_engine` itself and route any
+  /// target-side reply through its own deterministic merge machinery.
+  /// Callback-attached ports (no CassiniNic to return) still deliver
+  /// inline.  `*deliver_to` is also set on kAckLost consumption: the
+  /// packet DID reach the NIC (the effect must be applied; only the
+  /// fabric-level ACK was lost on the return path).
+  RouteResult step(Packet& p, bool check_src, int ttl, RosettaSwitch** next,
+                   CassiniNic** deliver_to);
+
   [[nodiscard]] SwitchCounters counters() const;
   [[nodiscard]] SwitchCounters counters_for_vni(Vni vni) const;
   [[nodiscard]] std::size_t connected_ports() const;

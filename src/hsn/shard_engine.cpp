@@ -62,22 +62,29 @@ ShardEngine::ShardEngine(Fabric& fabric, int threads)
       std::max(0.0, 1.0 - tcfg.run_bias_amplitude);
   const auto hop_floor = static_cast<SimDuration>(
       static_cast<double>(tcfg.hop_latency) * floor_factor);
-  SimDuration min_link = std::numeric_limits<SimDuration>::max();
+  // Per-pair matrix: the cheapest direct hop between each ordered domain
+  // pair.  Registered symmetrically — the physical cables are
+  // bidirectional, and an asymmetric plan listing must never let a
+  // reverse-direction hand-off slip under a window edge.
+  pair_edge_.assign(nd * nd, kInfEdge);
   if (const auto base = fabric.manager().base_plan()) {
     for (const auto& link : base->links) {
-      if (link.from < n && link.to < n &&
-          domain_of_switch_[link.from] != domain_of_switch_[link.to]) {
-        min_link = std::min(min_link, link.latency);
-      }
+      if (link.from >= n || link.to >= n) continue;
+      const std::uint32_t di = domain_of_switch_[link.from];
+      const std::uint32_t dj = domain_of_switch_[link.to];
+      if (di == dj) continue;
+      const auto edge = std::max<SimDuration>(link.latency + hop_floor, 1);
+      auto& fwd = pair_edge_[di * nd + dj];
+      auto& rev = pair_edge_[dj * nd + di];
+      fwd = std::min(fwd, edge);
+      rev = std::min(rev, edge);
     }
   }
-  if (nd <= 1 || min_link == std::numeric_limits<SimDuration>::max()) {
-    // One domain (or fully disconnected domains): windows are unbounded
-    // and the engine degenerates to a single sequential drain.
-    lookahead_ = 0;
-  } else {
-    lookahead_ = std::max<SimDuration>(min_link + hop_floor, 1);
-  }
+  SimDuration min_edge = kInfEdge;
+  for (const auto e : pair_edge_) min_edge = std::min(min_edge, e);
+  // One domain (or fully disconnected domains): windows are unbounded
+  // and the engine degenerates to a sequential per-domain drain.
+  lookahead_ = (nd <= 1 || min_edge == kInfEdge) ? 0 : min_edge;
 
   // -- Worker pool.  More workers than domains would only idle; one
   //    domain (or threads <= 1) runs inline on the driver, which is the
@@ -110,35 +117,62 @@ void ShardEngine::stage_attempt(Domain& home, Packet&& p,
   it.check_src = true;
   it.attempt = attempt;
   it.seq = take_seq(home);
-  ++attempts_injected_;
+  ++home.attempts;
+  home.earliest = std::min(home.earliest, it.p.inject_vt);
   home.heap.push_back(std::move(it));
   std::push_heap(home.heap.begin(), home.heap.end(), ItemAfter{});
+}
+
+void ShardEngine::stage_post(NicAddr src, Packet&& pkt, SimTime accepted_vt) {
+  Domain& home = domains_[home_domain_of_nic_[src]];
+  if (pkt.reliable) {
+    OpState op;
+    op.master = pkt;  // retransmit master; attempts send copies
+    op.vt_io = accepted_vt;
+    home.ops.emplace(op_key(src, pkt.seq), std::move(op));
+  }
+  stage_attempt(home, std::move(pkt), 0);
 }
 
 Status ShardEngine::post_send(NicAddr src, EndpointId ep, NicAddr dst,
                               EndpointId dst_ep, std::uint64_t tag,
                               std::uint64_t size_bytes, SimTime local_vt) {
-  CassiniNic& nic = fabric_.nic(src);
-  auto prepared =
-      nic.prepare_send(ep, dst, dst_ep, tag, size_bytes, local_vt);
+  auto prepared = fabric_.nic(src).prepare_send(ep, dst, dst_ep, tag,
+                                                size_bytes, local_vt);
   if (!prepared.is_ok()) return prepared.status();
   CassiniNic::PreparedSend ps = std::move(prepared).value();
-  Domain& home = domains_[home_domain_of_nic_[src]];
-  if (ps.packet.reliable) {
-    OpState op;
-    op.master = ps.packet;  // retransmit master; attempts send copies
-    op.vt_io = ps.accepted_vt;
-    home.ops.emplace(op_key(src, ps.packet.seq), std::move(op));
-  }
-  stage_attempt(home, std::move(ps.packet), 0);
+  stage_post(src, std::move(ps.packet), ps.accepted_vt);
+  return Status::ok();
+}
+
+Status ShardEngine::post_rma_write(NicAddr src, EndpointId ep, NicAddr dst,
+                                   RKey rkey, std::uint64_t offset,
+                                   std::uint64_t size_bytes,
+                                   std::span<const std::byte> payload,
+                                   SimTime local_vt, std::uint64_t op_id) {
+  auto prepared = fabric_.nic(src).prepare_rma_write(
+      ep, dst, rkey, offset, size_bytes, payload, local_vt, op_id);
+  if (!prepared.is_ok()) return prepared.status();
+  CassiniNic::PreparedSend ps = std::move(prepared).value();
+  stage_post(src, std::move(ps.packet), ps.accepted_vt);
+  return Status::ok();
+}
+
+Status ShardEngine::post_rma_read(NicAddr src, EndpointId ep, NicAddr dst,
+                                  RKey rkey, std::uint64_t offset,
+                                  std::uint64_t size_bytes, SimTime local_vt,
+                                  std::uint64_t op_id) {
+  auto prepared = fabric_.nic(src).prepare_rma_read(
+      ep, dst, rkey, offset, size_bytes, local_vt, op_id);
+  if (!prepared.is_ok()) return prepared.status();
+  CassiniNic::PreparedSend ps = std::move(prepared).value();
+  stage_post(src, std::move(ps.packet), ps.accepted_vt);
   return Status::ok();
 }
 
 SimTime ShardEngine::earliest_pending() const {
   SimTime t = kNoPendingWork;
-  for (const auto& d : domains_) {
-    if (!d.heap.empty()) t = std::min(t, d.heap.front().p.inject_vt);
-  }
+  for (const auto& d : domains_) t = std::min(t, d.earliest);
   return t;
 }
 
@@ -153,26 +187,45 @@ std::uint64_t ShardEngine::in_flight() const {
 
 void ShardEngine::flush() {
   for (;;) {
-    const SimTime start = earliest_pending();
-    if (start == kNoPendingWork) return;
-    SimTime end = kNoPendingWork;
-    if (lookahead_ > 0 && start < kNoPendingWork - lookahead_) {
-      end = start + lookahead_;
-    }
-    run_window(end);
+    if (earliest_pending() == kNoPendingWork) return;
+    compute_window_ends();
+    run_window();
     ++windows_run_;
     barrier_merge();
     if (barrier_observer_) barrier_observer_();
   }
 }
 
-void ShardEngine::run_window(SimTime window_end) {
+void ShardEngine::compute_window_ends() {
+  // Per-domain window edges from the pair matrix: domain j may not
+  // process items at or beyond the earliest virtual time any *other*
+  // domain could hand it this window — earliest_i + edge(i, j).  Pairs
+  // without a direct link, and domains with empty heaps, impose no
+  // bound; a domain nobody can reach runs unbounded.  The domain
+  // holding the globally earliest item always gets an edge strictly
+  // beyond it (every edge is >= 1), so each window makes progress.
+  const std::size_t nd = domains_.size();
+  for (Domain& to : domains_) {
+    SimTime end = kNoPendingWork;
+    for (std::size_t from = 0; from < nd; ++from) {
+      if (from == to.id) continue;
+      const SimTime e = domains_[from].earliest;
+      if (e == kNoPendingWork) continue;
+      const SimDuration edge = pair_edge_[from * nd + to.id];
+      if (edge == kInfEdge) continue;
+      if (e >= kNoPendingWork - edge) continue;  // would overflow: no bound
+      end = std::min<SimTime>(end, e + edge);
+    }
+    to.window_end = end;
+  }
+}
+
+void ShardEngine::run_window() {
   if (workers_.empty()) {
-    for (auto& d : domains_) run_domain_window(d, window_end);
+    for (auto& d : domains_) run_domain_window(d);
     return;
   }
   std::unique_lock<std::mutex> lk(pool_mu_);
-  window_end_ = window_end;
   next_domain_.store(0, std::memory_order_relaxed);
   done_count_ = 0;
   ++epoch_;
@@ -183,23 +236,22 @@ void ShardEngine::run_window(SimTime window_end) {
 void ShardEngine::worker_main() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
-    SimTime window_end;
     {
       std::unique_lock<std::mutex> lk(pool_mu_);
       pool_cv_.wait(lk,
                     [&] { return shutdown_ || epoch_ != seen_epoch; });
       if (shutdown_) return;
       seen_epoch = epoch_;
-      window_end = window_end_;
     }
     // Dynamic domain claiming: which worker runs which domain is
     // load-balancing only — a domain's schedule depends solely on its
-    // heap contents, so the claim order cannot affect results.
+    // heap contents and its precomputed window edge, so the claim order
+    // cannot affect results.
     for (;;) {
       const std::size_t d =
           next_domain_.fetch_add(1, std::memory_order_relaxed);
       if (d >= domains_.size()) break;
-      run_domain_window(domains_[d], window_end);
+      run_domain_window(domains_[d]);
     }
     {
       std::lock_guard<std::mutex> lk(pool_mu_);
@@ -208,16 +260,18 @@ void ShardEngine::worker_main() {
   }
 }
 
-void ShardEngine::run_domain_window(Domain& d, SimTime window_end) {
+void ShardEngine::run_domain_window(Domain& d) {
   // Strict (vt, seq) order within the domain; items this window spawns
-  // (intra-domain forwards) join the heap and are processed in turn if
-  // they still land before the window edge.
+  // (intra-domain forwards, target-side replies) join the heap and are
+  // processed in turn if they still land before the window edge.
+  const SimTime window_end = d.window_end;
   while (!d.heap.empty() && d.heap.front().p.inject_vt < window_end) {
     std::pop_heap(d.heap.begin(), d.heap.end(), ItemAfter{});
     Item it = std::move(d.heap.back());
     d.heap.pop_back();
     step_item(d, std::move(it));
   }
+  d.earliest = d.heap.empty() ? kNoPendingWork : d.heap.front().p.inject_vt;
 }
 
 void ShardEngine::step_item(Domain& d, Item&& it) {
@@ -227,18 +281,20 @@ void ShardEngine::step_item(Domain& d, Item&& it) {
   const NicAddr src = it.p.src;
   const EndpointId src_ep = it.p.src_ep;
   const std::uint64_t nic_seq = it.p.seq;
+  const std::uint64_t op_id = it.p.op_id;
   const bool reliable = it.p.reliable;
   const SimTime vt_before = it.p.inject_vt;
 
   RosettaSwitch* next = nullptr;
-  const RouteResult rr =
-      switch_ptr_[it.at]->step(it.p, it.check_src, it.ttl, &next);
+  CassiniNic* deliver_to = nullptr;
+  const RouteResult rr = switch_ptr_[it.at]->step(it.p, it.check_src, it.ttl,
+                                                  &next, &deliver_to);
 
   if (next != nullptr) {
     // Forwarded; admit_step advanced p.inject_vt to the arrival at the
     // peer.  Cross-domain hops park in the outbox until the barrier —
-    // by the lookahead bound they are dated at or beyond the window
-    // edge, so the destination domain cannot need them this window.
+    // by the pair-lookahead bound they are dated at or beyond the
+    // destination's window edge, so it cannot need them this window.
     it.check_src = false;
     --it.ttl;
     it.at = next->id();
@@ -250,6 +306,16 @@ void ShardEngine::step_item(Domain& d, Item&& it) {
       d.outbox[target].push_back(std::move(it));
     }
     return;
+  }
+
+  if (deliver_to != nullptr) {
+    // Landed on a NIC in this domain (set on ACK-lost consumption too:
+    // the packet reached the NIC, only the fabric ACK was lost — its
+    // effect must apply exactly as on the synchronous path).  Any
+    // target-side reply is staged here, in the target's own domain,
+    // instead of re-entering Fabric::inject from the delivery callback.
+    auto reply = deliver_to->deliver_from_engine(std::move(it.p));
+    if (reply) stage_reply(d, std::move(*reply));
   }
 
   if (rr.delivered) {
@@ -276,6 +342,7 @@ void ShardEngine::step_item(Domain& d, Item&& it) {
   n.src = src;
   n.src_ep = src_ep;
   n.nic_seq = nic_seq;
+  n.op_id = op_id;
   n.reason = rr.reason;
   n.vt = vt_before;
   n.attempt = it.attempt;
@@ -294,6 +361,25 @@ void ShardEngine::step_item(Domain& d, Item&& it) {
   d.notices[home_domain_of_nic_[src]].push_back(n);
 }
 
+void ShardEngine::stage_reply(Domain& d, Packet&& reply) {
+  // The reply's source NIC is the target we just delivered to, which is
+  // attached to a switch of this domain — so `d` IS the reply's home
+  // domain and the worker is its only toucher mid-window.  The reply's
+  // inject_vt (arrival + rx overhead) is strictly beyond every item
+  // this domain has popped, so heap order is preserved; other domains'
+  // window edges already account for it because it is dated at or
+  // beyond this domain's own earliest.
+  if (reply.reliable) {
+    // Completion traffic gets the full retransmit protocol, same as the
+    // synchronous path's inject_reliable on the reply.
+    OpState op;
+    op.master = reply;
+    op.vt_io = reply.inject_vt;
+    d.ops.emplace(op_key(reply.src, reply.seq), std::move(op));
+  }
+  stage_attempt(d, std::move(reply), 0);
+}
+
 void ShardEngine::barrier_merge() {
   // Deterministic merge: destination domain id, then source domain id,
   // then FIFO within each outbox.  (Heap pop order depends only on the
@@ -306,6 +392,7 @@ void ShardEngine::barrier_merge() {
     for (std::size_t from = 0; from < nd; ++from) {
       auto& box = domains_[from].outbox[dst];
       for (Item& it : box) {
+        to.earliest = std::min(to.earliest, it.p.inject_vt);
         to.heap.push_back(std::move(it));
         std::push_heap(to.heap.begin(), to.heap.end(), ItemAfter{});
       }
@@ -363,7 +450,7 @@ void ShardEngine::process_notice(const Notice& n) {
         error_vt = it->second.vt_io;  // post_send's done_vt semantics
         home.ops.erase(it);
       }
-      nic.note_tx_drop(n.reason, n.src_ep, 0, error_vt,
+      nic.note_tx_drop(n.reason, n.src_ep, n.op_id, error_vt,
                        n.budget_exhausted);
       break;
     }

@@ -2,16 +2,23 @@
 // switches are partitioned into sequential *domains* (dragonfly groups;
 // one switch per domain elsewhere), each domain is driven by exactly one
 // worker thread at a time, and domains advance together through
-// conservative virtual-time windows [T, T + L) whose width L (the
-// *lookahead*) is derived from the minimum latency of any cross-domain
-// link.  Inside a window a domain processes its pending packet hops in
+// conservative virtual-time windows.  Each domain j gets its own window
+// edge E_j = min over source domains i of (earliest_i + edge(i, j)),
+// where edge(i, j) is the cheapest single cross-domain hop from i to j
+// (link latency plus the hop floor) taken from the pristine base plan —
+// the per-domain-pair lookahead matrix.  Within one window only
+// single-hop cross-domain transfers can occur (a forwarded packet parks
+// in the outbox until the barrier), so direct edges are the exact bound;
+// domains with no in-edge from any pending domain run unbounded.
+// Inside a window a domain processes its pending packet hops in
 // (virtual time, sequence) order; hops that cross a domain boundary are
 // buffered in per-destination outboxes and merged at the window barrier
 // in a fixed order (destination domain id, then source domain id, then
-// FIFO).  Because every cross-domain hop arrives at least one lookahead
-// in the future, no domain can receive work dated inside the window it
-// is executing — so the schedule, and therefore every per-seed golden
-// digest, is bit-identical whether the windows run on 1 thread or N.
+// FIFO).  Because every cross-domain hop arrives at or beyond the
+// receiving domain's window edge, no domain can receive work dated
+// inside the window it is executing — so the schedule, and therefore
+// every per-seed golden digest, is bit-identical whether the windows
+// run on 1 thread or N.
 //
 // Thread-safety contract (see docs/performance.md, "Threading model"):
 //   - All public methods are driver-thread-only.  The engine owns the
@@ -24,10 +31,13 @@
 //     TimingConfig::jitter_amplitude == 0 (jitter draws come from one
 //     shared RNG whose draw order is schedule-dependent otherwise).
 //
-// The engine drives two-sided sends (post_send).  One-sided RMA stays on
-// the legacy synchronous path: its target-side reply injection re-enters
-// the fabric from the delivery callback, which would escape the
-// domain-ownership discipline.
+// The engine drives the full verb set: two-sided sends (post_send) and
+// one-sided RMA (post_rma_write / post_rma_read).  A delivery's
+// target-side reply (RMA ACK, read response, NACK) is returned by
+// CassiniNic::deliver_from_engine instead of re-entering Fabric::inject
+// from the callback, and is staged in the *target's* domain — so
+// completion traffic, and its reliable-delivery retransmits, ride the
+// same deterministic (domain, vt, seq) merge order as everything else.
 #pragma once
 
 #include <atomic>
@@ -36,6 +46,7 @@
 #include <functional>
 #include <limits>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -72,14 +83,33 @@ class ShardEngine {
                    EndpointId dst_ep, std::uint64_t tag,
                    std::uint64_t size_bytes, SimTime local_vt);
 
+  /// Stages a one-sided write exactly as CassiniNic::rdma_write would
+  /// accept it.  `op_id` tags the initiator's completion (the target's
+  /// ACK — or fail-fast NACK — raises the endpoint event at flush time);
+  /// op_id 0 means the caller does not want per-op events matched.
+  Status post_rma_write(NicAddr src, EndpointId ep, NicAddr dst, RKey rkey,
+                        std::uint64_t offset, std::uint64_t size_bytes,
+                        std::span<const std::byte> payload, SimTime local_vt,
+                        std::uint64_t op_id = 0);
+
+  /// Stages a one-sided read request; the target's data response (or
+  /// NACK) raises the initiator's endpoint event at flush time.
+  Status post_rma_read(NicAddr src, EndpointId ep, NicAddr dst, RKey rkey,
+                       std::uint64_t offset, std::uint64_t size_bytes,
+                       SimTime local_vt, std::uint64_t op_id = 0);
+
   /// Runs conservative windows until every staged packet (including
-  /// retransmits it spawns) has delivered or terminally dropped.
+  /// retransmits and target-side replies it spawns) has delivered or
+  /// terminally dropped.
   void flush();
 
   [[nodiscard]] std::size_t domain_count() const noexcept {
     return domains_.size();
   }
   [[nodiscard]] int threads() const noexcept { return threads_; }
+  /// Smallest entry of the per-pair lookahead matrix — the conservative
+  /// global window floor (0 when there is a single domain, i.e. windows
+  /// are unbounded).  Individual domain windows are at least this wide.
   [[nodiscard]] SimDuration lookahead() const noexcept { return lookahead_; }
   /// Windows executed across all flushes (one barrier each).
   [[nodiscard]] std::uint64_t windows_run() const noexcept {
@@ -91,7 +121,9 @@ class ShardEngine {
   /// so at any barrier:
   ///   attempts_injected() == delivered + dropped_total() + in_flight().
   [[nodiscard]] std::uint64_t attempts_injected() const noexcept {
-    return attempts_injected_;
+    std::uint64_t total = 0;
+    for (const auto& d : domains_) total += d.attempts;
+    return total;
   }
   /// Attempts currently staged in domain heaps or outboxes (0 after
   /// flush() returns).  Driver-thread-only, like everything else.
@@ -133,6 +165,7 @@ class ShardEngine {
     NicAddr src = kInvalidNic;
     EndpointId src_ep = 0;
     std::uint64_t nic_seq = 0;  ///< NIC-assigned Packet::seq (op key)
+    std::uint64_t op_id = 0;    ///< caller's completion tag (0 = none)
     DropReason reason = DropReason::kNone;
     SimTime vt = 0;
     std::uint32_t attempt = 0;
@@ -156,7 +189,21 @@ class ShardEngine {
     std::vector<std::vector<Notice>> notices;
     std::uint64_t next_seq = 0;
     /// Reliable ops homed here, keyed (src NIC << 44 | packet seq).
+    /// Touched by the owning worker mid-window (target-side reply
+    /// registration) and by the driver at barriers — never both at once.
     std::unordered_map<std::uint64_t, OpState> ops;
+    /// Fabric-injection attempts staged into this domain so far.
+    /// Per-domain (not one engine-wide counter) because workers stage
+    /// target-side replies mid-window; summed by the driver.
+    std::uint64_t attempts = 0;
+    /// Cache of heap.front().p.inject_vt (kNoPendingWork when empty),
+    /// valid at every driver observation point — maintained at staging,
+    /// outbox merge, and end-of-window so barrier scans are O(domains)
+    /// instead of O(heap).
+    SimTime earliest = kNoPendingWork;
+    /// This window's edge for the domain, computed by the driver from
+    /// the pair-lookahead matrix before the window starts.
+    SimTime window_end = 0;
   };
 
   static std::uint64_t op_key(NicAddr src, std::uint64_t nic_seq) noexcept {
@@ -168,23 +215,42 @@ class ShardEngine {
   }
 
   void stage_attempt(Domain& home, Packet&& p, std::uint32_t attempt);
-  /// Pops and steps every item dated before `window_end` (worker or
-  /// inline driver; must be the domain's only toucher).
-  void run_domain_window(Domain& d, SimTime window_end);
+  /// Shared post_* tail: registers reliable-op state in the source
+  /// NIC's home domain and stages the first attempt.
+  void stage_post(NicAddr src, Packet&& pkt, SimTime accepted_vt);
+  /// Stages a target-side reply (RMA ACK / read response / NACK) in the
+  /// target's own domain `d` — called by the owning worker mid-window,
+  /// which is safe because the worker is the domain's only toucher and
+  /// the reply's source NIC is homed exactly here.
+  void stage_reply(Domain& d, Packet&& reply);
+  /// Pops and steps every item dated before `d.window_end` (worker or
+  /// inline driver; must be the domain's only toucher).  Refreshes
+  /// `d.earliest` on exit.
+  void run_domain_window(Domain& d);
   void step_item(Domain& d, Item&& it);
   /// Merges outboxes and processes notices in deterministic order.
   void barrier_merge();
   void process_notice(const Notice& n);
-  /// Launches one window [*, window_end) across all domains on the
-  /// worker pool (or inline when threads_ <= 1).
-  void run_window(SimTime window_end);
+  /// Driver-side, pre-window: sets every domain's `window_end` from the
+  /// pair-lookahead matrix and the earliest-pending caches.
+  void compute_window_ends();
+  /// Launches one window across all domains on the worker pool (or
+  /// inline when threads_ <= 1); each domain honours its own
+  /// `window_end`.
+  void run_window();
   void worker_main();
-  /// Earliest staged virtual time across all domains, or
-  /// `kNoPendingWork` when every heap is empty.
+  /// Earliest staged virtual time across all domains (via the
+  /// per-domain caches), or `kNoPendingWork` when every heap is empty.
   [[nodiscard]] SimTime earliest_pending() const;
 
   static constexpr SimTime kNoPendingWork =
       std::numeric_limits<SimTime>::max();
+  /// "No direct cross-domain link" sentinel in the pair matrix: the
+  /// pair imposes no window constraint (within one window only
+  /// single-hop cross-domain transfers occur, so only direct edges can
+  /// carry work between domains).
+  static constexpr SimDuration kInfEdge =
+      std::numeric_limits<SimDuration>::max();
 
   Fabric& fabric_;
   int threads_ = 1;
@@ -193,7 +259,10 @@ class ShardEngine {
   std::vector<std::uint32_t> home_domain_of_nic_;
   std::vector<RosettaSwitch*> switch_ptr_;
   std::vector<Domain> domains_;
-  std::uint64_t attempts_injected_ = 0;
+  /// Per-domain-pair lookahead, row-major [from * nd + to]: the cheapest
+  /// single cross-domain hop (link latency + hop floor, clamped >= 1),
+  /// or kInfEdge when no base-plan link connects the pair directly.
+  std::vector<SimDuration> pair_edge_;
   std::uint64_t windows_run_ = 0;
   std::function<void()> barrier_observer_;
 
@@ -209,7 +278,6 @@ class ShardEngine {
   std::condition_variable done_cv_;   // driver: all workers done
   std::uint64_t epoch_ = 0;
   std::size_t done_count_ = 0;
-  SimTime window_end_ = 0;
   bool shutdown_ = false;
   std::atomic<std::size_t> next_domain_{0};
 };

@@ -80,6 +80,11 @@ enum class PacketOp : std::uint8_t {
   kRdmaRead,       ///< one-sided read request
   kRdmaReadResp,   ///< data response to a read request
   kAck,            ///< delivery acknowledgement (completes sender ops)
+  /// Target-side rejection of a one-sided op (missing MR, VNI mismatch,
+  /// out-of-bounds).  Carries the RmaNackReason code in `tag`; completes
+  /// the initiator's op with a permanent, fail-fast error — a denied RMA
+  /// is never silent and never retried.
+  kRmaNack,
 };
 
 }  // namespace shs::hsn

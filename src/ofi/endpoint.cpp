@@ -63,6 +63,39 @@ bool Endpoint::match_posted(hsn::Packet& p) {
   return false;
 }
 
+void Endpoint::cq_push_from(hsn::Event&& e) {
+  Completion c;
+  c.op_id = e.op_id;
+  c.size = e.size;
+  c.vt = e.vt;
+  switch (e.type) {
+    case hsn::Event::Type::kSendComplete:
+      c.kind = Completion::Kind::kSend;
+      break;
+    case hsn::Event::Type::kRdmaWriteComplete:
+      c.kind = Completion::Kind::kRmaWrite;
+      break;
+    case hsn::Event::Type::kRdmaReadComplete: {
+      c.kind = Completion::Kind::kRmaRead;
+      const auto it = pending_reads_.find(e.op_id);
+      if (it != pending_reads_.end()) {
+        if (!e.data.empty() && !it->second.empty()) {
+          std::memcpy(it->second.data(), e.data.data(),
+                      std::min<std::size_t>(it->second.size(), e.data.size()));
+        }
+        pending_reads_.erase(it);
+      }
+      break;
+    }
+    case hsn::Event::Type::kError:
+      c.kind = Completion::Kind::kError;
+      c.status = std::move(e.status);
+      pending_reads_.erase(e.op_id);  // the data will never arrive
+      break;
+  }
+  cq_.push_back(std::move(c));
+}
+
 std::size_t Endpoint::progress() {
   std::size_t processed = 0;
   while (true) {
@@ -73,6 +106,14 @@ std::size_t Endpoint::progress() {
       if (unexpected_.size() >= kMaxUnexpected) unexpected_.pop_front();
       unexpected_.push_back(std::move(p));
     }
+    ++processed;
+  }
+  // Drain the NIC event queue too: RMA completions (ACKs, read data,
+  // NACKs) surface as CQ entries the same way receives do.
+  while (true) {
+    auto ev = nic_.poll_event(hw_.ep);
+    if (!ev.is_ok()) break;
+    cq_push_from(std::move(ev).value());
     ++processed;
   }
   return processed;
@@ -160,36 +201,68 @@ Result<hsn::RKey> Endpoint::mr_reg(std::span<std::byte> region) {
 
 Status Endpoint::mr_close(hsn::RKey key) { return nic_.deregister_mr(key); }
 
+Result<std::uint64_t> Endpoint::post_rma_write(
+    hsn::NicAddr dst, hsn::RKey rkey, std::uint64_t offset,
+    std::span<const std::byte> payload, std::uint64_t size, SimTime vt) {
+  const std::uint64_t op = next_op_++;
+  auto accepted =
+      nic_.rdma_write(hw_.ep, dst, rkey, offset, size, payload, vt, op);
+  if (!accepted.is_ok()) return Result<std::uint64_t>(accepted.status());
+  return op;
+}
+
+Result<std::uint64_t> Endpoint::post_rma_read(hsn::NicAddr dst,
+                                              hsn::RKey rkey,
+                                              std::uint64_t offset,
+                                              std::uint64_t size,
+                                              std::span<std::byte> out,
+                                              SimTime vt) {
+  const std::uint64_t op = next_op_++;
+  auto accepted = nic_.rdma_read(hw_.ep, dst, rkey, offset, size, vt, op);
+  if (!accepted.is_ok()) return Result<std::uint64_t>(accepted.status());
+  pending_reads_.emplace(op, out);
+  return op;
+}
+
+Result<SimTime> Endpoint::await_rma(std::uint64_t op, int real_timeout_ms) {
+  const int slice_ms = 50;
+  int waited = 0;
+  for (;;) {
+    // The completion may already sit in the CQ (or in the NIC's event
+    // queue — drained by progress() inside cq_read's caller path).
+    for (auto it = cq_.begin(); it != cq_.end(); ++it) {
+      if (it->op_id != op) continue;
+      const Completion c = *it;
+      cq_.erase(it);
+      if (c.kind == Completion::Kind::kError) {
+        return Result<SimTime>(c.status);
+      }
+      return c.vt;
+    }
+    if (waited > real_timeout_ms) break;
+    auto ev = nic_.wait_event(hw_.ep, std::min(slice_ms, real_timeout_ms));
+    if (!ev.is_ok()) {
+      if (ev.code() != Code::kTimeout) return Result<SimTime>(ev.status());
+      waited += slice_ms;
+      continue;
+    }
+    // Events for other ops become ordinary CQ entries; ours is found by
+    // the scan above next iteration.
+    cq_push_from(std::move(ev).value());
+  }
+  return Result<SimTime>(timeout_error(
+      "await_rma: no completion (is the target MR registered on this "
+      "VNI?)"));
+}
+
 Result<SimTime> Endpoint::rma_write_sync(hsn::NicAddr dst, hsn::RKey rkey,
                                          std::uint64_t offset,
                                          std::span<const std::byte> payload,
                                          std::uint64_t size, SimTime vt,
                                          int real_timeout_ms) {
-  const std::uint64_t op = next_op_++;
-  auto accepted =
-      nic_.rdma_write(hw_.ep, dst, rkey, offset, size, payload, vt, op);
-  if (!accepted.is_ok()) return accepted;
-  // Wait for the ACK-completion event.
-  const int slice_ms = 50;
-  int waited = 0;
-  while (waited <= real_timeout_ms) {
-    auto ev = nic_.wait_event(hw_.ep, std::min(slice_ms, real_timeout_ms));
-    if (!ev.is_ok()) {
-      if (ev.code() == Code::kTimeout) {
-        waited += slice_ms;
-        continue;
-      }
-      return Result<SimTime>(ev.status());
-    }
-    const hsn::Event& e = ev.value();
-    if (e.op_id != op) continue;  // stale event from another op
-    if (e.type == hsn::Event::Type::kError) {
-      return Result<SimTime>(e.status);
-    }
-    return std::max(e.vt, accepted.value());
-  }
-  return Result<SimTime>(timeout_error(
-      "rma_write_sync: no ACK (is the target MR registered on this VNI?)"));
+  auto op = post_rma_write(dst, rkey, offset, payload, size, vt);
+  if (!op.is_ok()) return Result<SimTime>(op.status());
+  return await_rma(op.value(), real_timeout_ms);
 }
 
 Result<SimTime> Endpoint::rma_read_sync(hsn::NicAddr dst, hsn::RKey rkey,
@@ -197,30 +270,10 @@ Result<SimTime> Endpoint::rma_read_sync(hsn::NicAddr dst, hsn::RKey rkey,
                                         std::uint64_t size,
                                         std::vector<std::byte>& out,
                                         SimTime vt, int real_timeout_ms) {
-  const std::uint64_t op = next_op_++;
-  auto accepted = nic_.rdma_read(hw_.ep, dst, rkey, offset, size, vt, op);
-  if (!accepted.is_ok()) return accepted;
-  const int slice_ms = 50;
-  int waited = 0;
-  while (waited <= real_timeout_ms) {
-    auto ev = nic_.wait_event(hw_.ep, std::min(slice_ms, real_timeout_ms));
-    if (!ev.is_ok()) {
-      if (ev.code() == Code::kTimeout) {
-        waited += slice_ms;
-        continue;
-      }
-      return Result<SimTime>(ev.status());
-    }
-    hsn::Event e = std::move(ev).value();
-    if (e.op_id != op) continue;
-    if (e.type == hsn::Event::Type::kError) {
-      return Result<SimTime>(e.status);
-    }
-    out = std::move(e.data);
-    return std::max(e.vt, accepted.value());
-  }
-  return Result<SimTime>(timeout_error(
-      "rma_read_sync: no response (is the target MR registered?)"));
+  out.resize(size);
+  auto op = post_rma_read(dst, rkey, offset, size, out, vt);
+  if (!op.is_ok()) return Result<SimTime>(op.status());
+  return await_rma(op.value(), real_timeout_ms);
 }
 
 }  // namespace shs::ofi

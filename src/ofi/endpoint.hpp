@@ -15,6 +15,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "cxi/libcxi.hpp"
@@ -92,7 +93,26 @@ class Endpoint {
   Result<hsn::RKey> mr_reg(std::span<std::byte> region);
   Status mr_close(hsn::RKey key);
 
+  /// Posts a one-sided write and returns its op id immediately; the
+  /// completion arrives later on the CQ as a Completion{kRmaWrite,
+  /// op_id, vt} once the target's ACK lands (kError with a terminal
+  /// status on denial or delivery failure).  An error return means the
+  /// NIC rejected the post itself.
+  Result<std::uint64_t> post_rma_write(hsn::NicAddr dst, hsn::RKey rkey,
+                                       std::uint64_t offset,
+                                       std::span<const std::byte> payload,
+                                       std::uint64_t size, SimTime vt);
+
+  /// Posts a one-sided read; the data lands in `out` (which must stay
+  /// valid until the completion) when the response arrives, and the CQ
+  /// raises Completion{kRmaRead, op_id, vt}.
+  Result<std::uint64_t> post_rma_read(hsn::NicAddr dst, hsn::RKey rkey,
+                                      std::uint64_t offset,
+                                      std::uint64_t size,
+                                      std::span<std::byte> out, SimTime vt);
+
   /// Blocking RDMA write: returns the caller's clock at remote-ACK time.
+  /// Thin shim over post_rma_write + CQ wait.
   Result<SimTime> rma_write_sync(hsn::NicAddr dst, hsn::RKey rkey,
                                  std::uint64_t offset,
                                  std::span<const std::byte> payload,
@@ -100,7 +120,8 @@ class Endpoint {
                                  int real_timeout_ms = 10'000);
 
   /// Blocking RDMA read: fills `out` (resized to `size`) and returns the
-  /// caller's clock at data-arrival time.
+  /// caller's clock at data-arrival time.  Thin shim over post_rma_read
+  /// + CQ wait.
   Result<SimTime> rma_read_sync(hsn::NicAddr dst, hsn::RKey rkey,
                                 std::uint64_t offset, std::uint64_t size,
                                 std::vector<std::byte>& out, SimTime vt,
@@ -134,6 +155,12 @@ class Endpoint {
   /// Matches `p` against posted receives; true if consumed.
   bool match_posted(hsn::Packet& p);
   void deliver(const PostedRecv& r, hsn::Packet& p);
+  /// Translates a NIC event into a CQ entry (read payloads land in the
+  /// span registered at post time).
+  void cq_push_from(hsn::Event&& e);
+  /// Sync-shim tail: progresses the event queue until the completion for
+  /// `op` arrives, then returns its vt (or its terminal error).
+  Result<SimTime> await_rma(std::uint64_t op, int real_timeout_ms);
   static bool tag_matches(std::uint64_t posted, std::uint64_t got) noexcept {
     return posted == kTagAny || posted == got;
   }
@@ -147,6 +174,8 @@ class Endpoint {
   std::deque<PostedRecv> posted_;
   std::deque<hsn::Packet> unexpected_;
   std::deque<Completion> cq_;
+  /// Outstanding read destinations, keyed by op id.
+  std::unordered_map<std::uint64_t, std::span<std::byte>> pending_reads_;
 };
 
 }  // namespace shs::ofi

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "hsn/types.hpp"
+#include "util/status.hpp"
 #include "util/units.hpp"
 
 namespace shs::ofi {
@@ -24,7 +25,10 @@ struct FiAddr {
 /// Wildcard tag for receives (FI_TAG wildcard analogue).
 constexpr std::uint64_t kTagAny = ~0ULL;
 
-/// One completion-queue entry.
+/// One completion-queue entry.  RMA posts complete as
+/// `{op_id, status, vt}` records: `op_id` is the id the post returned,
+/// `status` is OK for kRmaWrite/kRmaRead and the permanent/terminal
+/// error for kError (denied MR, retry budget exhausted, no route).
 struct Completion {
   enum class Kind : std::uint8_t { kSend, kRecv, kRmaWrite, kRmaRead, kError };
   Kind kind = Kind::kError;
@@ -33,6 +37,8 @@ struct Completion {
   std::uint64_t size = 0;
   FiAddr peer{};
   SimTime vt = 0;  ///< virtual completion time (drives the OSU clocks)
+  std::uint64_t op_id = 0;  ///< RMA correlation id (0 = not an RMA op)
+  Status status;            ///< non-OK only for kError
 };
 
 }  // namespace shs::ofi

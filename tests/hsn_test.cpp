@@ -264,13 +264,18 @@ TEST(Rma, WrongVniMrIsDenied) {
   auto victim = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
   std::vector<std::byte> target(64);
   auto mr = f->nic(1).register_mr(victim.value(), target);
-  // The write rides VNI 200 but the MR belongs to VNI 100: denied.
+  // The write rides VNI 200 but the MR belongs to VNI 100: denied, and
+  // the target's NACK surfaces a terminal permission error — never an
+  // ACK, never silence.
   ASSERT_TRUE(f->nic(0)
                   .rdma_write(attacker.value(), 1, mr.value(), 0, 8, {}, 0, 9)
                   .is_ok());
   EXPECT_EQ(f->nic(1).counters().rma_denied, 1u);
-  EXPECT_EQ(f->nic(0).wait_event(attacker.value(), 100).code(),
-            Code::kTimeout);  // no ACK ever comes
+  auto ev = f->nic(0).wait_event(attacker.value(), 1000);
+  ASSERT_TRUE(ev.is_ok());
+  EXPECT_EQ(ev.value().type, Event::Type::kError);
+  EXPECT_EQ(ev.value().status.code(), Code::kPermissionDenied);
+  EXPECT_EQ(ev.value().op_id, 9u);
 }
 
 TEST(Rma, OutOfBoundsDenied) {
@@ -502,6 +507,49 @@ TEST(Nic, ReliableRdmaWriteCompletesUnderAckLoss) {
     EXPECT_EQ(e.value().op_id, unsigned(100 + i));
   }
   EXPECT_EQ(std::memcmp(target.data(), data.data(), 256), 0);
+}
+
+TEST(Nic, DeniedRmaFailsFastEvenWithReliabilityOn) {
+  // A denied one-sided op must surface a *terminal* completion with a
+  // permanent status — the NACK is not a transient fault, so the
+  // retransmit protocol must not burn budget retrying it, and the
+  // initiator must never be left waiting in silence.
+  auto f = make_fabric(100);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+  auto ep0 = f->nic(0).alloc_endpoint(100, TrafficClass::kBestEffort);
+  auto ep1 = f->nic(1).alloc_endpoint(100, TrafficClass::kBestEffort);
+  std::vector<std::byte> target(16);
+  auto mr = f->nic(1).register_mr(ep1.value(), target);
+  ASSERT_TRUE(mr.is_ok());
+
+  // Write past the end of the MR: denied at the target.
+  ASSERT_TRUE(f->nic(0)
+                  .rdma_write(ep0.value(), 1, mr.value(), 12, 8, {}, 0,
+                              /*op_id=*/31)
+                  .is_ok());
+  auto e = f->nic(0).wait_event(ep0.value(), 1000);
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(e.value().type, Event::Type::kError);
+  EXPECT_EQ(e.value().status.code(), Code::kInvalidArgument);
+  EXPECT_EQ(e.value().op_id, 31u);
+
+  // Read against an rkey that was never registered: same contract.
+  ASSERT_TRUE(f->nic(0)
+                  .rdma_read(ep0.value(), 1, mr.value() + 999, 0, 8, 0,
+                             /*op_id=*/32)
+                  .is_ok());
+  e = f->nic(0).wait_event(ep0.value(), 1000);
+  ASSERT_TRUE(e.is_ok());
+  EXPECT_EQ(e.value().type, Event::Type::kError);
+  EXPECT_EQ(e.value().status.code(), Code::kNotFound);
+  EXPECT_EQ(e.value().op_id, 32u);
+
+  EXPECT_EQ(f->nic(1).counters().rma_denied, 2u);
+  // Fail-fast: neither the denied requests nor their NACKs spent any
+  // retransmit budget on a healthy fabric.
+  EXPECT_EQ(f->reliability_totals().retransmits, 0u);
 }
 
 }  // namespace

@@ -170,6 +170,62 @@ TEST_F(OfiFixture, RmaReadSyncRoundTrip) {
   EXPECT_EQ(out[3], std::byte{26});
 }
 
+TEST_F(OfiFixture, AsyncRmaCompletesThroughCq) {
+  // The post/completion model: posts return op ids immediately, the
+  // completions surface later as Completion{op_id, status, vt} records
+  // on the CQ — the sync wrappers above are shims over exactly this.
+  auto e0 = dom0->open_endpoint(kDefaultVni).value();
+  auto e1 = dom1->open_endpoint(kDefaultVni).value();
+  std::vector<std::byte> window(64);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    window[i] = static_cast<std::byte>(i);
+  }
+  auto mr = e1->mr_reg(window);
+  ASSERT_TRUE(mr.is_ok());
+
+  const char data[] = "async";
+  auto wop = e0->post_rma_write(1, mr.value(), 32,
+                                std::as_bytes(std::span(data)), sizeof(data),
+                                0);
+  ASSERT_TRUE(wop.is_ok());
+  std::array<std::byte, 8> out{};
+  auto rop = e0->post_rma_read(1, mr.value(), 4, 8, out, 0);
+  ASSERT_TRUE(rop.is_ok());
+  EXPECT_NE(wop.value(), rop.value());
+
+  auto c1 = e0->cq_sread(1000);
+  ASSERT_TRUE(c1.is_ok());
+  EXPECT_EQ(c1.value().kind, Completion::Kind::kRmaWrite);
+  EXPECT_EQ(c1.value().op_id, wop.value());
+  EXPECT_TRUE(c1.value().status.is_ok());
+  EXPECT_GT(c1.value().vt, 0);
+
+  auto c2 = e0->cq_sread(1000);
+  ASSERT_TRUE(c2.is_ok());
+  EXPECT_EQ(c2.value().kind, Completion::Kind::kRmaRead);
+  EXPECT_EQ(c2.value().op_id, rop.value());
+  EXPECT_EQ(out[0], std::byte{4});   // read landed in the registered span
+  EXPECT_EQ(out[7], std::byte{11});
+  EXPECT_EQ(std::memcmp(window.data() + 32, data, sizeof(data)), 0);
+}
+
+TEST_F(OfiFixture, AsyncRmaDenialSurfacesAsErrorCompletion) {
+  auto e0 = dom0->open_endpoint(kDefaultVni).value();
+  auto e1 = dom1->open_endpoint(kDefaultVni).value();
+  std::vector<std::byte> window(16);
+  auto mr = e1->mr_reg(window);
+  ASSERT_TRUE(mr.is_ok());
+  // Out-of-bounds write: the target NACKs and the initiator's CQ gets a
+  // terminal kError completion for the op — fail-fast, not silence.
+  auto op = e0->post_rma_write(1, mr.value(), 12, {}, 8, 0);
+  ASSERT_TRUE(op.is_ok());
+  auto c = e0->cq_sread(1000);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().kind, Completion::Kind::kError);
+  EXPECT_EQ(c.value().op_id, op.value());
+  EXPECT_EQ(c.value().status.code(), Code::kInvalidArgument);
+}
+
 TEST_F(OfiFixture, EndpointFreedOnDestruction) {
   {
     auto ep = dom0->open_endpoint(kDefaultVni).value();

@@ -809,6 +809,243 @@ TEST(ShardedDataPlaneDeterminism, LossyEpisodesMatchAcrossThreadCounts) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// RMA-inclusive sharded determinism: the engine now drives the full
+// verb set — two-sided sends, one-sided writes and reads, their
+// target-side completion traffic (ACKs, read responses, NACKs), and the
+// reliable-delivery retransmits of all of the above — through the same
+// (domain, vt, seq) merge order.  The observable episode (delivery
+// traces, per-initiator completion-event streams, bytes landed in the
+// target MRs, loss/retry accounting) must be bit-identical across
+// thread counts for every routing policy.
+
+struct RmaEpisode {
+  std::vector<std::pair<SimTime, int>> trace;  ///< two-sided deliveries
+  std::vector<std::uint64_t> events;  ///< per-initiator event stream hashes
+  std::uint64_t mr_hash = 0;          ///< bytes landed in every target MR
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_link_down = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t rma_denied = 0;
+};
+
+std::uint64_t rma_episode_digest(const RmaEpisode& e) {
+  std::uint64_t h = trace_digest(e.trace);
+  for (const auto v : e.events) h = fnv1a_mix(h, v);
+  h = fnv1a_mix(h, e.mr_hash);
+  h = fnv1a_mix(h, e.delivered);
+  h = fnv1a_mix(h, e.dropped_loss);
+  h = fnv1a_mix(h, e.dropped_link_down);
+  h = fnv1a_mix(h, e.retransmits);
+  h = fnv1a_mix(h, e.duplicates);
+  h = fnv1a_mix(h, e.rma_denied);
+  return h;
+}
+
+/// Dragonfly episode mixing all three verbs round-robin per (round,
+/// source) plus one guaranteed-denied write per burst (unknown rkey →
+/// target NACK → fail-fast kError at the initiator).  `with_failure`
+/// adds a mid-run gateway failure and repair; `lossy` arms
+/// probabilistic loss + ACK loss.  Reliability is always on, so RMA
+/// requests *and* their completion replies ride the retransmit
+/// protocol, charged at window barriers.
+RmaEpisode sharded_rma_episode(hsn::RoutingPolicy policy, bool with_failure,
+                               bool lossy, std::uint64_t seed, int threads) {
+  hsn::TimingConfig flat;
+  flat.jitter_amplitude = 0.0;
+  flat.run_bias_amplitude = 0.0;
+  hsn::TopologyConfig topo;
+  topo.kind = hsn::TopologyKind::kDragonfly;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  topo.routing = policy;
+  constexpr std::size_t nodes = 64;
+  auto f = hsn::Fabric::create(nodes, flat, seed, topo);
+  f->manager().set_auto_repair(false);
+  if (lossy) {
+    hsn::FaultProfile p;
+    p.drop_rate = 0.02;
+    p.ack_loss_rate = 0.01;
+    f->set_fault_profile(p);
+  }
+  hsn::ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  hsn::ShardEngine engine(*f, threads);
+  constexpr hsn::Vni kVni = 99;
+  std::vector<hsn::EndpointId> eps;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<hsn::NicAddr>(i);
+    EXPECT_TRUE(f->switch_for(addr)->authorize_vni(addr, kVni).is_ok());
+    eps.push_back(f->nic(addr)
+                      .alloc_endpoint(kVni, hsn::TrafficClass::kBulkData)
+                      .value());
+  }
+  const std::size_t half = nodes / 2;
+  // One 4 KiB MR per target NIC, registered on its episode endpoint.
+  std::vector<std::vector<std::byte>> regions(half,
+                                              std::vector<std::byte>(4096));
+  std::vector<hsn::RKey> rkeys(half);
+  for (std::size_t s = 0; s < half; ++s) {
+    const auto dst = static_cast<hsn::NicAddr>(half + s);
+    rkeys[s] = f->nic(dst).register_mr(eps[dst], regions[s]).value();
+  }
+
+  std::uint64_t next_op = 1;
+  const auto burst = [&](int rounds, std::uint64_t tag_base) {
+    for (int k = 0; k < rounds; ++k) {
+      for (std::size_t s = 0; s < half; ++s) {
+        const auto src = static_cast<hsn::NicAddr>(s);
+        const auto dst = static_cast<hsn::NicAddr>(half + s);
+        const std::uint64_t off =
+            (tag_base + static_cast<std::uint64_t>(k) * 128 + s * 8) % 4000;
+        switch ((static_cast<std::size_t>(k) + s) % 3) {
+          case 0:
+            (void)engine.post_send(src, eps[s], dst, eps[dst], tag_base + k,
+                                   32 * 1024, 0);
+            break;
+          case 1: {
+            const std::vector<std::byte> data(
+                64, static_cast<std::byte>((k * 31 + static_cast<int>(s)) &
+                                           0xff));
+            (void)engine.post_rma_write(src, eps[s], dst, rkeys[s], off, 64,
+                                        data, 0, next_op++);
+            break;
+          }
+          default:
+            (void)engine.post_rma_read(src, eps[s], dst, rkeys[s], off, 64,
+                                       0, next_op++);
+            break;
+        }
+        if (k == 3 && s % 7 == 0) {
+          // Unknown rkey: the target must deny and NACK — never silence.
+          (void)engine.post_rma_write(src, eps[s], dst, 0xdeadbeefULL, 0, 8,
+                                      {}, 0, next_op++);
+        }
+      }
+    }
+    engine.flush();
+  };
+
+  burst(8, 0);  // baseline
+  if (with_failure) {
+    EXPECT_TRUE(f->fail_link(2, 8).is_ok());
+    burst(8, 100);  // loss window: stale tables
+    (void)f->manager().repair_if_pending();
+    burst(8, 200);  // converged on repaired routes
+    EXPECT_TRUE(f->restore_link(2, 8).is_ok());
+    (void)f->manager().repair_if_pending();
+  }
+  burst(8, 300);  // tail burst (pristine routing when failure episode)
+
+  RmaEpisode e;
+  for (std::size_t d = half; d < nodes; ++d) {
+    while (true) {
+      auto pkt = f->nic(static_cast<hsn::NicAddr>(d)).poll_rx(eps[d]);
+      if (!pkt.is_ok()) break;
+      e.trace.emplace_back(pkt.value().arrival_vt,
+                           static_cast<int>(pkt.value().hops));
+    }
+  }
+  // Per-initiator completion-event streams: order, correlation ids,
+  // completion times, and read payload bytes all fold into the digest.
+  for (std::size_t s = 0; s < half; ++s) {
+    while (true) {
+      auto ev = f->nic(static_cast<hsn::NicAddr>(s)).poll_event(eps[s]);
+      if (!ev.is_ok()) break;
+      const hsn::Event& v = ev.value();
+      std::uint64_t h = fnv1a_mix(0x9e3779b97f4a7c15ULL, v.op_id);
+      h = fnv1a_mix(h, static_cast<std::uint64_t>(v.type));
+      h = fnv1a_mix(h, static_cast<std::uint64_t>(v.vt));
+      h = fnv1a_mix(h, v.size);
+      h = fnv1a_mix(h, static_cast<std::uint64_t>(v.status.code()));
+      for (const auto b : v.data) {
+        h = fnv1a_mix(h, static_cast<std::uint64_t>(b));
+      }
+      e.events.push_back(h);
+    }
+  }
+  std::uint64_t mr_h = 0xcbf29ce484222325ULL;
+  for (const auto& region : regions) {
+    for (const auto b : region) {
+      mr_h = fnv1a_mix(mr_h, static_cast<std::uint64_t>(b));
+    }
+  }
+  e.mr_hash = mr_h;
+  const auto totals = f->total_counters();
+  e.delivered = totals.delivered;
+  e.dropped_loss = totals.dropped_loss;
+  e.dropped_link_down = totals.dropped_link_down;
+  const auto rc = f->reliability_totals();
+  e.retransmits = rc.retransmits;
+  e.duplicates = rc.duplicates;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    e.rma_denied +=
+        f->nic(static_cast<hsn::NicAddr>(i)).counters().rma_denied;
+  }
+  return e;
+}
+
+TEST(ShardedDataPlaneDeterminism, RmaEpisodesMatchAcrossThreadCounts) {
+  for (const auto policy :
+       {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
+        hsn::RoutingPolicy::kUgal}) {
+    SCOPED_TRACE(hsn::routing_policy_name(policy));
+    const RmaEpisode a = sharded_rma_episode(policy, /*with_failure=*/false,
+                                             /*lossy=*/false, 0x51a, 1);
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_FALSE(a.events.empty());
+    EXPECT_GT(a.rma_denied, 0u);
+    const auto da = rma_episode_digest(a);
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, false, false, 0x51a, 2)));
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, false, false, 0x51a, 4)));
+  }
+}
+
+TEST(ShardedDataPlaneDeterminism, RmaFailureEpisodesMatchAcrossThreadCounts) {
+  for (const auto policy :
+       {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
+        hsn::RoutingPolicy::kUgal}) {
+    SCOPED_TRACE(hsn::routing_policy_name(policy));
+    const RmaEpisode a = sharded_rma_episode(policy, /*with_failure=*/true,
+                                             /*lossy=*/false, 0x51b, 1);
+    EXPECT_GT(a.delivered, 0u);
+    const auto da = rma_episode_digest(a);
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, true, false, 0x51b, 2)));
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, true, false, 0x51b, 4)));
+  }
+}
+
+TEST(ShardedDataPlaneDeterminism, LossyRmaEpisodesMatchAcrossThreadCounts) {
+  for (const auto policy :
+       {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
+        hsn::RoutingPolicy::kUgal}) {
+    SCOPED_TRACE(hsn::routing_policy_name(policy));
+    const RmaEpisode a = sharded_rma_episode(policy, /*with_failure=*/true,
+                                             /*lossy=*/true, 0x51c, 1);
+    // The episode exercised what it claims: loss, recovery, denial.
+    EXPECT_GT(a.delivered, 0u);
+    EXPECT_GT(a.dropped_loss, 0u);
+    EXPECT_GT(a.retransmits, 0u);
+    EXPECT_GT(a.rma_denied, 0u);
+    const auto da = rma_episode_digest(a);
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, true, true, 0x51c, 2)));
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, true, true, 0x51c, 4)));
+    // A different seed genuinely reshuffles the episode.
+    EXPECT_NE(da, rma_episode_digest(sharded_rma_episode(
+                      policy, true, true, 0xbead, 4)));
+  }
+}
+
 TEST(FabricRoutingDeterminism, IdenticalSeedsIdenticalTracesPerPolicy) {
   for (const auto policy :
        {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
