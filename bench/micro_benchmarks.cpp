@@ -9,6 +9,7 @@
 #include "cxi/driver.hpp"
 #include "db/database.hpp"
 #include "hsn/fabric.hpp"
+#include "hsn/shard_engine.hpp"
 
 namespace {
 
@@ -135,6 +136,52 @@ void BM_DbTransactionInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DbTransactionInsert);
+
+void BM_ShardEngineWindowFlush(benchmark::State& state) {
+  // The batched window executor end-to-end at one inline thread: stage
+  // a round of cross-group sends on a 64-node dragonfly, flush, drain.
+  // Measures the per-packet cost of the run-queue sort/merge, slot
+  // pools, and window barriers on top of the same switch/NIC work
+  // BM_SwitchRouteDragonflyUgal prices synchronously.
+  hsn::TopologyConfig topo;
+  topo.kind = hsn::TopologyKind::kDragonfly;
+  topo.routing = hsn::RoutingPolicy::kUgal;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  hsn::TimingConfig timing;
+  timing.jitter_amplitude = 0.0;
+  timing.run_bias_amplitude = 0.0;
+  const std::size_t nodes = 64;
+  auto fabric = hsn::Fabric::create(nodes, timing, 0xbe9c, topo);
+  fabric->set_enforcement(true);
+  hsn::ShardEngine engine(*fabric, 1);
+  std::vector<hsn::EndpointId> eps;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto addr = static_cast<hsn::NicAddr>(i);
+    (void)fabric->switch_for(addr)->authorize_vni(addr, 7);
+    eps.push_back(fabric->nic(addr)
+                      .alloc_endpoint(7, hsn::TrafficClass::kBulkData)
+                      .value());
+  }
+  const std::size_t half = nodes / 2;
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < nodes; ++s) {
+      const auto dst = static_cast<hsn::NicAddr>((s + half) % nodes);
+      (void)engine.post_send(static_cast<hsn::NicAddr>(s), eps[s], dst,
+                             eps[dst], tag, 2048, 0);
+    }
+    ++tag;
+    engine.flush();
+    for (std::size_t d = 0; d < nodes; ++d) {
+      while (fabric->nic(static_cast<hsn::NicAddr>(d)).poll_rx(eps[d]).is_ok()) {
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nodes));
+}
+BENCHMARK(BM_ShardEngineWindowFlush);
 
 void BM_RdmaWriteRoundTrip(benchmark::State& state) {
   auto fabric = hsn::Fabric::create(2);

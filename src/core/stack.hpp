@@ -221,6 +221,14 @@ class SlingshotStack {
   [[nodiscard]] hsn::ReliabilityCounters reliability_counters() const {
     return fabric_->reliability_totals();
   }
+  /// Sharded data-plane executor counters (windows/flush, items/window,
+  /// pool hit rate, barrier and wakeup amortization — the glossary
+  /// lives in docs/performance.md).  All zeros when
+  /// `StackConfig::data_plane_threads` is 0: the perf claims of the
+  /// batched executor are observable through the stack, not asserted.
+  [[nodiscard]] hsn::ShardEngineStats data_plane_stats() const {
+    return shard_engine_ ? shard_engine_->stats() : hsn::ShardEngineStats{};
+  }
 
  private:
   /// Schedules the fabric manager's repair for a just-injected failure

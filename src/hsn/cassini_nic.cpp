@@ -408,20 +408,21 @@ bool CassiniNic::accept_reliable(const Packet& p) {
   return true;
 }
 
-Result<CassiniNic::PreparedSend> CassiniNic::prepare_tx(EndpointId ep_id,
-                                                        const TxParams& tx,
-                                                        SimTime local_vt) {
+Result<SimTime> CassiniNic::prepare_tx_into(Packet& p, EndpointId ep_id,
+                                            const TxParams& tx,
+                                            SimTime local_vt) {
   // The validate/build/schedule prefix every TX verb shares: same field
   // setup, same accepted_vt, same locked seq + TX-horizon charge — so an
   // engine-driven op is bit-identical in virtual time to a legacy one,
   // and the two paths cannot drift.
   const auto ep = find_ep(ep_id);
   if (!ep) {
-    return Result<PreparedSend>(
+    return Result<SimTime>(
         not_found(strfmt("NIC %u: no endpoint %u", addr_, ep_id)));
   }
-  PreparedSend out;
-  Packet& p = out.packet;
+  // `p` may be a recycled pool slot; every field must match a freshly
+  // built packet bit-for-bit (hops, via_switch, arrival_vt included).
+  p = Packet{};
   p.src = addr_;
   p.dst = tx.dst;
   p.src_ep = ep_id;
@@ -440,15 +441,25 @@ Result<CassiniNic::PreparedSend> CassiniNic::prepare_tx(EndpointId ep_id,
   if (!tx.payload.empty()) {
     p.payload.assign(tx.payload.begin(), tx.payload.end());
   }
-  out.accepted_vt = local_vt + timing_->tx_overhead();
+  const SimTime accepted_vt = local_vt + timing_->tx_overhead();
   p.ser_cache = timing_->serialize_time(tx.size_bytes);
   p.ser_cache_bps = timing_->config().link_rate.bps();
   {
     std::lock_guard<SpinLock> lock(mutex_);
     p.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-    p.inject_vt = schedule_tx_locked(out.accepted_vt, ep->tc, p.ser_cache);
+    p.inject_vt = schedule_tx_locked(accepted_vt, ep->tc, p.ser_cache);
     ++tx_packets_;
   }
+  return Result<SimTime>(accepted_vt);
+}
+
+Result<CassiniNic::PreparedSend> CassiniNic::prepare_tx(EndpointId ep_id,
+                                                        const TxParams& tx,
+                                                        SimTime local_vt) {
+  PreparedSend out;
+  auto accepted = prepare_tx_into(out.packet, ep_id, tx, local_vt);
+  if (!accepted.is_ok()) return Result<PreparedSend>(accepted.status());
+  out.accepted_vt = accepted.value();
   return Result<PreparedSend>(std::move(out));
 }
 
@@ -462,6 +473,20 @@ Result<CassiniNic::PreparedSend> CassiniNic::prepare_send(
   tx.tag = tag;
   tx.size_bytes = size_bytes;
   return prepare_tx(ep_id, tx, local_vt);
+}
+
+Result<SimTime> CassiniNic::prepare_send_into(Packet& out, EndpointId ep_id,
+                                              NicAddr dst, EndpointId dst_ep,
+                                              std::uint64_t tag,
+                                              std::uint64_t size_bytes,
+                                              SimTime local_vt) {
+  TxParams tx;
+  tx.op = PacketOp::kSend;
+  tx.dst = dst;
+  tx.dst_ep = dst_ep;
+  tx.tag = tag;
+  tx.size_bytes = size_bytes;
+  return prepare_tx_into(out, ep_id, tx, local_vt);
 }
 
 Result<CassiniNic::PreparedSend> CassiniNic::prepare_rma_write(

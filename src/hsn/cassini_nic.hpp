@@ -278,6 +278,15 @@ class CassiniNic {
                                     EndpointId dst_ep, std::uint64_t tag,
                                     std::uint64_t size_bytes,
                                     SimTime local_vt);
+  /// Zero-copy variant of prepare_send for the engine's pooled staging:
+  /// builds the packet directly into caller-owned storage `out`
+  /// (typically a slot of a ShardEngine item pool) and returns the
+  /// accepted_vt, skipping the PreparedSend move chain on the
+  /// highest-rate verb.  `out` is only written on success.
+  Result<SimTime> prepare_send_into(Packet& out, EndpointId ep, NicAddr dst,
+                                    EndpointId dst_ep, std::uint64_t tag,
+                                    std::uint64_t size_bytes,
+                                    SimTime local_vt);
   /// Engine-side prefix of rdma_write(): same packet rdma_write would
   /// inject (payload copied when non-empty), same accepted_vt, seq and
   /// TX charge.  The completion (kRdmaWriteComplete via the target's
@@ -450,6 +459,11 @@ class CassiniNic {
   /// serialization cache, and the locked seq + TX-horizon charge.
   Result<PreparedSend> prepare_tx(EndpointId ep, const TxParams& tx,
                                   SimTime local_vt);
+  /// Core of prepare_tx, writing into caller-owned packet storage and
+  /// returning accepted_vt — the allocation-free form the engine's
+  /// pooled staging calls; prepare_tx wraps it for the by-value users.
+  Result<SimTime> prepare_tx_into(Packet& out, EndpointId ep,
+                                  const TxParams& tx, SimTime local_vt);
 
   [[nodiscard]] Endpoint* find_ep(EndpointId ep) const;
   /// Ensures a slot for `id` exists and returns it.  Caller holds mutex_.

@@ -200,5 +200,50 @@ TEST(ShardEngine, FlushDrainsRetransmitsBeforeReturning) {
   EXPECT_GT(f->reliability_totals().retransmits, 0u);
 }
 
+// A chaos burst grows the pooled staging (item pools, run-queue refs,
+// outboxes, notice queues) to the burst's high-water mark; the
+// post-flush trim must hand that memory back once smaller flushes prove
+// it dead, instead of pinning O(burst) capacity for the engine's
+// remaining lifetime.
+TEST(ShardEngine, LossyBurstDoesNotPinStagingMemory) {
+  TopologyConfig topo;
+  topo.kind = TopologyKind::kDragonfly;
+  topo.nodes_per_switch = 4;
+  topo.switches_per_group = 4;
+  topo.routing = RoutingPolicy::kUgal;
+  auto f = Fabric::create(64, flat_timing(), 0x57, topo);
+  FaultProfile lossy;
+  lossy.drop_rate = 0.05;
+  lossy.ack_loss_rate = 0.02;
+  f->set_fault_profile(lossy);
+  ReliabilityConfig rel;
+  rel.enabled = true;
+  f->set_reliability(rel);
+
+  ShardEngine engine(*f, 2);
+  const auto eps = open_endpoints(*f, 64);
+
+  // Burst: a deep backlog staged in one go, flushed under armed loss so
+  // retransmits and notices grow every staging container at once.
+  post_all_pairs(engine, eps, 64, 64);
+  engine.flush();
+  EXPECT_EQ(engine.in_flight(), 0u);
+  const std::size_t burst_bytes = engine.staging_bytes_reserved();
+  ASSERT_GT(burst_bytes, 0u);
+
+  // Steady state: small flushes.  The HWM trim needs one flush to
+  // observe the smaller mark and later ones to release above it.
+  for (int i = 0; i < 8; ++i) {
+    post_all_pairs(engine, eps, 64, 1);
+    engine.flush();
+    EXPECT_EQ(engine.in_flight(), 0u);
+  }
+  const std::size_t steady_bytes = engine.staging_bytes_reserved();
+  EXPECT_GT(engine.stats().staging_trims, 0u);
+  // The burst backlog was 64x the steady-state flush; anything within
+  // 2x of the burst capacity means the trim failed to release it.
+  EXPECT_LT(steady_bytes, burst_bytes / 2);
+}
+
 }  // namespace
 }  // namespace shs::hsn

@@ -721,6 +721,54 @@ LossyEpisode sharded_lossy_episode(hsn::RoutingPolicy policy,
   return e;
 }
 
+// Pinned golden digests for the sharded single-thread episodes,
+// recorded from the original heap-per-domain executor before the
+// batched-run-queue/pooled-staging rework.  The rework is a pure
+// storage and scheduling change under the same (domain, vt, seq) order,
+// so every digest must stay bit-identical — and because each tN leg
+// compares against the same t1 episode, the pins cover every thread
+// count the tests run.
+struct ShardedGoldens {
+  std::uint64_t minimal;
+  std::uint64_t valiant;
+  std::uint64_t ugal;
+  [[nodiscard]] std::uint64_t of(hsn::RoutingPolicy p) const {
+    switch (p) {
+      case hsn::RoutingPolicy::kMinimal:
+        return minimal;
+      case hsn::RoutingPolicy::kValiant:
+        return valiant;
+      case hsn::RoutingPolicy::kUgal:
+        return ugal;
+    }
+    return 0;
+  }
+};
+constexpr ShardedGoldens kRouteGoldenFt{0x3b14b508480f6d75ULL,
+                                        0x40939aa2e5c2fb6aULL,
+                                        0x4b23c0d0195e2685ULL};
+constexpr ShardedGoldens kRouteGoldenDf{0x299449f1c8e79b1fULL,
+                                        0x9ab87f2dd6f5c8ccULL,
+                                        0xc618933480255169ULL};
+constexpr ShardedGoldens kFailGoldenFt{0x8ee07b7ef1e87d77ULL,
+                                       0x316b448f3d240991ULL,
+                                       0x9b2ffbeb243f418fULL};
+constexpr ShardedGoldens kFailGoldenDf{0x4d2af63239519ea2ULL,
+                                       0x5896bb57027687f8ULL,
+                                       0x9647b3427e08a2a5ULL};
+constexpr ShardedGoldens kLossyGolden{0xacbb88a06ea6fb2bULL,
+                                      0x70e2eafa2fa5e28dULL,
+                                      0x96bcdd308b848508ULL};
+constexpr ShardedGoldens kRmaGolden{0x0a7bc221f12cb93cULL,
+                                    0xcadf950de5a226c7ULL,
+                                    0xc4bdb7663ceea466ULL};
+constexpr ShardedGoldens kRmaFailGolden{0xcbdea6c1505287f6ULL,
+                                        0xde8019dc4520f813ULL,
+                                        0x8fb8016be8e29336ULL};
+constexpr ShardedGoldens kRmaLossyGolden{0xe05dbea1ff002d97ULL,
+                                         0x439720fa8daf142aULL,
+                                         0x3be12ac6902ba7bfULL};
+
 TEST(ShardedDataPlaneDeterminism, RoutedTracesMatchAcrossThreadCounts) {
   for (const auto policy :
        {hsn::RoutingPolicy::kMinimal, hsn::RoutingPolicy::kValiant,
@@ -734,6 +782,7 @@ TEST(ShardedDataPlaneDeterminism, RoutedTracesMatchAcrossThreadCounts) {
     fat_tree.routing = policy;
     const auto ft1 = sharded_trace(fat_tree, 32, 0xd3ad, 1);
     EXPECT_FALSE(ft1.empty());
+    EXPECT_EQ(trace_digest(ft1), kRouteGoldenFt.of(policy));
     EXPECT_EQ(ft1, sharded_trace(fat_tree, 32, 0xd3ad, 4));
 
     hsn::TopologyConfig dragonfly;
@@ -743,7 +792,9 @@ TEST(ShardedDataPlaneDeterminism, RoutedTracesMatchAcrossThreadCounts) {
     dragonfly.routing = policy;
     const auto df1 = sharded_trace(dragonfly, 64, 0xd3ad, 1);
     EXPECT_FALSE(df1.empty());
+    EXPECT_EQ(trace_digest(df1), kRouteGoldenDf.of(policy));
     EXPECT_EQ(df1, sharded_trace(dragonfly, 64, 0xd3ad, 2));
+    EXPECT_EQ(df1, sharded_trace(dragonfly, 64, 0xd3ad, 3));
     EXPECT_EQ(df1, sharded_trace(dragonfly, 64, 0xd3ad, 4));
     // A different seed still reshuffles results (guards against the
     // engine collapsing to something seed-independent).
@@ -768,6 +819,7 @@ TEST(ShardedDataPlaneDeterminism, FailureEpisodesMatchAcrossThreadCounts) {
         sharded_failure_episode(fat_tree, 32, /*switch=*/true, 5, 0, 0xfade,
                                 1);
     EXPECT_GT(ft1.delivered, 0u);
+    EXPECT_EQ(episode_digest(ft1), kFailGoldenFt.of(policy));
     EXPECT_EQ(ft1, sharded_failure_episode(fat_tree, 32, true, 5, 0, 0xfade,
                                            4));
 
@@ -779,6 +831,9 @@ TEST(ShardedDataPlaneDeterminism, FailureEpisodesMatchAcrossThreadCounts) {
     const auto df1 = sharded_failure_episode(dragonfly, 64, /*switch=*/false,
                                              2, 8, 0xfade, 1);
     EXPECT_GT(df1.delivered, 0u);
+    EXPECT_EQ(episode_digest(df1), kFailGoldenDf.of(policy));
+    EXPECT_EQ(df1, sharded_failure_episode(dragonfly, 64, false, 2, 8,
+                                           0xfade, 3));
     EXPECT_EQ(df1, sharded_failure_episode(dragonfly, 64, false, 2, 8,
                                            0xfade, 4));
     if (policy == hsn::RoutingPolicy::kMinimal) {
@@ -799,7 +854,10 @@ TEST(ShardedDataPlaneDeterminism, LossyEpisodesMatchAcrossThreadCounts) {
     EXPECT_GT(a.dropped_loss, 0u);
     EXPECT_GT(a.retransmits, 0u);
     EXPECT_GT(a.duplicates, 0u);
+    EXPECT_EQ(lossy_episode_digest(a), kLossyGolden.of(policy));
     const LossyEpisode b = sharded_lossy_episode(policy, 0xfeed, 4);
+    EXPECT_EQ(lossy_episode_digest(a),
+              lossy_episode_digest(sharded_lossy_episode(policy, 0xfeed, 3)));
     EXPECT_EQ(lossy_episode_digest(a), lossy_episode_digest(b));
     EXPECT_EQ(a.delivered, b.delivered);
     EXPECT_EQ(a.retransmits, b.retransmits);
@@ -1000,8 +1058,11 @@ TEST(ShardedDataPlaneDeterminism, RmaEpisodesMatchAcrossThreadCounts) {
     EXPECT_FALSE(a.events.empty());
     EXPECT_GT(a.rma_denied, 0u);
     const auto da = rma_episode_digest(a);
+    EXPECT_EQ(da, kRmaGolden.of(policy));
     EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
                       policy, false, false, 0x51a, 2)));
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, false, false, 0x51a, 3)));
     EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
                       policy, false, false, 0x51a, 4)));
   }
@@ -1016,8 +1077,11 @@ TEST(ShardedDataPlaneDeterminism, RmaFailureEpisodesMatchAcrossThreadCounts) {
                                              /*lossy=*/false, 0x51b, 1);
     EXPECT_GT(a.delivered, 0u);
     const auto da = rma_episode_digest(a);
+    EXPECT_EQ(da, kRmaFailGolden.of(policy));
     EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
                       policy, true, false, 0x51b, 2)));
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, true, false, 0x51b, 3)));
     EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
                       policy, true, false, 0x51b, 4)));
   }
@@ -1036,8 +1100,11 @@ TEST(ShardedDataPlaneDeterminism, LossyRmaEpisodesMatchAcrossThreadCounts) {
     EXPECT_GT(a.retransmits, 0u);
     EXPECT_GT(a.rma_denied, 0u);
     const auto da = rma_episode_digest(a);
+    EXPECT_EQ(da, kRmaLossyGolden.of(policy));
     EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
                       policy, true, true, 0x51c, 2)));
+    EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
+                      policy, true, true, 0x51c, 3)));
     EXPECT_EQ(da, rma_episode_digest(sharded_rma_episode(
                       policy, true, true, 0x51c, 4)));
     // A different seed genuinely reshuffles the episode.

@@ -59,6 +59,14 @@ TEST(StackConfigTest, DataPlaneThreadsWiresShardEngine) {
   ASSERT_NE(sharded.shard_engine(), nullptr);
   EXPECT_EQ(sharded.shard_engine()->threads(), 2);
   EXPECT_GE(sharded.shard_engine()->domain_count(), 1u);
+
+  // Engine perf counters surface through the stack-metrics API (all
+  // zeros before any flush, and on the legacy stack).
+  EXPECT_EQ(legacy.data_plane_stats().flushes, 0u);
+  const auto stats = sharded.data_plane_stats();
+  EXPECT_EQ(stats.flushes, 0u);
+  EXPECT_EQ(stats.items_stepped, 0u);
+  EXPECT_EQ(stats.pool_hit_rate(), 0.0);
 }
 
 TEST(StackSubmitTest, RejectsNamelessJob) {
