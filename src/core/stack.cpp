@@ -1,5 +1,8 @@
 #include "core/stack.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "core/webhook_codec.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -76,6 +79,16 @@ SlingshotStack::SlingshotStack(StackConfig config)
   // Data-plane failures repair through the event loop (detection +
   // reprogramming delay), not synchronously at injection time.
   fabric_->manager().set_auto_repair(false);
+  // Control-plane crash safety: the fabric manager journals failure
+  // events and publish intents alongside the VNI ground truth, so a
+  // controller crash recovers from the same ACID store (its table is
+  // private; the registry never scans it).
+  fabric_->manager().attach_journal(*db_);
+  if (config_.publish_stagger > 0) {
+    fabric_->manager().set_publish_stagger(
+        {true, config_.publish_stagger, config_.seed ^ 0x57a66e5ULL});
+  }
+  if (config_.fm_watchdog) start_fm_watchdog();
 
   if (config_.reliability.enabled) {
     fabric_->set_reliability(config_.reliability);
@@ -202,12 +215,74 @@ void SlingshotStack::schedule_reroute() {
   const SimTime injected = loop_.now();
   loop_.schedule_after(config_.fm_reroute_delay, [this, injected] {
     fabric_->manager().repair();
+    schedule_publish_waves();
     last_reroute_latency_ = loop_.now() - injected;
     total_reroute_latency_ += last_reroute_latency_;
     ++reroute_events_;
     SHS_INFO(kTag) << "fabric re-route completed "
                    << to_micros(last_reroute_latency_)
                    << " us after injection";
+  });
+}
+
+void SlingshotStack::schedule_publish_waves() {
+  hsn::FabricManager& fm = fabric_->manager();
+  if (!fm.publish_pending()) return;
+  if (shard_engine_ != nullptr) {
+    // The engine drains one wave per window barrier — its only
+    // all-workers-quiescent points — which keeps mixed-epoch routing
+    // bit-identical across thread counts.  Scheduling loop callbacks
+    // too would race the barrier drain nondeterministically.
+    return;
+  }
+  const std::uint64_t gen = fm.publish_generation();
+  for (const SimDuration d : fm.pending_publish_delays()) {
+    loop_.schedule_after(d, [this, d, gen] {
+      fabric_->manager().apply_publishes_older_than(d, gen);
+    });
+  }
+}
+
+void SlingshotStack::start_fm_watchdog() {
+  loop_.schedule_periodic(config_.fm_watchdog_interval, [this] {
+    hsn::FabricManager& fm = fabric_->manager();
+    if (!fm.crashed()) {
+      if (fm_degraded_) {
+        // Recovered out-of-band (a harness called restart() directly).
+        fabric_->set_degraded(false);
+        fm_degraded_ = false;
+        fm_restart_backoff_ = 0;
+      }
+      return;
+    }
+    fm_downtime_vt_ += config_.fm_watchdog_interval;
+    if (!fm_degraded_) {
+      // First detection: degrade the data plane (stretched retry
+      // budgets on replan-dependent drops) and give the controller one
+      // backoff interval to come back before forcing a restart.
+      fm_degraded_ = true;
+      fabric_->set_degraded(true);
+      fm_restart_backoff_ = 1;
+      fm_next_restart_vt_ = loop_.now() + config_.fm_watchdog_interval;
+      SHS_INFO(kTag) << "fabric manager DOWN: degraded mode engaged";
+      return;
+    }
+    if (loop_.now() < fm_next_restart_vt_) return;
+    const Status st = fm.restart();
+    if (st.is_ok()) {
+      fabric_->set_degraded(false);
+      fm_degraded_ = false;
+      fm_restart_backoff_ = 0;
+      schedule_publish_waves();
+      if (fm.repair_pending()) schedule_reroute();
+      SHS_INFO(kTag) << "fabric manager restarted; degraded mode cleared";
+    } else {
+      fm_restart_backoff_ = std::min(fm_restart_backoff_ * 2, 8);
+      fm_next_restart_vt_ =
+          loop_.now() + fm_restart_backoff_ * config_.fm_watchdog_interval;
+      SHS_WARN(kTag) << "fabric manager restart failed (" << st
+                     << "); backing off";
+    }
   });
 }
 

@@ -79,6 +79,20 @@ struct StackConfig {
   /// of them); per-seed results are bit-identical across thread counts
   /// when `timing.jitter_amplitude` is 0; see docs/performance.md.
   int data_plane_threads = 0;
+  /// Staggered plan publish (docs/fault_tolerance.md, "Control-plane
+  /// fault tolerance"): maximum per-switch apply delay after a repair
+  /// commits a new plan epoch.  0 (the default) keeps the legacy
+  /// instantaneous everywhere-at-once publish.  With a ShardEngine the
+  /// waves drain deterministically at window barriers; in synchronous
+  /// mode they drain from the event loop.
+  SimDuration publish_stagger = 0;
+  /// Fabric-manager watchdog: polls FM health every
+  /// `fm_watchdog_interval`; on a crash it flips every NIC into degraded
+  /// mode (stretched retry budgets for replan-dependent drops), attempts
+  /// restart with exponential backoff, and accumulates fm_downtime_vt().
+  /// Off by default — only the chaos/recovery harnesses arm crashes.
+  bool fm_watchdog = false;
+  SimDuration fm_watchdog_interval = from_millis(2);
   std::uint64_t seed = 0x5005;
   /// Install the CXI CNI plugin into the chain.  Disabling it models a
   /// stock cluster (pods with vni annotations then fail to launch).
@@ -188,6 +202,12 @@ class SlingshotStack {
   // virtual time — the honest failure window during which packets
   // committed to the dead element are lost.  The scheduler sees switch
   // health through its probe and drains/avoids unhealthy switches.
+  /// Simulated k8s control-plane process restarts: the controller drops
+  /// its in-memory state (in-flight API writes die with it) and rebuilds
+  /// level-triggered from the API server.
+  void restart_scheduler() { scheduler_->restart_from_api(); }
+  void restart_job_controller() { job_controller_->restart_from_api(); }
+
   Status fail_link(hsn::SwitchId a, hsn::SwitchId b);
   Status restore_link(hsn::SwitchId a, hsn::SwitchId b);
   Status fail_switch(hsn::SwitchId s);
@@ -230,10 +250,36 @@ class SlingshotStack {
     return shard_engine_ ? shard_engine_->stats() : hsn::ShardEngineStats{};
   }
 
+  // -- Control-plane recovery observability (all zeros unless a crash
+  //    was armed via fabric().manager().arm_crash and fm_watchdog is on).
+
+  /// Virtual time the watchdog observed the fabric manager down
+  /// (accumulated per watchdog tick while crashed).
+  [[nodiscard]] SimDuration fm_downtime_vt() const noexcept {
+    return fm_downtime_vt_;
+  }
+  /// Fabric-wide packets dropped because a switch's applied plan lagged
+  /// the committed epoch (DropReason::kStaleEpoch) — the observable cost
+  /// of staggered publishing, never silent loss.
+  [[nodiscard]] std::uint64_t stale_epoch_drops() const {
+    return fabric_->total_counters().dropped_stale_epoch;
+  }
+  /// Successful fabric-manager restart recoveries (journal replay +
+  /// republish).
+  [[nodiscard]] std::size_t recovered_publishes() const {
+    return fabric_->manager().recovered_publishes();
+  }
+
  private:
   /// Schedules the fabric manager's repair for a just-injected failure
   /// or restore and records the re-route latency metric when it lands.
   void schedule_reroute();
+  /// Drains a staggered publish's apply waves from the event loop (the
+  /// synchronous-mode path; under a ShardEngine the waves drain at
+  /// window barriers instead).
+  void schedule_publish_waves();
+  /// Starts the periodic fabric-manager health watchdog (fm_watchdog).
+  void start_fm_watchdog();
 
   StackConfig config_;
   sim::EventLoop loop_;
@@ -253,6 +299,11 @@ class SlingshotStack {
   std::size_t reroute_events_ = 0;
   SimDuration last_reroute_latency_ = 0;
   SimDuration total_reroute_latency_ = 0;
+  // -- Fabric-manager watchdog state (see start_fm_watchdog).
+  bool fm_degraded_ = false;
+  int fm_restart_backoff_ = 0;  ///< restart backoff, in watchdog ticks
+  SimTime fm_next_restart_vt_ = 0;
+  SimDuration fm_downtime_vt_ = 0;
 };
 
 }  // namespace shs::core

@@ -125,7 +125,13 @@ Status Transaction::commit() {
   // 2. Apply to the live tables.  A simulated crash stops halfway.
   const bool crash = db_.crash_next_commit_;
   db_.crash_next_commit_ = false;
-  const std::size_t apply_n = crash ? ops_.size() / 2 : ops_.size();
+  std::size_t apply_n = ops_.size();
+  if (crash) {
+    apply_n = db_.crash_after_ops_
+                  ? std::min(*db_.crash_after_ops_, ops_.size())
+                  : ops_.size() / 2;
+    db_.crash_after_ops_.reset();
+  }
   for (std::size_t i = 0; i < apply_n; ++i) {
     const Status st = db_.apply_locked(ops_[i]);
     if (!st.is_ok()) {
@@ -251,6 +257,12 @@ Status Database::apply_locked(const Transaction::Op& op) {
 void Database::crash_on_commit() noexcept {
   std::lock_guard<std::mutex> lock(write_mutex_);
   crash_next_commit_ = true;
+}
+
+void Database::crash_on_commit_after_ops(std::size_t n) noexcept {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  crash_next_commit_ = true;
+  crash_after_ops_ = n;
 }
 
 bool Database::crashed() const noexcept {

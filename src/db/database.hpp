@@ -136,6 +136,11 @@ class Database {
   /// already durable.  The database enters the `crashed` state and every
   /// subsequent call fails until `recover()` runs.
   void crash_on_commit() noexcept;
+  /// Like `crash_on_commit()`, but pins the power cut to an exact op
+  /// boundary: the next commit applies `min(n, op_count)` ops and then
+  /// crashes.  Lets tests sweep every intermediate state of a
+  /// multi-op transaction.
+  void crash_on_commit_after_ops(std::size_t n) noexcept;
   [[nodiscard]] bool crashed() const noexcept;
   /// Rebuilds all tables by replaying the committed journal; clears the
   /// crashed state.  Demonstrates atomicity: the half-applied commit is
@@ -165,6 +170,7 @@ class Database {
   std::unordered_map<std::string, TableData> tables_;
   std::vector<JournalEntry> journal_;
   bool crash_next_commit_ = false;
+  std::optional<std::size_t> crash_after_ops_;  ///< op boundary override
   bool crashed_ = false;
 };
 

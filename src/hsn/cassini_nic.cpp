@@ -37,6 +37,8 @@ Status drop_status(DropReason r) {
       return unavailable("fabric: delivery unacknowledged (ACK lost)");
     case DropReason::kRxOverflow:
       return resource_exhausted("nic: receiver RX ring overflow");
+    case DropReason::kStaleEpoch:
+      return unavailable("switch: routing plan lags the committed epoch");
     case DropReason::kNone:
       break;
   }
@@ -282,6 +284,7 @@ bool CassiniNic::transient_reason(DropReason r) noexcept {
     case DropReason::kLossInjected:
     case DropReason::kCorrupt:
     case DropReason::kAckLost:
+    case DropReason::kStaleEpoch:    // a lagging switch will apply the plan
       return true;
     default:
       return false;
@@ -295,6 +298,24 @@ Status CassiniNic::drop_status_for(DropReason r) const {
         rel_.max_retries + 1, drop_reason_name(r)));
   }
   return drop_status(r);
+}
+
+int CassiniNic::retry_budget(DropReason r) const noexcept {
+  const int base = std::max(rel_.max_retries, 0);
+  if (!degraded_.load(std::memory_order_relaxed)) return base;
+  switch (r) {
+    case DropReason::kLinkDown:
+    case DropReason::kNoRoute:
+    case DropReason::kStaleEpoch: {
+      // Only the replan-dependent reasons stretch: a lossy link or CRC
+      // failure retries the same whether or not the controller is up.
+      const double f = rel_.degraded_retry_factor;
+      return f > 1.0 ? static_cast<int>(static_cast<double>(base) * f)
+                     : base;
+    }
+    default:
+      return base;
+  }
 }
 
 std::uint64_t CassiniNic::plan_version_now() const {
@@ -346,7 +367,7 @@ RouteResult CassiniNic::inject_reliable(Packet& proto, SimTime& vt_io) {
       }
       return rr;
     }
-    if (!transient_reason(rr.reason) || attempt >= rel_.max_retries) {
+    if (!transient_reason(rr.reason) || attempt >= retry_budget(rr.reason)) {
       if (transient_reason(rr.reason)) {
         counters_.rel_budget_exhausted.fetch_add(1,
                                                  std::memory_order_relaxed);

@@ -118,6 +118,12 @@ struct ReliabilityConfig {
   /// Receiver-side duplicate-suppression window: most recent (src, seq)
   /// pairs remembered per NIC.
   std::size_t dedup_window = 1 << 14;
+  /// Degraded mode (control plane down, see docs/fault_tolerance.md):
+  /// multiplier on max_retries for drops only a republish can cure
+  /// (kLinkDown / kNoRoute / kStaleEpoch) — instead of failing fast on a
+  /// replan that cannot arrive, the op stretches its budget and rides
+  /// out the outage.  <= 1 disables the stretch.
+  double degraded_retry_factor = 2.0;
 };
 
 /// Reliable-delivery accounting, per NIC (Fabric::reliability_totals()
@@ -254,6 +260,22 @@ class CassiniNic {
   using RetryHook = std::function<void(int attempt, SimDuration backoff)>;
   void set_retry_hook(RetryHook hook) { retry_hook_ = std::move(hook); }
   [[nodiscard]] ReliabilityCounters reliability_counters() const;
+
+  /// Degraded mode: flipped by the stack's fabric-manager watchdog while
+  /// the control plane is down/restarting.  Replan-dependent failures
+  /// then retry against the stretched budget (degraded_retry_factor)
+  /// instead of failing fast waiting for a republish that cannot come.
+  void set_degraded(bool on) noexcept {
+    degraded_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  /// Retry budget for an op whose last attempt failed with `r`:
+  /// max_retries, stretched by degraded_retry_factor while degraded for
+  /// the replan-dependent reasons.  Consulted by inject_reliable and the
+  /// ShardEngine's retry staging.
+  [[nodiscard]] int retry_budget(DropReason r) const noexcept;
 
   // -- Sharded data-plane engine hooks (see hsn/shard_engine.hpp).  The
   //    engine splits post_send into prepare (build + TX scheduling,
@@ -562,6 +584,9 @@ class CassiniNic {
   // -- Reliable-delivery state.
   ReliabilityConfig rel_;
   RetryHook retry_hook_;
+  /// Degraded-mode flag (see set_degraded); relaxed atomic so the
+  /// watchdog can flip it without taking the NIC's data-path lock.
+  std::atomic<bool> degraded_{false};
   /// Backoff-jitter stream (guarded by mutex_; reseeded per NIC so
   /// retry schedules decorrelate across senders but stay per-seed
   /// deterministic).

@@ -151,6 +151,12 @@ class Fabric {
   void set_retry_hook(const CassiniNic::RetryHook& hook) {
     for (auto& nic : nics_) nic->set_retry_hook(hook);
   }
+  /// Flips every NIC's degraded-mode flag (control plane down —
+  /// replan-dependent retries stretch their budget; see
+  /// ReliabilityConfig::degraded_retry_factor).
+  void set_degraded(bool on) noexcept {
+    for (auto& nic : nics_) nic->set_degraded(on);
+  }
   /// Reliability accounting summed across every NIC.
   [[nodiscard]] ReliabilityCounters reliability_totals() const;
   /// Total NIC-side RX-ring overflow drops (DropReason::kRxOverflow).

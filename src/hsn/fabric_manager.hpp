@@ -21,15 +21,41 @@
 //     reprogramming delay, which opens an honest loss window and yields
 //     the stack's re-route latency metric.
 //
+// Control-plane robustness (docs/fault_tolerance.md, "Control-plane
+// fault tolerance"):
+//   * Staggered publish: set_publish_stagger switches publishing from the
+//     atomic everywhere-at-once swap to per-switch apply waves with a
+//     seeded per-switch delay.  The fabric manager first *commits* the
+//     new epoch (a shared atomic every switch reads), then applies the
+//     compiled plan switch by switch — drivers drain the waves either at
+//     ShardEngine barriers (apply_next_publish_wave) or from the event
+//     loop (apply_publishes_older_than).  While a switch's applied plan
+//     lags the committed epoch, its epoch-curable drops are counted as
+//     DropReason::kStaleEpoch.
+//   * Crash/restart: attach_journal records every failure event and
+//     publish intent in a db::Database redo journal; arm_crash injects a
+//     controller kill at a chosen crash-point; restart() replays the
+//     journal, sweeps the data-plane hardware state for unjournaled
+//     events, completes any half-published plan, and converges to a
+//     state byte-identical to an uncrashed run.
+//   * While crashed, the manager stops journaling and republishing but
+//     the data plane keeps routing on each switch's last-applied plan;
+//     physical failure injections still program the switches (dead
+//     silicon does not wait for software).
+//
 // VNI enforcement is deliberately out of scope: ACLs live on the edge
 // switches and are untouched by republishing, so a detoured packet is
 // still checked at both edges.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_set>
+#include <variant>
 #include <vector>
 
 #include "hsn/rosetta_switch.hpp"
@@ -37,7 +63,49 @@
 #include "hsn/types.hpp"
 #include "util/status.hpp"
 
+namespace shs::db {
+class Database;
+}
+
 namespace shs::hsn {
+
+/// Staggered-publish configuration.  Disabled (the default) keeps the
+/// legacy instantaneous swap bit-identical.  When enabled, each publish
+/// assigns every switch a deterministic apply delay in
+/// [0, max_delay] drawn from (seed, plan version, switch id).
+struct PublishStagger {
+  bool enabled = false;
+  SimDuration max_delay = 0;
+  std::uint64_t seed = 0x57a6;
+};
+
+/// Control-plane crash injection: where in the repair/publish sequence
+/// the next repair "loses power".  One-shot: the armed point fires once
+/// and the manager enters the crashed state until restart().
+struct ControlPlaneFaultProfile {
+  enum class CrashPoint : std::uint8_t {
+    kNone = 0,
+    /// Before the publish intent reaches the journal: the failure events
+    /// are journaled but the replan is not — restart leaves the repair
+    /// pending and a subsequent repair() converges.
+    kBeforeJournal,
+    /// Intent journaled, nothing recomputed or programmed yet.
+    kAfterJournal,
+    /// Plan recomputed in memory, no switch reprogrammed.
+    kBeforePublish,
+    /// Mid-publish: `publish_after_switches` switches carry the new plan,
+    /// the rest still route the old one (instant mode); in stagger mode
+    /// the waves are staged but never drained.  Restart replays the
+    /// half-published plan onto every switch.
+    kMidPublish,
+    /// Everything published; the crash hits after completion.
+    kAfterPublish,
+  };
+  CrashPoint point = CrashPoint::kNone;
+  /// kMidPublish, instant mode: switches that receive the new plan
+  /// before the crash.
+  std::size_t publish_after_switches = 0;
+};
 
 class FabricManager {
  public:
@@ -74,6 +142,58 @@ class FabricManager {
   /// never bumps the plan version of a healthy fabric.
   std::uint64_t repair_if_pending();
 
+  // -- Staggered publish (see PublishStagger).
+
+  void set_publish_stagger(const PublishStagger& s);
+  /// True while staged per-switch applies are outstanding.  Lock-free —
+  /// this is the one-relaxed-load idle check on the ShardEngine barrier
+  /// path.
+  [[nodiscard]] bool publish_pending() const noexcept {
+    return publish_pending_.load(std::memory_order_relaxed);
+  }
+  /// Applies the earliest-delay wave of staged publishes (all switches
+  /// sharing the minimum outstanding delay).  Called with the data plane
+  /// quiescent (ShardEngine barriers) so the wave boundary is
+  /// deterministic and thread-count invariant.
+  void apply_next_publish_wave();
+  /// Applies every staged publish with delay <= `d`, provided `gen`
+  /// still names the staging generation (stale event-loop callbacks from
+  /// a superseded publish are ignored).
+  void apply_publishes_older_than(SimDuration d, std::uint64_t gen);
+  /// Drains every staged publish immediately.
+  void apply_all_publishes();
+  [[nodiscard]] std::size_t pending_publish_count() const;
+  /// Distinct outstanding apply delays, ascending — what the stack
+  /// schedules event-loop callbacks for.
+  [[nodiscard]] std::vector<SimDuration> pending_publish_delays() const;
+  /// Bumped every time a publish (re)stages waves; restart() bumps it
+  /// too so scheduled callbacks from before the crash are ignored.
+  [[nodiscard]] std::uint64_t publish_generation() const;
+  /// The plan epoch the manager has committed (switch applies may lag).
+  [[nodiscard]] std::uint64_t committed_epoch() const noexcept;
+
+  // -- Crash/restart (see ControlPlaneFaultProfile).
+
+  /// Records every failure event and publish intent in `db` (table
+  /// "fm_journal", created if absent).  The database must outlive the
+  /// manager.  Journal writes tolerate database faults (logged, never
+  /// fatal to the control loop).
+  void attach_journal(db::Database& db);
+  /// Arms a one-shot crash at the given point of the next repair.
+  void arm_crash(const ControlPlaneFaultProfile& profile);
+  [[nodiscard]] bool crashed() const;
+  /// Recovers a crashed manager: recovers the journal database if it
+  /// crashed too, replays the journal to the last published plan
+  /// (recomputed deterministically, so byte-identical to the uncrashed
+  /// publish), sweeps switch hardware state for failures injected while
+  /// down (re-journaling the delta), completes any half-published plan
+  /// with an instant publish to every switch, and leaves repair_pending
+  /// set iff failures accumulated past the last publish.  Fails on a
+  /// manager that has not crashed.
+  Status restart();
+  /// Successful restart() recoveries so far.
+  [[nodiscard]] std::size_t recovered_publishes() const;
+
   // -- Observation.
   [[nodiscard]] SwitchHealth switch_health(SwitchId s) const;
   [[nodiscard]] bool link_up(SwitchId a, SwitchId b) const;
@@ -101,15 +221,38 @@ class FabricManager {
   [[nodiscard]] std::size_t failed_switch_count() const;
 
  private:
+  struct PendingApply {
+    SimDuration delay = 0;
+    SwitchId sw = 0;
+  };
+
   /// Applies the effective up/down state of both directions of the
   /// physical link (a, b) to the owning switches.  Caller holds mutex_.
   void sync_link_state_locked(SwitchId a, SwitchId b);
   std::uint64_t repair_locked();
-  /// Compiles `current_` into flat tables and swaps the snapshot into
-  /// every switch.  Reuses the retired compiled buffers from two
-  /// publishes ago when no switch references them anymore.  Caller
-  /// holds mutex_.
+  /// Compiles `current_` into flat tables, commits the epoch, and either
+  /// swaps the snapshot into every switch (instant mode) or stages
+  /// per-switch apply waves (stagger mode).  Reuses the retired compiled
+  /// buffers from two publishes ago when no switch references them
+  /// anymore.  Honors an armed kMidPublish crash.  Caller holds mutex_.
   void publish_locked();
+  /// Instant-mode publish of `current_` to every switch, no crash
+  /// points, clearing any staged waves — the restart recovery path.
+  /// Caller holds mutex_.
+  void publish_all_now_locked();
+  /// Installs the live compiled snapshot on switch `sw`.  Caller holds
+  /// mutex_.
+  void apply_to_switch_locked(SwitchId sw);
+  /// Stages one PendingApply per switch with its seeded delay, sorted by
+  /// (delay, switch id).  Caller holds mutex_.
+  void stage_publish_locked();
+  /// One-shot transition into the crashed state.  Caller holds mutex_.
+  void enter_crash_locked();
+  /// Appends `rows` to the journal in one transaction; no-op without an
+  /// attached (healthy) journal database.  Caller holds mutex_.
+  void journal_rows_locked(const std::vector<std::vector<
+                               std::variant<std::monostate, std::int64_t,
+                                            std::string>>>& rows);
   [[nodiscard]] bool has_link_locked(SwitchId from, SwitchId to) const;
 
   mutable std::mutex mutex_;
@@ -136,6 +279,22 @@ class FabricManager {
   bool repair_pending_ = false;
   std::uint64_t version_ = 0;
   std::size_t replans_ = 0;
+
+  // -- Staggered publish.
+  PublishStagger stagger_;
+  /// The committed plan epoch, shared with every switch (see
+  /// RosettaSwitch::set_committed_epoch_source).
+  std::shared_ptr<std::atomic<std::uint64_t>> committed_epoch_cell_;
+  std::atomic<bool> publish_pending_{false};
+  /// Staged per-switch applies, ascending (delay, switch id).
+  std::vector<PendingApply> pending_applies_;
+  std::uint64_t publish_seq_ = 0;
+
+  // -- Crash/restart.
+  db::Database* journal_db_ = nullptr;
+  ControlPlaneFaultProfile crash_profile_;
+  bool crashed_ = false;
+  std::size_t recovered_publishes_ = 0;
 };
 
 }  // namespace shs::hsn

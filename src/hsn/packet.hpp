@@ -87,6 +87,12 @@ struct SwitchCounters {
   /// hop.  Both zero unless a FaultProfile has been armed.
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_corrupt = 0;
+  /// Packets that could only make progress under a plan epoch the fabric
+  /// manager has committed but this switch has not applied yet (the
+  /// staggered-publish window): the drop site saw no route / a dead next
+  /// hop while its CompiledPlan version lagged the committed epoch.
+  /// Counted, never silent — retransmits carry the op across the epoch.
+  std::uint64_t dropped_stale_epoch = 0;
   /// Reliable packets that WERE delivered but whose link-level ACK was
   /// lost on the way back: the receiver has the data, the sender sees a
   /// failure and retransmits (the duplicate is suppressed NIC-side).
@@ -104,7 +110,7 @@ struct SwitchCounters {
   [[nodiscard]] std::uint64_t dropped_total() const noexcept {
     return dropped_src_unauthorized + dropped_dst_unauthorized +
            dropped_unknown_dst + dropped_no_route + dropped_link_down +
-           dropped_loss + dropped_corrupt;
+           dropped_loss + dropped_corrupt + dropped_stale_epoch;
   }
 
   SwitchCounters& operator+=(const SwitchCounters& c) noexcept {
@@ -116,6 +122,7 @@ struct SwitchCounters {
     dropped_link_down += c.dropped_link_down;
     dropped_loss += c.dropped_loss;
     dropped_corrupt += c.dropped_corrupt;
+    dropped_stale_epoch += c.dropped_stale_epoch;
     ack_lost += c.ack_lost;
     bytes_delivered += c.bytes_delivered;
     forwarded += c.forwarded;

@@ -25,6 +25,7 @@ const char* drop_reason_name(DropReason r) noexcept {
     case DropReason::kCorrupt: return "corrupt";
     case DropReason::kAckLost: return "ack_lost";
     case DropReason::kRxOverflow: return "rx_overflow";
+    case DropReason::kStaleEpoch: return "stale_epoch";
   }
   return "unknown";
 }
@@ -220,6 +221,17 @@ LinkState RosettaSwitch::uplink_state(SwitchId peer) const {
   std::lock_guard<SpinLock> lock(mutex_);
   const Uplink* up = uplink_at(peer);
   return up == nullptr ? LinkState::kDown : up->state;
+}
+
+void RosettaSwitch::set_committed_epoch_source(
+    std::shared_ptr<const std::atomic<std::uint64_t>> src) {
+  std::lock_guard<SpinLock> lock(mutex_);
+  committed_epoch_ = std::move(src);
+}
+
+std::uint64_t RosettaSwitch::applied_epoch() const {
+  std::lock_guard<SpinLock> lock(mutex_);
+  return plan_ != nullptr ? plan_->version : 0;
 }
 
 void RosettaSwitch::rearm_faults_locked() noexcept {
@@ -602,7 +614,24 @@ RosettaSwitch::AdmitStep RosettaSwitch::admit_step(Packet& p, bool check_src,
                             ? choose_route_locked(p, home, *vni_counters)
                             : static_next_locked(target);
     Uplink* next_up = nh == kInvalidSwitch ? nullptr : uplink_at(nh);
+    // Epoch fencing: while this switch's applied plan lags the fabric
+    // manager's committed epoch (the staggered-publish window), a drop
+    // that a newer plan could cure — no route, or a dead static next hop
+    // — is the publish lag showing, not a routing fault.  Reclassified
+    // as kStaleEpoch so it is observable and the NIC's reliability layer
+    // can stretch its retry budget across the window.  Transient flaps
+    // and failed switches below are NOT epoch-curable and keep their
+    // legacy classification.
+    const bool stale_epoch =
+        committed_epoch_ != nullptr && plan_ != nullptr &&
+        plan_->version < committed_epoch_->load(std::memory_order_relaxed);
     if (ttl <= 0 || next_up == nullptr) {
+      if (stale_epoch) {
+        ++totals_.dropped_stale_epoch;
+        ++vni_counters->dropped_stale_epoch;
+        step.result.reason = DropReason::kStaleEpoch;
+        return step;
+      }
       ++totals_.dropped_no_route;
       ++vni_counters->dropped_no_route;
       step.result.reason = DropReason::kNoRoute;
@@ -612,6 +641,12 @@ RosettaSwitch::AdmitStep RosettaSwitch::admit_step(Packet& p, bool check_src,
       // The route exists but its link is dead: either the packet was
       // already committed to this hop when the failure hit, or the
       // fabric manager has not republished repaired tables yet.
+      if (stale_epoch) {
+        ++totals_.dropped_stale_epoch;
+        ++vni_counters->dropped_stale_epoch;
+        step.result.reason = DropReason::kStaleEpoch;
+        return step;
+      }
       ++totals_.dropped_link_down;
       ++vni_counters->dropped_link_down;
       step.result.reason = DropReason::kLinkDown;

@@ -36,6 +36,7 @@
 // it to the fabric manager and scheduler telemetry.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -67,6 +68,11 @@ enum class DropReason : std::uint8_t {
   kCorrupt,            ///< fault model: CRC failure discarded at next hop
   kAckLost,            ///< delivered, but the link-level ACK was lost
   kRxOverflow,         ///< NIC RX ring full (reported by CassiniNic)
+  /// Epoch fencing (staggered publish): the packet could only progress
+  /// under a plan epoch the fabric manager has committed but this switch
+  /// has not applied yet — counted instead of kNoRoute/kLinkDown so the
+  /// publish lag is observable and never silent loss.
+  kStaleEpoch,
 };
 
 /// Stable human-readable name for a drop reason (diagnostics, examples).
@@ -176,6 +182,18 @@ class RosettaSwitch {
   /// repaired tables, or a packet mid-detour) is dropped and counted.
   Status set_uplink_state(SwitchId peer, LinkState state);
   [[nodiscard]] LinkState uplink_state(SwitchId peer) const;
+
+  /// Installs the fabric manager's committed-epoch cell (the plan version
+  /// the FM has decided on, which per-switch staggered publishes lag
+  /// behind).  When set, routing drops that can only be cured by a
+  /// not-yet-applied plan (no route / dead static next hop while
+  /// plan_->version < committed epoch) are reclassified as kStaleEpoch.
+  /// Null (the default) keeps the legacy classification bit-identical.
+  void set_committed_epoch_source(
+      std::shared_ptr<const std::atomic<std::uint64_t>> src);
+  /// Plan version this switch currently routes by (its applied epoch);
+  /// 0 until set_forwarding installs a compiled plan.
+  [[nodiscard]] std::uint64_t applied_epoch() const;
 
   // -- Lossy/transient fault model (composes with the health plane; see
   //    docs/reliability.md).  One `faults_armed_` flag gates every fault
@@ -423,6 +441,11 @@ class RosettaSwitch {
   /// Compiled routing tables (static next hops, minimal candidates, hop
   /// distances, policy).  Null until set_forwarding — local-only switch.
   std::shared_ptr<const CompiledPlan> plan_;
+  /// Fabric manager's committed plan epoch (see
+  /// set_committed_epoch_source).  Null on legacy rigs — stale-epoch
+  /// reclassification is then disabled entirely.  Guarded by mutex_
+  /// (the pointed-to atomic is written by the FM thread).
+  std::shared_ptr<const std::atomic<std::uint64_t>> committed_epoch_;
   /// Valiant intermediate selection stream (seeded; guarded by mutex_).
   Rng route_rng_;
   /// Fault-model draw stream, separate from route_rng_ so arming faults

@@ -591,7 +591,7 @@ void ShardEngine::step_item(Domain& d, const Ref& ref, SimTime window_end) {
   n.attempt = attempt;
   if (reliable && CassiniNic::is_transient(rr.reason)) {
     const auto budget = static_cast<std::uint32_t>(
-        std::max(fabric_.nic(src).reliability().max_retries, 0));
+        fabric_.nic(src).retry_budget(rr.reason));
     if (attempt < budget) {
       n.kind = Notice::Kind::kRetry;
     } else {
@@ -646,6 +646,15 @@ void ShardEngine::stage_reply(Domain& d, Packet&& reply, SimTime window_end) {
 }
 
 bool ShardEngine::barrier_merge() {
+  // Staggered plan publish drains here: barriers are the engine's only
+  // all-workers-quiescent points, and their sequence is thread-count
+  // invariant — so applying one per-switch publish wave per barrier
+  // keeps mixed-epoch routing bit-identical at 1 and N threads.  One
+  // relaxed load when no publish is staged (the common case).
+  {
+    FabricManager& fm = fabric_.manager();
+    if (fm.publish_pending()) fm.apply_next_publish_wave();
+  }
   // Deterministic merge: destination domain id, then source domain id,
   // then FIFO within each outbox.  (Run-queue order depends only on the
   // unique (vt, seq) keys, so the insertion order here is immaterial to

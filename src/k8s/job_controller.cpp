@@ -1,5 +1,6 @@
 #include "k8s/job_controller.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_map>
 
@@ -44,6 +45,34 @@ void JobController::stop() {
     api_.loop().cancel(task_);
     task_ = sim::EventLoop::kInvalidTask;
   }
+}
+
+void JobController::restart_from_api() {
+  stop();
+  ++incarnation_;
+  pods_created_.clear();
+  ttl_deleted_.clear();
+  seen_indices_.clear();
+  replacements_in_flight_.clear();
+  // Rebuild level-triggered from the store.  The finalizer is written
+  // synchronously before the first pod create is scheduled, so it is the
+  // durable "creation began" marker; a job without it reconciles as new.
+  api_.visit_jobs([&](const Job& job) {
+    if (job.meta.deletion_requested) return;  // deleting path handles it
+    if (!job.meta.has_finalizer(kJobFinalizer)) return;
+    pods_created_.insert(job.meta.uid);
+    if (job.status.complete) return;  // TTL delete re-issues idempotently
+    // Mark every expected index seen: an index with a live pod is left
+    // alone by reconcile's name check; one without (its create died with
+    // the old incarnation, or it was evicted) gets recreated.
+    const int expected =
+        std::max(job.spec.completions, job.spec.parallelism);
+    auto& seen = seen_indices_[job.meta.uid];
+    for (int i = 0; i < expected; ++i) seen.insert(i);
+  });
+  start();
+  SHS_INFO(kTag) << "job controller restarted; tracking "
+                 << pods_created_.size() << " jobs rebuilt from API server";
 }
 
 void JobController::reconcile() {
@@ -161,8 +190,10 @@ void JobController::reconcile() {
   for (const Uid uid : to_create) {
     pods_created_.insert(uid);
     (void)api_.add_job_finalizer(uid, kJobFinalizer);
+    const std::uint64_t gen = incarnation_;
     api_.loop().schedule_after(
-        jittered(api_.params().job_reconcile_delay), [this, uid] {
+        jittered(api_.params().job_reconcile_delay), [this, uid, gen] {
+          if (gen != incarnation_) return;
           auto j = api_.get_job(uid);
           if (j.is_ok() && !j.value().meta.deletion_requested) {
             create_pods(j.value());
@@ -183,9 +214,13 @@ void JobController::reconcile() {
     ttl_deleted_.insert(uid);
     auto job = api_.get_job(uid);
     if (!job.is_ok()) continue;
+    const std::uint64_t gen = incarnation_;
     api_.loop().schedule_after(
         from_seconds(job.value().spec.ttl_after_finished_s),
-        [this, uid] { (void)api_.delete_job(uid); });
+        [this, uid, gen] {
+          if (gen != incarnation_) return;
+          (void)api_.delete_job(uid);
+        });
   }
   for (const Uid uid : deleting) {
     const auto rit = rollup.find(uid);
@@ -225,7 +260,9 @@ void JobController::create_pod_at(const Job& job, int index, int stagger) {
   const SimDuration delay =
       jittered(api_.params().pod_create_api_cost) * stagger;
   const Uid owner = job.meta.uid;
-  api_.loop().schedule_after(delay, [this, pod, owner] {
+  const std::uint64_t gen = incarnation_;
+  api_.loop().schedule_after(delay, [this, pod, owner, gen] {
+    if (gen != incarnation_) return;  // issued by a crashed incarnation
     // The job may have been deleted while this creation was in flight.
     auto j = api_.get_job(owner);
     if (!j.is_ok() || j.value().meta.deletion_requested) return;

@@ -3,6 +3,7 @@
 // to be deleted immediately after completion", Section IV-B).
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -26,6 +27,16 @@ class JobController {
   /// Starts the periodic reconcile loop.
   void start();
   void stop();
+
+  /// Simulates a controller process crash + restart: wipes every
+  /// in-memory table, drops in-flight pod creations / TTL deletions from
+  /// the old incarnation, and rebuilds tracking state level-triggered
+  /// from the API server.  The job finalizer is the durable marker that
+  /// creation began; for incomplete tracked jobs every expected index is
+  /// marked seen, so the first reconcile recreates any pod whose
+  /// in-flight create died with the crash.  TTL deletions re-issue
+  /// (at-least-once; deleting a gone job is a no-op).
+  void restart_from_api();
 
   /// Number of jobs currently tracked as incomplete (diagnostics).
   [[nodiscard]] std::size_t inflight_jobs() const {
@@ -52,6 +63,9 @@ class JobController {
   ApiServer& api_;
   Rng rng_;
   sim::EventLoop::TaskId task_ = sim::EventLoop::kInvalidTask;
+  /// Bumped by restart_from_api(); callbacks scheduled by an older
+  /// incarnation check it and bail.
+  std::uint64_t incarnation_ = 0;
   /// Jobs whose pods have been created (or are being created).
   std::unordered_set<Uid> pods_created_;
   /// Jobs with a TTL deletion already issued.

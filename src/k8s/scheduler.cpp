@@ -49,6 +49,15 @@ void Scheduler::stop() {
   }
 }
 
+void Scheduler::restart_from_api() {
+  stop();
+  ++incarnation_;
+  in_flight_.clear();
+  rr_ = 0;
+  start();
+  SHS_INFO(kTag) << "scheduler restarted; rebuilding from API server";
+}
+
 std::uint32_t Scheduler::switch_of(const std::string& node) const {
   const auto it = node_switch_.find(node);
   return it == node_switch_.end() ? kUnknownSwitch : it->second;
@@ -214,7 +223,9 @@ void Scheduler::cycle() {
     const SimDuration cost = static_cast<SimDuration>(
         static_cast<double>(api_.params().bind_cost) * issued *
         rng_.jitter(api_.params().jitter_amplitude));
-    api_.loop().schedule_after(cost, [this, uid, node] {
+    const std::uint64_t gen = incarnation_;
+    api_.loop().schedule_after(cost, [this, uid, node, gen] {
+      if (gen != incarnation_) return;  // issued by a crashed incarnation
       in_flight_.erase(uid);
       auto r = api_.get_pod(uid);
       if (!r.is_ok() || r.value().meta.deletion_requested) return;

@@ -39,6 +39,14 @@ class Scheduler {
   void start();
   void stop();
 
+  /// Simulates a scheduler process crash + restart: every in-memory bind
+  /// decision is dropped and in-flight bind writes from the old
+  /// incarnation never land.  The new incarnation reconciles purely from
+  /// the API server — pods whose binds were lost are still Pending there
+  /// and get re-placed on the next cycle.  Telemetry counters survive
+  /// (they describe the run, not the process).
+  void restart_from_api();
+
   [[nodiscard]] std::size_t binds_issued() const noexcept {
     return telemetry_.binds;
   }
@@ -123,6 +131,10 @@ class Scheduler {
   /// loop never does a by-name map lookup.
   std::vector<std::uint32_t> node_switch_ids_;
   sim::EventLoop::TaskId task_ = sim::EventLoop::kInvalidTask;
+  /// Bumped by restart_from_api(); deferred API writes scheduled by an
+  /// older incarnation check it and bail (the crashed process's
+  /// in-flight RPCs die with it).
+  std::uint64_t incarnation_ = 0;
   std::unordered_map<Uid, InFlightBind> in_flight_;
   CongestionProbe congestion_probe_;
   SwitchHealthProbe switch_health_probe_;

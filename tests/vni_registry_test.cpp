@@ -2,6 +2,7 @@
 // quarantine, user tracking, audit log, concurrency.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -162,6 +163,122 @@ TEST_F(RegistryFixture, ConcurrentAcquisitionIsExclusive) {
     }
   }
   EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPer));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point recovery: kill the store at every op boundary of acquire's
+// multi-op transaction (quarantine GC erase + alloc insert + audit
+// insert) and verify the recovered registry is indistinguishable from a
+// clean run.  The redo journal is written before any op applies, so the
+// interrupted commit is durable: recovery replays it completely.
+
+/// The registry-visible state a recovery must reproduce.
+struct RegistrySnapshot {
+  std::size_t allocated = 0;
+  std::size_t quarantined = 0;
+  std::size_t alloc_rows = 0;
+  std::size_t audit_rows = 0;
+  hsn::Vni owner_b = hsn::kInvalidVni;
+  hsn::Vni next_grant = hsn::kInvalidVni;
+
+  bool operator==(const RegistrySnapshot&) const = default;
+};
+
+RegistrySnapshot snapshot_registry(VniRegistry& reg, db::Database& db,
+                                   SimTime now) {
+  RegistrySnapshot s;
+  s.allocated = reg.allocated_count();
+  s.quarantined = reg.quarantined_count(now);
+  s.alloc_rows = db.row_count("vni_alloc");
+  s.audit_rows = db.row_count("audit_log");
+  auto b = reg.find_by_owner("job/b");
+  if (b.is_ok()) s.owner_b = b.value();
+  auto probe = reg.acquire("job/probe", now);
+  if (probe.is_ok()) s.next_grant = probe.value();
+  return s;
+}
+
+/// acquire("job/a") at t=0, release at t=0 (quarantine), then
+/// acquire("job/b") at t=31s — a transaction carrying the expired-row GC
+/// erase, the new alloc insert, and the audit insert.
+void seed_history(VniRegistry& reg) {
+  ASSERT_TRUE(reg.acquire("job/a", 0).is_ok());
+  ASSERT_TRUE(reg.release("job/a", 0).is_ok());
+}
+
+TEST_F(RegistryFixture, CrashAtEveryOpBoundaryRecoversToCleanRun) {
+  // Clean run: the acquire commits normally.
+  db::Database clean_db;
+  VniRegistry clean(clean_db, small_cfg);
+  seed_history(clean);
+  ASSERT_TRUE(clean.acquire("job/b", 31 * kSecond).is_ok());
+  const RegistrySnapshot want =
+      snapshot_registry(clean, clean_db, 31 * kSecond);
+
+  // The GC erase + insert + audit transaction has 3 ops; sweep past the
+  // end so the "crash after everything applied" boundary is covered too.
+  for (std::size_t boundary = 0; boundary <= 4; ++boundary) {
+    SCOPED_TRACE(boundary);
+    db::Database db;
+    VniRegistry reg(db, small_cfg);
+    seed_history(reg);
+
+    db.crash_on_commit_after_ops(boundary);
+    EXPECT_FALSE(reg.acquire("job/b", 31 * kSecond).is_ok());
+    ASSERT_TRUE(db.crashed());
+
+    // While the store is down the registry refuses to guess: the stale
+    // index is never rebuilt from half-applied tables.
+    EXPECT_EQ(reg.acquire("job/d", 31 * kSecond).code(),
+              Code::kFailedPrecondition);
+
+    ASSERT_TRUE(db.recover().is_ok());
+    // The journaled commit replayed completely: the interrupted acquire
+    // is durable, its owner mapping intact, and the rebuilt index hands
+    // out exactly what the clean run would.
+    EXPECT_EQ(snapshot_registry(reg, db, 31 * kSecond), want);
+  }
+}
+
+TEST_F(RegistryFixture, FreshIndexOverRecoveredTablesMatchesSurvivor) {
+  // A second registry instance built over the recovered tables (the
+  // "process restart" shape) must agree with the surviving instance's
+  // rebuilt index.
+  db::Database db;
+  auto reg = std::make_unique<VniRegistry>(db, small_cfg);
+  seed_history(*reg);
+  db.crash_on_commit_after_ops(1);  // die mid-GC
+  EXPECT_FALSE(reg->acquire("job/b", 31 * kSecond).is_ok());
+  ASSERT_TRUE(db.recover().is_ok());
+  const RegistrySnapshot survivor =
+      snapshot_registry(*reg, db, 31 * kSecond);
+
+  db::Database db2;
+  VniRegistry fresh(db2, small_cfg);
+  seed_history(fresh);
+  ASSERT_TRUE(fresh.acquire("job/b", 31 * kSecond).is_ok());
+  EXPECT_EQ(snapshot_registry(fresh, db2, 31 * kSecond), survivor);
+}
+
+TEST_F(RegistryFixture, CrashNeverDoubleGrantsAcrossRecovery) {
+  // The hazard the journal rules out: a crash between the alloc insert
+  // and the audit insert must not let post-recovery acquires re-grant
+  // the same VNI to a different owner.
+  db::Database db;
+  VniRegistry reg(db, small_cfg);
+  db.crash_on_commit_after_ops(1);  // alloc row applied, audit row not
+  EXPECT_FALSE(reg.acquire("job/b", 0).is_ok());
+  ASSERT_TRUE(db.recover().is_ok());
+
+  auto b = reg.find_by_owner("job/b");
+  ASSERT_TRUE(b.is_ok());
+  auto c = reg.acquire("job/c", 0);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_NE(b.value(), c.value());
+  // Idempotent re-acquire by the interrupted owner returns its VNI.
+  auto again = reg.acquire("job/b", 0);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value(), b.value());
 }
 
 TEST_F(RegistryFixture, ExpiredQuarantineRowsAreGarbageCollected) {
